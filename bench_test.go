@@ -1,0 +1,225 @@
+package comparenb
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (§6), wrapping internal/experiments at bench-friendly scale. The full
+// paper-shaped runs live in cmd/experiments; EXPERIMENTS.md records
+// paper-vs-measured for both. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Ablation benchmarks for the design choices DESIGN.md calls out follow
+// the table/figure benchmarks.
+
+import (
+	"testing"
+	"time"
+
+	"comparenb/internal/datagen"
+	"comparenb/internal/experiments"
+	"comparenb/internal/metric"
+	"comparenb/internal/pipeline"
+	"comparenb/internal/table"
+)
+
+func benchArtificial(b *testing.B, sizes []int, epsT int) experiments.ArtificialConfig {
+	b.Helper()
+	return experiments.ArtificialConfig{
+		Sizes:     sizes,
+		Instances: 3,
+		EpsT:      epsT,
+		EpsD:      0.6,
+		Timeout:   5 * time.Second,
+		Seed:      1,
+	}
+}
+
+// BenchmarkTable4ExactTAP measures the exact TAP solver across instance
+// sizes (Table 4: super-linear growth, timeout wall).
+func BenchmarkTable4ExactTAP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Artificial(benchArtificial(b, []int{25, 50, 100}, 8))
+		if len(res.Table4) != 3 {
+			b.Fatal("missing rows")
+		}
+	}
+}
+
+// BenchmarkTable5Deviation measures Algorithm 3's objective deviation from
+// optimal (Table 5).
+func BenchmarkTable5Deviation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Artificial(benchArtificial(b, []int{50}, 8))
+		if res.Table5[0].Comparable > 0 && res.Table5[0].AvgDevPct < 0 {
+			b.Fatal("negative deviation")
+		}
+	}
+}
+
+// BenchmarkTable6Recall measures heuristic and baseline recall (Table 6).
+func BenchmarkTable6Recall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Artificial(benchArtificial(b, []int{50}, 8))
+		_ = res.Table6
+	}
+}
+
+func benchDataset(b *testing.B, rows int) *table.Relation {
+	b.Helper()
+	ds, err := datagen.ENEDISLike(1, rows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds.Rel
+}
+
+func benchConfig() pipeline.Config {
+	cfg := pipeline.NewConfig()
+	cfg.Perms = 150
+	cfg.Seed = 1
+	cfg.EpsT = 10
+	cfg.EpsD = 1.5
+	return cfg
+}
+
+// BenchmarkFig5QueryTimes measures the comparison-query runtime
+// distribution (Figure 5: tight spread justifying uniform costs).
+func BenchmarkFig5QueryTimes(b *testing.B) {
+	rel := benchDataset(b, 4000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig5(rel, 50, 1)
+		if len(res.Times) != 50 {
+			b.Fatal("missing timings")
+		}
+	}
+}
+
+// BenchmarkFig6SampleSize measures the sampling sweep on the ENEDIS-like
+// dataset (Figure 6).
+func BenchmarkFig6SampleSize(b *testing.B) {
+	rel := benchDataset(b, 4000)
+	cfg := benchConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SampleSizeSweep(rel, cfg, []float64{0.2, 0.4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7RuntimeByBudget measures the five Table-3 implementations
+// across budgets (Figure 7).
+func BenchmarkFig7RuntimeByBudget(b *testing.B) {
+	rel := benchDataset(b, 4000)
+	cfg := benchConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(rel, cfg, []int{5, 10}, 0.2, 0.4, 5*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8Threads measures multi-threading speedup of the generation
+// of Q (Figure 8).
+func BenchmarkFig8Threads(b *testing.B) {
+	rel := benchDataset(b, 4000)
+	cfg := benchConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8(rel, cfg, []int{1, 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9Flights measures the sampling strategies on the
+// Flights-like dataset (Figure 9).
+func BenchmarkFig9Flights(b *testing.B) {
+	ds, err := datagen.FlightsLike(1, 8000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SampleSizeSweep(ds.Rel, cfg, []float64{0.1, 0.3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10UserStudy measures the six Table-7 variants plus the
+// simulated rating panel (Figure 10).
+func BenchmarkFig10UserStudy(b *testing.B) {
+	rel := benchDataset(b, 4000)
+	cfg := benchConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig10(rel, cfg, 5*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benchmarks (design choices called out in DESIGN.md) ---
+
+func benchGenerate(b *testing.B, mutate func(*pipeline.Config)) {
+	b.Helper()
+	rel := benchDataset(b, 4000)
+	cfg := benchConfig()
+	mutate(&cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipeline.Generate(rel, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationWSCOn / Off isolate Algorithm 2's group-by merging.
+func BenchmarkAblationWSCOn(b *testing.B) {
+	benchGenerate(b, func(c *pipeline.Config) { c.UseWSC = true })
+}
+func BenchmarkAblationWSCOff(b *testing.B) {
+	benchGenerate(b, func(c *pipeline.Config) { c.UseWSC = false })
+}
+
+// BenchmarkAblationTransitivePruning isolates §3.3's insight pruning.
+func BenchmarkAblationTransitivePruningOff(b *testing.B) {
+	benchGenerate(b, func(c *pipeline.Config) { c.DisableTransitivePruning = true })
+}
+
+// BenchmarkAblationUniformDistance swaps §4.2's part-weighted Hamming
+// distance for uniform weights.
+func BenchmarkAblationUniformDistance(b *testing.B) {
+	benchGenerate(b, func(c *pipeline.Config) { c.Weights = metric.UniformWeights })
+}
+
+// BenchmarkAblationCredibilityAggExists switches credibility to the ∃agg
+// reading of Algorithm 1 (see Config.CredibilityAggExists).
+func BenchmarkAblationCredibilityAggExists(b *testing.B) {
+	benchGenerate(b, func(c *pipeline.Config) { c.CredibilityAggExists = true })
+}
+
+// BenchmarkAblationBHGlobal applies the FDR correction globally instead of
+// per attribute.
+func BenchmarkAblationBHGlobal(b *testing.B) {
+	benchGenerate(b, func(c *pipeline.Config) { c.BHScope = pipeline.BHGlobal })
+}
+
+// BenchmarkAblationSharedPermutations measures the §5.1.1 trick of reusing
+// permutations across measures by comparing against per-measure counts:
+// here simply the full stats phase at two permutation budgets.
+func BenchmarkAblationPerms300(b *testing.B) {
+	benchGenerate(b, func(c *pipeline.Config) { c.Perms = 300 })
+}
+
+// BenchmarkAblationGreedyPlus measures the 2-opt-extended heuristic
+// against plain Algorithm 3 (BenchmarkAblationWSCOn is the plain run).
+func BenchmarkAblationGreedyPlus(b *testing.B) {
+	benchGenerate(b, func(c *pipeline.Config) {
+		c.UseWSC = true
+		c.Solver = pipeline.SolverHeuristicPlus
+	})
+}

@@ -1,0 +1,157 @@
+// Command compare runs a single ad-hoc comparison query against a CSV —
+// the manual workflow the paper automates, kept handy for spot checks:
+// print the Definition 3.1 SQL, execute its operator tree, show the
+// result, and test both insight hypotheses on it.
+//
+//	compare -in covid.csv -group continent -by month -val 4 -val2 5 -measure cases -agg sum
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"comparenb"
+	"comparenb/internal/engine"
+	"comparenb/internal/insight"
+	"comparenb/internal/pipeline"
+	"comparenb/internal/sqlgen"
+	"comparenb/internal/stats"
+	"comparenb/internal/table"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "input CSV file (required)")
+		group   = flag.String("group", "", "grouping attribute A (required)")
+		by      = flag.String("by", "", "selection attribute B (required)")
+		val     = flag.String("val", "", "first selected value of B (required)")
+		val2    = flag.String("val2", "", "second selected value of B (required)")
+		measure = flag.String("measure", "", "measure M (required)")
+		aggName = flag.String("agg", "sum", "aggregate: sum | avg | min | max | count")
+		perms   = flag.Int("perms", 500, "permutations for the significance tests")
+		seed    = flag.Int64("seed", 1, "RNG seed")
+		cats    = flag.String("categorical", "", "comma-separated columns to force categorical")
+		explain = flag.Bool("explain", false, "also print the operator tree")
+	)
+	flag.Parse()
+	for name, v := range map[string]string{
+		"-in": *in, "-group": *group, "-by": *by, "-val": *val, "-val2": *val2, "-measure": *measure,
+	} {
+		if v == "" {
+			fmt.Fprintf(os.Stderr, "compare: %s is required\n", name)
+			flag.Usage()
+			os.Exit(2)
+		}
+	}
+
+	opts := comparenb.CSVOptions{}
+	if *cats != "" {
+		opts.ForceCategorical = splitComma(*cats)
+	}
+	ds, err := comparenb.LoadCSV(*in, opts)
+	if err != nil {
+		fatal(err)
+	}
+	rel := ds.Rel
+
+	attrA := rel.CatIndexOf(*group)
+	attrB := rel.CatIndexOf(*by)
+	meas := rel.MeasIndexOf(*measure)
+	if attrA < 0 || attrB < 0 || meas < 0 {
+		fatal(fmt.Errorf("unknown column: group=%q (cat %d), by=%q (cat %d), measure=%q (meas %d); categorical=%v numeric=%v",
+			*group, attrA, *by, attrB, *measure, meas, ds.Report.Categorical, ds.Report.Numeric))
+	}
+	c1, ok1 := rel.CodeOf(attrB, *val)
+	c2, ok2 := rel.CodeOf(attrB, *val2)
+	if !ok1 || !ok2 {
+		fatal(fmt.Errorf("value not in dom(%s): %q ok=%v, %q ok=%v", *by, *val, ok1, *val2, ok2))
+	}
+	agg, err := engine.ParseAgg(*aggName)
+	if err != nil {
+		fatal(err)
+	}
+
+	q := insight.Query{GroupBy: attrA, Attr: attrB, Val: c1, Val2: c2, Meas: meas, Agg: agg}
+	fmt.Println("-- comparison query (Def. 3.1):")
+	fmt.Println(pipeline.ComparisonSQL(rel, q))
+
+	plan := engine.ComparisonPlan(rel, attrA, attrB, c1, c2, meas, agg)
+	if *explain {
+		fmt.Println("\n-- operator tree:")
+		fmt.Println(plan.Explain())
+	}
+	rows, err := plan.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("\n-- result:")
+	fmt.Print(rows)
+
+	// Support + significance for both paper insight types.
+	res := engine.CompareDirect(rel, attrA, attrB, c1, c2, meas, agg)
+	fmt.Println("\n-- insights:")
+	for _, typ := range insight.AllTypes {
+		supports := insight.Supports(res, typ)
+		p := significance(rel, attrB, c1, c2, meas, typ, *perms, *seed)
+		verdict := "not supported by this comparison"
+		if supports {
+			verdict = "SUPPORTED by this comparison"
+		}
+		fmt.Printf("%-18s (%s = %s vs %s): %s; permutation p = %.4f\n",
+			typ, *by, *val, *val2, verdict, p)
+		fmt.Println("  hypothesis query:")
+		kind := sqlgen.MeanGreater
+		if typ == insight.VarianceGreater {
+			kind = sqlgen.VarianceGreater
+		}
+		fmt.Println(indent(sqlgen.Hypothesis(rel, sqlgen.Params{
+			GroupBy: attrA, SelAttr: attrB, Val: c1, Val2: c2, Meas: meas, Agg: agg,
+		}, kind)))
+	}
+}
+
+// significance runs the raw-data permutation test of Table 1.
+func significance(rel *table.Relation, attrB int, c1, c2 int32, meas int, typ insight.Type, perms int, seed int64) float64 {
+	xs := engine.FilterMeasure(rel, attrB, c1, meas)
+	ys := engine.FilterMeasure(rel, attrB, c2, meas)
+	if len(xs) < 2 || len(ys) < 2 {
+		return 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pp := stats.NewPairPerm(len(xs), len(ys), perms, rng)
+	pooled := append(append(make([]float64, 0, len(xs)+len(ys)), xs...), ys...)
+	_, p := pp.PValue(pooled, typ.TestStat())
+	return p
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func indent(s string) string {
+	out := "    "
+	for _, r := range s {
+		out += string(r)
+		if r == '\n' {
+			out += "    "
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "compare:", err)
+	os.Exit(1)
+}

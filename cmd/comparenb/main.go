@@ -1,0 +1,190 @@
+// Command comparenb generates a comparison notebook from a CSV file: the
+// end-to-end flow of the paper's Figure 1, from the command line.
+//
+//	comparenb -in covid.csv -out covid.ipynb -queries 10
+//
+// The CSV must have a header row; columns whose every value parses as a
+// number become measures, the rest become categorical attributes
+// (override with -categorical / -numeric / -drop).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"comparenb"
+)
+
+func main() {
+	var (
+		in          = flag.String("in", "", "input CSV file (required)")
+		out         = flag.String("out", "", "output file: .ipynb, .md or .html (default stdout as markdown)")
+		queries     = flag.Int("queries", 10, "notebook size ε_t")
+		epsD        = flag.Float64("epsd", 1.5, "distance bound ε_d")
+		perms       = flag.Int("perms", 300, "permutations per statistical test")
+		alpha       = flag.Float64("alpha", 0.05, "FDR level (insight significant when q ≤ alpha)")
+		seed        = flag.Int64("seed", 1, "RNG seed")
+		solver      = flag.String("solver", "heuristic", "TAP solver: heuristic | heuristic+2opt | exact | topk")
+		sampling    = flag.String("sampling", "none", "test sampling: none | random | unbalanced")
+		frac        = flag.Float64("sample-frac", 0.2, "sampling fraction when -sampling is set")
+		useWSC      = flag.Bool("wsc", true, "merge group-by sets (Algorithm 2)")
+		cats        = flag.String("categorical", "", "comma-separated columns to force categorical")
+		nums        = flag.String("numeric", "", "comma-separated columns to force numeric")
+		drop        = flag.String("drop", "", "comma-separated columns to ignore")
+		maxCard     = flag.Int("max-cardinality", 0, "drop inferred-categorical columns above this cardinality (0 = keep)")
+		report      = flag.String("report", "", "also write a machine-readable JSON run report to this file")
+		median      = flag.Bool("median", false, "additionally test median-greater insights (extension)")
+		hypotheses  = flag.Bool("hypotheses", false, "include each insight's hypothesis query in the notebook")
+		profileOnly = flag.Bool("profile", false, "print the dataset profile and exit (no notebook)")
+		verbose     = flag.Bool("v", false, "print run statistics to stderr")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ds, err := comparenb.LoadCSV(*in, comparenb.CSVOptions{
+		ForceCategorical:          splitList(*cats),
+		ForceNumeric:              splitList(*nums),
+		Drop:                      splitList(*drop),
+		MaxCategoricalCardinality: *maxCard,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "loaded %d rows; categorical=%v numeric=%v dropped=%v\n",
+			ds.Report.Rows, ds.Report.Categorical, ds.Report.Numeric, ds.Report.Dropped)
+	}
+
+	if *profileOnly {
+		fmt.Print(comparenb.ProfileDataset(ds))
+		return
+	}
+
+	cfg := comparenb.NewConfig()
+	cfg.EpsT = *queries
+	cfg.EpsD = *epsD
+	cfg.Perms = *perms
+	cfg.Alpha = *alpha
+	cfg.Seed = *seed
+	cfg.UseWSC = *useWSC
+	cfg.IncludeHypotheses = *hypotheses
+	if *median {
+		cfg.InsightTypes = comparenb.ExtendedInsightTypes
+	}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	switch *solver {
+	case "heuristic":
+		cfg.Solver = comparenb.SolverHeuristic
+	case "exact":
+		cfg.Solver = comparenb.SolverExact
+		cfg.ExactTimeout = 5 * time.Minute
+	case "topk":
+		cfg.Solver = comparenb.SolverTopK
+	case "heuristic+2opt":
+		cfg.Solver = comparenb.SolverHeuristicPlus
+	default:
+		fatal(fmt.Errorf("unknown solver %q", *solver))
+	}
+	switch *sampling {
+	case "none":
+		cfg.Sampling = comparenb.SamplingNone
+	case "random":
+		cfg.Sampling = comparenb.SamplingRandom
+		cfg.SampleFrac = *frac
+	case "unbalanced":
+		cfg.Sampling = comparenb.SamplingUnbalanced
+		cfg.SampleFrac = *frac
+	default:
+		fatal(fmt.Errorf("unknown sampling %q", *sampling))
+	}
+
+	nb, res, err := comparenb.GenerateNotebook(ds, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr,
+			"tested %d insights, %d significant (%d pruned as deducible); |Q|=%d; notebook=%d queries\n",
+			res.Counts.InsightsEnumerated, res.Counts.SignificantInsights,
+			res.Counts.PrunedTransitive, res.Counts.QueriesGenerated, len(res.Solution.Order))
+		fmt.Fprintf(os.Stderr, "timings: stats=%v hypo=%v tap=%v total=%v\n",
+			res.Timings.StatTests.Round(time.Millisecond), res.Timings.HypoEval.Round(time.Millisecond),
+			res.Timings.TAP.Round(time.Millisecond), res.Timings.Total.Round(time.Millisecond))
+	}
+
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.Report().WriteJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	switch {
+	case *out == "":
+		if err := nb.WriteMarkdown(os.Stdout); err != nil {
+			fatal(err)
+		}
+	case strings.HasSuffix(*out, ".ipynb"):
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := nb.WriteIPYNB(f); err != nil {
+			fatal(err)
+		}
+	case strings.HasSuffix(*out, ".md"):
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := nb.WriteMarkdown(f); err != nil {
+			fatal(err)
+		}
+	case strings.HasSuffix(*out, ".html"):
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := nb.WriteHTML(f); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("output must end in .ipynb, .md or .html, got %q", *out))
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "comparenb:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,274 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (§6). Each experiment prints the same rows/series the
+// paper reports; EXPERIMENTS.md records paper-vs-measured.
+//
+// Usage:
+//
+//	experiments [flags] <experiment>
+//
+// where <experiment> is one of
+//
+//	table4 table5 table6   exact TAP scalability / heuristic quality / recall
+//	fig5                   comparison-query runtime distribution
+//	fig6                   sample-size tuning on the ENEDIS-like dataset
+//	fig7                   runtime by budget for the 5 implementations
+//	fig8                   multi-threading speedup
+//	fig9                   sampling strategies on the Flights-like dataset
+//	fig10                  simulated human evaluation (Table 7 variants)
+//	all                    everything above
+//
+// The artificial tables (4–6) share instances, so requesting any of them
+// runs the shared protocol once.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"comparenb/internal/datagen"
+	"comparenb/internal/experiments"
+	"comparenb/internal/pipeline"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 1, "master RNG seed")
+		quick     = flag.Bool("quick", false, "scale everything down for a fast smoke run")
+		instances = flag.Int("instances", 30, "artificial instances per size (tables 4-6)")
+		epsT      = flag.Int("epst", 10, "TAP solution size ε_t")
+		epsD      = flag.Float64("epsd", 0.6, "TAP distance bound ε_d (artificial tables)")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "exact-solver timeout per instance (paper: 1h)")
+		enedis    = flag.Int("enedis-rows", 20000, "rows of the ENEDIS-like dataset")
+		flights   = flag.Int("flights-rows", 100000, "rows of the Flights-like dataset")
+		perms     = flag.Int("perms", 300, "permutations per statistical test")
+		threads   = flag.Int("threads", runtime.GOMAXPROCS(0), "worker threads")
+		maxPairs  = flag.Int("max-pairs", 0, "cap value pairs tested per attribute (0 = all)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table2|table4|table5|table6|fig5|fig6|fig7|fig8|fig9|fig10|all>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	what := flag.Arg(0)
+
+	if *quick {
+		*instances = 5
+		*enedis = 4000
+		*flights = 8000
+		*perms = 150
+		*timeout = 10 * time.Second
+	}
+
+	base := pipeline.NewConfig()
+	base.Perms = *perms
+	base.Seed = *seed
+	base.Threads = *threads
+	base.MaxPairsPerAttr = *maxPairs
+	base.EpsT = 10
+	base.EpsD = 1.5
+
+	run := func(name string, fn func() error) {
+		switch what {
+		case name, "all":
+			start := time.Now()
+			if err := fn(); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	// Tables 4–6 share one protocol; run it once for any of the three.
+	artificialDone := false
+	artificial := func() error {
+		if artificialDone {
+			return nil
+		}
+		artificialDone = true
+		cfg := experiments.DefaultArtificial()
+		cfg.Instances = *instances
+		cfg.EpsT = *epsT
+		cfg.EpsD = *epsD
+		cfg.Timeout = *timeout
+		cfg.Seed = *seed
+		if *quick {
+			cfg.Sizes = []int{25, 50, 100}
+		}
+		fmt.Println(experiments.Artificial(cfg))
+		return nil
+	}
+	run("table2", func() error {
+		var rows []experiments.Table2Row
+		v, err := datagen.VaccineLike(*seed)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, experiments.Table2(v.Rel))
+		e, err := datagen.ENEDISLike(*seed, *enedis)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, experiments.Table2(e.Rel))
+		f, err := datagen.FlightsLike(*seed, *flights)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, experiments.Table2(f.Rel))
+		fmt.Println(experiments.RenderTable2(rows))
+		return nil
+	})
+	run("table4", artificial)
+	run("table5", artificial)
+	run("table6", artificial)
+
+	var enedisDS *datagen.Dataset
+	loadEnedis := func() error {
+		if enedisDS != nil {
+			return nil
+		}
+		var err error
+		enedisDS, err = datagen.ENEDISLike(*seed, *enedis)
+		return err
+	}
+
+	run("fig5", func() error {
+		if err := loadEnedis(); err != nil {
+			return err
+		}
+		n := 300
+		if *quick {
+			n = 60
+		}
+		fmt.Println(experiments.Fig5(enedisDS.Rel, n, *seed))
+		return nil
+	})
+
+	run("fig6", func() error {
+		if err := loadEnedis(); err != nil {
+			return err
+		}
+		fracs := []float64{0.05, 0.10, 0.20, 0.40, 0.60, 0.80}
+		if *quick {
+			fracs = []float64{0.2, 0.6}
+		}
+		res, err := experiments.SampleSizeSweep(enedisDS.Rel, base, fracs)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderSampleSweep("Figure 6: Adjusting sample size (ENEDIS-like)", res))
+		return nil
+	})
+
+	run("fig7", func() error {
+		if err := loadEnedis(); err != nil {
+			return err
+		}
+		budgets := []int{5, 10, 20, 40}
+		if *quick {
+			budgets = []int{5, 10}
+		}
+		cells, err := experiments.Fig7(enedisDS.Rel, base, budgets, 0.20, 0.40, *timeout)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderFig7(cells))
+		return nil
+	})
+
+	run("fig8", func() error {
+		if err := loadEnedis(); err != nil {
+			return err
+		}
+		threadCounts := []int{1, 2, 4, 8, 16, 24, 32, 48}
+		if *quick {
+			threadCounts = []int{1, 2, 4}
+		}
+		points, err := experiments.Fig8(enedisDS.Rel, base, threadCounts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderFig8(points))
+		return nil
+	})
+
+	run("fig9", func() error {
+		ds, err := datagen.FlightsLike(*seed, *flights)
+		if err != nil {
+			return err
+		}
+		fracs := []float64{0.05, 0.10, 0.20, 0.30}
+		if *quick {
+			fracs = []float64{0.1, 0.3}
+		}
+		res, err := experiments.SampleSizeSweep(ds.Rel, base, fracs)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderSampleSweep("Figure 9: Runtime and % of insights (Flights-like)", res))
+		return nil
+	})
+
+	run("fig10", func() error {
+		if err := loadEnedis(); err != nil {
+			return err
+		}
+		cfg := base
+		cfg.EpsT = 10
+		res, err := experiments.Fig10(enedisDS.Rel, cfg, *timeout)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		return nil
+	})
+
+	run("ablations", func() error {
+		if err := loadEnedis(); err != nil {
+			return err
+		}
+		n, inst := 100, 10
+		epsDs := []float64{0.6, 0.8, 1.0}
+		if *quick {
+			n, inst = 40, 4
+			epsDs = []float64{0.8}
+		}
+		res := experiments.AblationResult{
+			Solvers: experiments.SolverQuality(n, inst, *epsT, epsDs, *timeout, *seed),
+		}
+		var err error
+		res.Distance, err = experiments.DistanceAblation(enedisDS.Rel, base)
+		if err != nil {
+			return err
+		}
+		res.Credibility, err = experiments.CredibilityReadings(enedisDS.Rel, base)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		return nil
+	})
+
+	run("fdr", func() error {
+		rows := 20000
+		if *quick {
+			rows = 4000
+		}
+		fdr, err := experiments.NullFDR(rows, *perms, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderFDR(fdr, 0.05))
+		return nil
+	})
+
+	switch what {
+	case "table2", "table4", "table5", "table6", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablations", "fdr", "all":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", what)
+		os.Exit(2)
+	}
+}

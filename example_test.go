@@ -1,0 +1,84 @@
+package comparenb_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"comparenb"
+)
+
+// ExampleGenerateNotebook builds a small dataset in memory and generates a
+// two-query comparison notebook.
+func ExampleGenerateNotebook() {
+	b := comparenb.NewBuilder("shop", []string{"region", "product", "channel"}, []string{"sales"})
+	for i := 0; i < 900; i++ {
+		region := []string{"north", "south", "east"}[i%3]
+		product := []string{"widget", "gadget"}[i%2]
+		channel := []string{"web", "store", "phone"}[i%3]
+		sales := 100.0 + float64(i%3)*40 + float64(i%2)*15 + float64(i%11)
+		b.AddRow([]string{region, product, channel}, []float64{sales})
+	}
+	ds := comparenb.FromRelation(b.Build())
+
+	cfg := comparenb.NewConfig()
+	cfg.EpsT = 2
+	cfg.Perms = 200
+	cfg.Seed = 1
+	cfg.Threads = 1
+
+	nb, res, err := comparenb.GenerateNotebook(ds, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("found insights:", res.Counts.SignificantInsights > 0)
+	fmt.Println("notebook queries:", nb.NumQueries())
+	// Output:
+	// found insights: true
+	// notebook queries: 2
+}
+
+// ExampleReadCSV loads a CSV with explicit type hints and prints the
+// inferred schema.
+func ExampleReadCSV() {
+	csv := `city,year,rainfall
+Tours,2020,642
+Tours,2021,580
+Blois,2020,712
+Blois,2021,695
+`
+	ds, err := comparenb.ReadCSV(strings.NewReader(csv), comparenb.CSVOptions{
+		Name:             "weather",
+		ForceCategorical: []string{"year"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("categorical:", ds.Report.Categorical)
+	fmt.Println("numeric:", ds.Report.Numeric)
+	// Output:
+	// categorical: [city year]
+	// numeric: [rainfall]
+}
+
+// ExampleComparisonSQL renders a comparison query as the SQL the paper's
+// Figure 2 shows.
+func ExampleComparisonSQL() {
+	b := comparenb.NewBuilder("covid", []string{"continent", "month"}, []string{"cases"})
+	b.AddRow([]string{"Africa", "4"}, []float64{31598})
+	b.AddRow([]string{"Africa", "5"}, []float64{92626})
+	ds := comparenb.FromRelation(b.Build())
+	v4, _ := ds.Rel.CodeOf(1, "4")
+	v5, _ := ds.Rel.CodeOf(1, "5")
+	q := comparenb.Query{GroupBy: 0, Attr: 1, Val: v4, Val2: v5, Meas: 0, Agg: comparenb.Sum}
+	fmt.Println(comparenb.ComparisonSQL(ds.Rel, q))
+	// Output:
+	// select t1.continent, v_4, v_5
+	// from
+	//   (select month, continent, sum(cases) as v_4
+	//    from covid where month = '4' group by month, continent) t1,
+	//   (select month, continent, sum(cases) as v_5
+	//    from covid where month = '5' group by month, continent) t2
+	// where t1.continent = t2.continent
+	// order by t1.continent;
+}

@@ -1,0 +1,67 @@
+// Flightscale example: sampling strategies on a large dataset, the §5.1.2
+// / Figure 9 scenario. On Flights-scale data the permutation tests
+// dominate the runtime; offline sampling trades a controlled amount of
+// detection quality for a large speedup, and unbalanced (per-attribute
+// stratified) sampling preserves minority values that uniform sampling
+// loses.
+//
+//	go run ./examples/flightscale [-rows 60000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"comparenb"
+	"comparenb/internal/datagen"
+)
+
+func main() {
+	rows := flag.Int("rows", 60000, "dataset rows (paper scale: 5.8M)")
+	flag.Parse()
+
+	gen, err := datagen.FlightsLike(3, *rows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := comparenb.FromRelation(gen.Rel)
+	fmt.Printf("Flights-like dataset: %d rows, %d categorical attributes, %d measures\n\n",
+		gen.Rel.NumRows(), gen.Rel.NumCatAttrs(), gen.Rel.NumMeasures())
+
+	type outcome struct {
+		name     string
+		insights int
+		elapsed  time.Duration
+	}
+	var results []outcome
+	run := func(name string, cfg comparenb.Config) outcome {
+		cfg.Perms = 200
+		cfg.Seed = 3
+		cfg.MaxPairsPerAttr = 400
+		start := time.Now()
+		res, err := comparenb.Generate(ds, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		o := outcome{name: name, insights: res.Counts.SignificantInsights, elapsed: time.Since(start)}
+		results = append(results, o)
+		return o
+	}
+
+	fmt.Println("strategy            sample   runtime      insights  vs full")
+	ref := run("no sampling", comparenb.WSCApprox(10, 1.5))
+	fmt.Printf("%-18s %6s %10v %10d %8s\n", ref.name, "100%", ref.elapsed.Round(time.Millisecond), ref.insights, "100%")
+	for _, frac := range []float64{0.30, 0.10, 0.05} {
+		unb := run("unbalanced", comparenb.WSCUnbApprox(10, 1.5, frac))
+		rnd := run("random", comparenb.WSCRandApprox(10, 1.5, frac))
+		for _, o := range []outcome{unb, rnd} {
+			pct := 100 * float64(o.insights) / float64(ref.insights)
+			fmt.Printf("%-18s %5.0f%% %10v %10d %7.1f%%\n",
+				o.name, frac*100, o.elapsed.Round(time.Millisecond), o.insights, pct)
+		}
+	}
+	fmt.Println("\nUnbalanced sampling keeps rare attribute values in the test pools, so it")
+	fmt.Println("detects a larger share of the full-data insights at equal sample size (§6.3.1).")
+}

@@ -1,0 +1,3 @@
+module comparenb
+
+go 1.22

@@ -1,0 +1,218 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"comparenb/internal/insight"
+	"comparenb/internal/stats"
+)
+
+func TestGenerateShape(t *testing.T) {
+	ds, err := Generate(Spec{
+		Name: "s", Rows: 500, CatDomains: []int{3, 7}, Measures: 2,
+		EffectFrac: 0.3, EffectSD: 1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := ds.Rel
+	if rel.NumRows() != 500 || rel.NumCatAttrs() != 2 || rel.NumMeasures() != 2 {
+		t.Errorf("shape = (%d rows, %d cats, %d meas)", rel.NumRows(), rel.NumCatAttrs(), rel.NumMeasures())
+	}
+	if rel.DomSize(0) > 3 || rel.DomSize(1) > 7 {
+		t.Errorf("domains = %d, %d exceed spec", rel.DomSize(0), rel.DomSize(1))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Spec{Name: "d", Rows: 300, CatDomains: []int{4, 4}, Measures: 1, EffectFrac: 0.5, EffectSD: 1, Seed: 42}
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.Rel.NumRows(); i++ {
+		if a.Rel.Row(i) != b.Rel.Row(i) {
+			t.Fatalf("row %d differs between identical-seed runs", i)
+		}
+	}
+	if len(a.Planted) != len(b.Planted) {
+		t.Error("planted ground truth differs between identical-seed runs")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Spec{Rows: 10, CatDomains: []int{3}, Measures: 1}); err == nil {
+		t.Error("single attribute: want error")
+	}
+	if _, err := Generate(Spec{Rows: 10, CatDomains: []int{3, 1}, Measures: 1}); err == nil {
+		t.Error("domain of 1: want error")
+	}
+	if _, err := Generate(Spec{Rows: 0, CatDomains: []int{3, 3}, Measures: 1}); err == nil {
+		t.Error("zero rows: want error")
+	}
+}
+
+// TestPlantedEffectsAreReal verifies the contract the whole evaluation
+// relies on: a planted mean-greater insight corresponds to an actual mean
+// gap in the emitted rows.
+func TestPlantedEffectsAreReal(t *testing.T) {
+	ds, err := Generate(Spec{
+		Name: "p", Rows: 20000, CatDomains: []int{4, 5}, Measures: 1,
+		EffectFrac: 0.6, EffectSD: 2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := ds.Rel
+	checked := 0
+	for _, pl := range ds.Planted {
+		if pl.Type != insight.MeanGreater {
+			continue
+		}
+		c1, ok1 := rel.CodeOf(pl.Attr, pl.Val)
+		c2, ok2 := rel.CodeOf(pl.Attr, pl.Val2)
+		if !ok1 || !ok2 {
+			continue // value never drawn; fine for rare values
+		}
+		var x, y []float64
+		col := rel.CatCol(pl.Attr)
+		mcol := rel.MeasCol(pl.Meas)
+		for i, c := range col {
+			switch c {
+			case c1:
+				x = append(x, mcol[i])
+			case c2:
+				y = append(y, mcol[i])
+			}
+		}
+		if len(x) < 100 || len(y) < 100 {
+			continue
+		}
+		checked++
+		if stats.Mean(x) <= stats.Mean(y) {
+			t.Errorf("planted %v=%s > %s on meas%d but sample means are %.2f vs %.2f",
+				rel.CatName(pl.Attr), pl.Val, pl.Val2, pl.Meas, stats.Mean(x), stats.Mean(y))
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no planted mean insights were checkable; generator too sparse")
+	}
+}
+
+func TestPlantedVarianceEffects(t *testing.T) {
+	ds, err := Generate(Spec{
+		Name: "v", Rows: 30000, CatDomains: []int{3, 3}, Measures: 1,
+		VarEffectFrac: 0.5, VarScale: 6, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := ds.Rel
+	checked := 0
+	for _, pl := range ds.Planted {
+		if pl.Type != insight.VarianceGreater {
+			continue
+		}
+		c1, _ := rel.CodeOf(pl.Attr, pl.Val)
+		c2, _ := rel.CodeOf(pl.Attr, pl.Val2)
+		var x, y []float64
+		col := rel.CatCol(pl.Attr)
+		mcol := rel.MeasCol(pl.Meas)
+		for i, c := range col {
+			switch c {
+			case c1:
+				x = append(x, mcol[i])
+			case c2:
+				y = append(y, mcol[i])
+			}
+		}
+		if len(x) < 500 || len(y) < 500 {
+			continue
+		}
+		checked++
+		if stats.Variance(x) <= stats.Variance(y) {
+			t.Errorf("planted variance effect not visible: %.1f vs %.1f", stats.Variance(x), stats.Variance(y))
+		}
+	}
+	if checked == 0 {
+		t.Skip("no checkable variance plants with this seed")
+	}
+}
+
+func TestSkewShiftsMass(t *testing.T) {
+	ds, err := Generate(Spec{
+		Name: "z", Rows: 10000, CatDomains: []int{10, 2}, Measures: 1, Skew: 1.2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := ds.Rel
+	counts := make(map[int32]int)
+	for _, c := range rel.CatCol(0) {
+		counts[c]++
+	}
+	c0, ok := rel.CodeOf(0, valueName(0, 0))
+	if !ok {
+		t.Fatal("first value missing despite skew")
+	}
+	if float64(counts[c0]) < float64(rel.NumRows())/10 {
+		t.Errorf("skewed first value has only %d of %d rows", counts[c0], rel.NumRows())
+	}
+}
+
+func TestPresets(t *testing.T) {
+	v, err := VaccineLike(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Rel.NumRows() != 5045 || v.Rel.NumCatAttrs() != 6 || v.Rel.NumMeasures() != 1 {
+		t.Errorf("VaccineLike shape wrong: %d rows %d cats %d meas",
+			v.Rel.NumRows(), v.Rel.NumCatAttrs(), v.Rel.NumMeasures())
+	}
+	e, err := ENEDISLike(1, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Rel.NumRows() != 2000 || e.Rel.NumCatAttrs() != 7 || e.Rel.NumMeasures() != 2 {
+		t.Errorf("ENEDISLike shape wrong")
+	}
+	f, err := FlightsLike(1, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Rel.NumRows() != 3000 || f.Rel.NumCatAttrs() != 5 || f.Rel.NumMeasures() != 3 {
+		t.Errorf("FlightsLike shape wrong")
+	}
+	ti, err := Tiny(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ti.Rel.NumRows() != 1200 {
+		t.Errorf("Tiny default rows = %d", ti.Rel.NumRows())
+	}
+	if len(ti.Planted) == 0 {
+		t.Error("Tiny has no planted insights")
+	}
+}
+
+func TestPickBinarySearch(t *testing.T) {
+	cum := cumulative([]float64{0.25, 0.25, 0.5})
+	cases := map[float64]int{0.0: 0, 0.2: 0, 0.26: 1, 0.5: 1, 0.51: 2, 1.0: 2}
+	for u, want := range cases {
+		if got := pick(cum, u); got != want {
+			t.Errorf("pick(%v) = %d, want %d", u, got, want)
+		}
+	}
+}
+
+func TestCumulativeEndsAtOne(t *testing.T) {
+	cum := cumulative([]float64{0.1, 0.1, 0.1}) // deliberately not normalised
+	if math.Abs(cum[len(cum)-1]-1) > 0 {
+		t.Errorf("last cumulative = %v, want exactly 1", cum[len(cum)-1])
+	}
+}

@@ -1,0 +1,146 @@
+package datagen
+
+import (
+	"testing"
+
+	"comparenb/internal/engine"
+	"comparenb/internal/stats"
+)
+
+func TestHierarchyFDHolds(t *testing.T) {
+	ds, err := Generate(Spec{
+		Name: "h", Rows: 3000, CatDomains: []int{4, 24, 6}, Measures: 1,
+		EffectFrac: 0.4, EffectSD: 1.5,
+		Hierarchies: []Hierarchy{{Child: 1, Parent: 2}},
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fds := engine.DetectFDs(ds.Rel)
+	found := false
+	for _, fd := range fds {
+		if fd.Det == 1 && fd.Dep == 2 {
+			found = true
+		}
+		if fd.Det == 0 || fd.Dep == 0 {
+			t.Errorf("spurious FD involving independent attribute: %+v", fd)
+		}
+	}
+	if !found {
+		t.Error("declared hierarchy child→parent FD not detected")
+	}
+}
+
+func TestHierarchyChain(t *testing.T) {
+	// commune(48) → department(12) → region(3).
+	ds, err := Generate(Spec{
+		Name: "chain", Rows: 2000, CatDomains: []int{3, 12, 48, 5}, Measures: 1,
+		EffectFrac:  0.4,
+		EffectSD:    1.5,
+		Hierarchies: []Hierarchy{{Child: 2, Parent: 1}, {Child: 1, Parent: 0}},
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := engine.NewFDSet(engine.DetectFDs(ds.Rel))
+	if !s.MeaninglessPair(2, 1) || !s.MeaninglessPair(1, 0) || !s.MeaninglessPair(2, 0) {
+		t.Error("hierarchy chain FDs missing (transitivity should make commune→region hold too)")
+	}
+	if s.MeaninglessPair(3, 0) {
+		t.Error("independent attribute entangled in hierarchy")
+	}
+}
+
+func TestHierarchyValidation(t *testing.T) {
+	bad := []Spec{
+		{Name: "x", Rows: 10, CatDomains: []int{3, 4}, Measures: 1,
+			Hierarchies: []Hierarchy{{Child: 0, Parent: 5}}},
+		{Name: "x", Rows: 10, CatDomains: []int{3, 4}, Measures: 1,
+			Hierarchies: []Hierarchy{{Child: 1, Parent: 1}}},
+		{Name: "x", Rows: 10, CatDomains: []int{3, 4}, Measures: 1,
+			Hierarchies: []Hierarchy{{Child: 0, Parent: 1}}}, // parent domain larger
+		{Name: "x", Rows: 10, CatDomains: []int{4, 4}, Measures: 1,
+			Hierarchies: []Hierarchy{{Child: 0, Parent: 1}, {Child: 1, Parent: 0}}},
+	}
+	for i, spec := range bad {
+		spec.Seed = int64(i)
+		if _, err := Generate(spec); err == nil {
+			t.Errorf("spec %d: want validation error", i)
+		}
+	}
+}
+
+// TestHierarchyEffectiveOffsets: the parent's recorded mean offsets must
+// predict the actual per-value means of the generated rows.
+func TestHierarchyEffectiveOffsets(t *testing.T) {
+	ds, err := Generate(Spec{
+		Name: "eff", Rows: 60000, CatDomains: []int{5, 40}, Measures: 1,
+		EffectFrac: 0.8, EffectSD: 2, BaseSD: 10,
+		Hierarchies: []Hierarchy{{Child: 1, Parent: 0}},
+		Seed:        11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := ds.Rel
+	for v := 0; v < 5; v++ {
+		code, ok := rel.CodeOf(0, valueName(0, v))
+		if !ok {
+			continue
+		}
+		var vals []float64
+		col := rel.CatCol(0)
+		mcol := rel.MeasCol(0)
+		for i, c := range col {
+			if c == code {
+				vals = append(vals, mcol[i])
+			}
+		}
+		if len(vals) < 500 {
+			continue
+		}
+		predicted := 100 + ds.MeanOffset[0][v][0] // BaseMean default 100
+		got := stats.Mean(vals)
+		// Allow generous tolerance: sampling error + skewless weighting.
+		if diff := got - predicted; diff < -6 || diff > 6 {
+			t.Errorf("parent value %d: mean %.2f, predicted %.2f", v, got, predicted)
+		}
+	}
+	// The planted list must use the effective offsets: every planted
+	// parent-pair must show the right ordering in the data.
+	checked := 0
+	for _, pl := range ds.Planted {
+		if pl.Attr != 0 || pl.Type != 0 {
+			continue
+		}
+		c1, ok1 := rel.CodeOf(0, pl.Val)
+		c2, ok2 := rel.CodeOf(0, pl.Val2)
+		if !ok1 || !ok2 {
+			continue
+		}
+		var x, y []float64
+		col := rel.CatCol(0)
+		mcol := rel.MeasCol(0)
+		for i, c := range col {
+			switch c {
+			case c1:
+				x = append(x, mcol[i])
+			case c2:
+				y = append(y, mcol[i])
+			}
+		}
+		if len(x) < 500 || len(y) < 500 {
+			continue
+		}
+		checked++
+		if stats.Mean(x) <= stats.Mean(y) {
+			t.Errorf("planted parent insight %s > %s not visible: %.2f vs %.2f",
+				pl.Val, pl.Val2, stats.Mean(x), stats.Mean(y))
+		}
+	}
+	if checked == 0 {
+		t.Skip("no checkable parent plants with this seed")
+	}
+}

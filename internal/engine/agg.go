@@ -1,0 +1,57 @@
+// Package engine executes the relational workload of the paper on top of
+// internal/table: selections, multi-attribute group-by aggregation (cubes),
+// distributive roll-up, the join/sort shape of comparison queries
+// (Def. 3.1), distinct-group-count estimation (the "query optimizer
+// estimate" that weights Algorithm 2's set cover), and functional-dependency
+// detection (the pre-processing of footnote 2).
+package engine
+
+import "fmt"
+
+// Agg identifies an aggregation function applicable to a measure.
+type Agg int
+
+const (
+	// Sum of measure values.
+	Sum Agg = iota
+	// Avg is the arithmetic mean.
+	Avg
+	// Min is the minimum.
+	Min
+	// Max is the maximum.
+	Max
+	// Count counts tuples (ignores the measure's values).
+	Count
+)
+
+// AllAggs lists every aggregation function, in the order used to enumerate
+// comparison queries. Its length is the paper's f.
+var AllAggs = []Agg{Sum, Avg, Min, Max, Count}
+
+// String returns the SQL name of the aggregate.
+func (a Agg) String() string {
+	switch a {
+	case Sum:
+		return "sum"
+	case Avg:
+		return "avg"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	case Count:
+		return "count"
+	default:
+		return fmt.Sprintf("Agg(%d)", int(a))
+	}
+}
+
+// ParseAgg maps a SQL aggregate name to an Agg.
+func ParseAgg(s string) (Agg, error) {
+	for _, a := range AllAggs {
+		if a.String() == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("engine: unknown aggregate %q", s)
+}

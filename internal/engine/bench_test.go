@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"comparenb/internal/table"
+)
+
+func benchRelation(b *testing.B, rows int) *table.Relation {
+	b.Helper()
+	return randomRelation(4, []int{8, 12, 24, 48}, 2, rows, 1)
+}
+
+func BenchmarkBuildCube2Attrs(b *testing.B) {
+	rel := benchRelation(b, 50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildCube(rel, []int{0, 3})
+	}
+}
+
+func BenchmarkBuildCube4Attrs(b *testing.B) {
+	rel := benchRelation(b, 50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildCube(rel, []int{0, 1, 2, 3})
+	}
+}
+
+func BenchmarkRollup(b *testing.B) {
+	rel := benchRelation(b, 50000)
+	wide := BuildCube(rel, []int{0, 1, 2, 3})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wide.Rollup([]int{0, 3})
+	}
+}
+
+func BenchmarkCompareFromCube(b *testing.B) {
+	rel := benchRelation(b, 50000)
+	cube := BuildCube(rel, []int{0, 1})
+	dom := rel.SortedDomain(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CompareFromCube(cube, 0, 1, dom[0], dom[1], 0, Avg)
+	}
+}
+
+func BenchmarkDetectFDs(b *testing.B) {
+	rel := benchRelation(b, 50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DetectFDs(rel)
+	}
+}
+
+func BenchmarkEstimateGroups(b *testing.B) {
+	rel := benchRelation(b, 50000)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EstimateGroups(rel, []int{0, 1, 2, 3}, 4096, rng)
+	}
+}
+
+func BenchmarkComparisonPlan(b *testing.B) {
+	rel := benchRelation(b, 50000)
+	dom := rel.SortedDomain(1)
+	plan := ComparisonPlan(rel, 0, 1, dom[0], dom[1], 0, Sum)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,297 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"comparenb/internal/table"
+)
+
+// Cube is a partial aggregate: the result of γ over a set of categorical
+// attributes, carrying count/sum/min/max for every measure so that any Agg
+// (and any roll-up to a subset of the attributes — the trick behind
+// Algorithm 2's group-by merging) can be answered from it without touching
+// the base relation again.
+type Cube struct {
+	rel   *table.Relation
+	attrs []int // sorted categorical attribute indexes
+
+	keys   [][]int32 // keys[g][k] = code of attrs[k] in group g
+	counts []int64
+	sums   [][]float64 // sums[m][g]
+	mins   [][]float64
+	maxs   [][]float64
+
+	// SourceRows is θ_q of §4.2: the number of tuples aggregated.
+	SourceRows int
+}
+
+// Attrs returns the (sorted) categorical attribute indexes the cube groups by.
+func (c *Cube) Attrs() []int { return append([]int(nil), c.attrs...) }
+
+// NumGroups returns γ_q: the number of groups.
+func (c *Cube) NumGroups() int { return len(c.keys) }
+
+// Relation returns the relation the cube was built from.
+func (c *Cube) Relation() *table.Relation { return c.rel }
+
+// GroupKey returns the attribute codes identifying group g, aligned with
+// Attrs(). The slice is owned by the cube.
+func (c *Cube) GroupKey(g int) []int32 { return c.keys[g] }
+
+// Count returns the tuple count of group g.
+func (c *Cube) Count(g int) int64 { return c.counts[g] }
+
+// Value returns agg(measure m) for group g. Avg of an empty group and
+// Min/Max of an all-NaN group are NaN.
+func (c *Cube) Value(g, m int, agg Agg) float64 {
+	switch agg {
+	case Sum:
+		return c.sums[m][g]
+	case Avg:
+		if c.counts[g] == 0 {
+			return math.NaN()
+		}
+		return c.sums[m][g] / float64(c.counts[g])
+	case Min:
+		return c.mins[m][g]
+	case Max:
+		return c.maxs[m][g]
+	case Count:
+		return float64(c.counts[g])
+	default:
+		panic(fmt.Sprintf("engine: bad agg %d", int(agg)))
+	}
+}
+
+// MemoryFootprint estimates the in-memory size of the cube in bytes. This
+// is the weight used by Algorithm 2's weighted set cover.
+func (c *Cube) MemoryFootprint() int64 {
+	g := int64(len(c.keys))
+	perGroup := int64(len(c.attrs))*4 + 8 + int64(c.rel.NumMeasures())*3*8
+	return g * perGroup
+}
+
+// BuildCube aggregates the relation over the given categorical attributes
+// (order-insensitive; the cube stores them sorted). NaN measure values are
+// ignored by Sum/Min/Max but still counted, matching SQL aggregates over a
+// table where the dirty cells were NULL.
+func BuildCube(rel *table.Relation, attrs []int) *Cube {
+	return buildCubeRows(rel, attrs, nil)
+}
+
+// buildCubeRows aggregates the given rows (nil means all rows).
+func buildCubeRows(rel *table.Relation, attrs []int, rows []int) *Cube {
+	sorted := append([]int(nil), attrs...)
+	sort.Ints(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			panic(fmt.Sprintf("engine: duplicate attribute %d in group-by set", sorted[i]))
+		}
+	}
+	c := &Cube{rel: rel, attrs: sorted}
+	m := rel.NumMeasures()
+	c.sums = make([][]float64, m)
+	c.mins = make([][]float64, m)
+	c.maxs = make([][]float64, m)
+
+	cols := make([][]int32, len(sorted))
+	for i, a := range sorted {
+		cols[i] = rel.CatCol(a)
+	}
+	meas := make([][]float64, m)
+	for j := 0; j < m; j++ {
+		meas[j] = rel.MeasCol(j)
+	}
+
+	// Mixed-radix composite key when the code space fits in uint64;
+	// otherwise fall back to string keys over the raw code bytes.
+	radix, ok := mixedRadix(rel, sorted)
+	groupOf := make(map[uint64]int)
+	var groupOfStr map[string]int
+	if !ok {
+		groupOfStr = make(map[string]int)
+	}
+
+	n := rel.NumRows()
+	iter := func(yield func(row int)) {
+		if rows == nil {
+			for i := 0; i < n; i++ {
+				yield(i)
+			}
+			return
+		}
+		for _, i := range rows {
+			yield(i)
+		}
+	}
+
+	keyBuf := make([]int32, len(sorted))
+	byteBuf := make([]byte, 4*len(sorted))
+	iter(func(row int) {
+		c.SourceRows++
+		for k := range cols {
+			keyBuf[k] = cols[k][row]
+		}
+		var g int
+		var found bool
+		if ok {
+			h := uint64(0)
+			for k, code := range keyBuf {
+				h += uint64(code) * radix[k]
+			}
+			g, found = groupOf[h]
+			if !found {
+				g = len(c.keys)
+				groupOf[h] = g
+			}
+		} else {
+			for k, code := range keyBuf {
+				byteBuf[4*k] = byte(code)
+				byteBuf[4*k+1] = byte(code >> 8)
+				byteBuf[4*k+2] = byte(code >> 16)
+				byteBuf[4*k+3] = byte(code >> 24)
+			}
+			g, found = groupOfStr[string(byteBuf)]
+			if !found {
+				g = len(c.keys)
+				groupOfStr[string(byteBuf)] = g
+			}
+		}
+		if !found {
+			c.keys = append(c.keys, append([]int32(nil), keyBuf...))
+			c.counts = append(c.counts, 0)
+			for j := 0; j < m; j++ {
+				c.sums[j] = append(c.sums[j], 0)
+				c.mins[j] = append(c.mins[j], math.NaN())
+				c.maxs[j] = append(c.maxs[j], math.NaN())
+			}
+		}
+		c.counts[g]++
+		for j := 0; j < m; j++ {
+			v := meas[j][row]
+			if math.IsNaN(v) {
+				continue
+			}
+			c.sums[j][g] += v
+			if math.IsNaN(c.mins[j][g]) || v < c.mins[j][g] {
+				c.mins[j][g] = v
+			}
+			if math.IsNaN(c.maxs[j][g]) || v > c.maxs[j][g] {
+				c.maxs[j][g] = v
+			}
+		}
+	})
+	return c
+}
+
+// mixedRadix returns per-position multipliers so that composite keys over
+// the given attributes are unique uint64s, or ok=false if the combined code
+// space overflows.
+func mixedRadix(rel *table.Relation, attrs []int) ([]uint64, bool) {
+	radix := make([]uint64, len(attrs))
+	prod := uint64(1)
+	for i, a := range attrs {
+		radix[i] = prod
+		d := uint64(rel.DomSize(a))
+		if d == 0 {
+			d = 1
+		}
+		if prod > (1<<63)/d {
+			return nil, false
+		}
+		prod *= d
+	}
+	return radix, true
+}
+
+// Rollup aggregates the cube down to a subset of its attributes. All stored
+// statistics are distributive (count, sum, min, max), and Avg is derived as
+// sum/count, so roll-up is exact. Rollup panics if attrs is not a subset of
+// the cube's attributes.
+func (c *Cube) Rollup(attrs []int) *Cube {
+	sorted := append([]int(nil), attrs...)
+	sort.Ints(sorted)
+	pos := make([]int, len(sorted))
+	for i, want := range sorted {
+		p := -1
+		for k, have := range c.attrs {
+			if have == want {
+				p = k
+				break
+			}
+		}
+		if p < 0 {
+			panic(fmt.Sprintf("engine: Rollup attribute %d not in cube attrs %v", want, c.attrs))
+		}
+		pos[i] = p
+	}
+
+	out := &Cube{rel: c.rel, attrs: sorted, SourceRows: c.SourceRows}
+	m := c.rel.NumMeasures()
+	out.sums = make([][]float64, m)
+	out.mins = make([][]float64, m)
+	out.maxs = make([][]float64, m)
+
+	radix, ok := mixedRadix(c.rel, sorted)
+	groupOf := make(map[uint64]int)
+	var groupOfStr map[string]int
+	if !ok {
+		groupOfStr = make(map[string]int)
+	}
+	keyBuf := make([]int32, len(sorted))
+	byteBuf := make([]byte, 4*len(sorted))
+	for src := range c.keys {
+		for i, p := range pos {
+			keyBuf[i] = c.keys[src][p]
+		}
+		var g int
+		var found bool
+		if ok {
+			h := uint64(0)
+			for k, code := range keyBuf {
+				h += uint64(code) * radix[k]
+			}
+			g, found = groupOf[h]
+			if !found {
+				g = len(out.keys)
+				groupOf[h] = g
+			}
+		} else {
+			for k, code := range keyBuf {
+				byteBuf[4*k] = byte(code)
+				byteBuf[4*k+1] = byte(code >> 8)
+				byteBuf[4*k+2] = byte(code >> 16)
+				byteBuf[4*k+3] = byte(code >> 24)
+			}
+			g, found = groupOfStr[string(byteBuf)]
+			if !found {
+				g = len(out.keys)
+				groupOfStr[string(byteBuf)] = g
+			}
+		}
+		if !found {
+			out.keys = append(out.keys, append([]int32(nil), keyBuf...))
+			out.counts = append(out.counts, 0)
+			for j := 0; j < m; j++ {
+				out.sums[j] = append(out.sums[j], 0)
+				out.mins[j] = append(out.mins[j], math.NaN())
+				out.maxs[j] = append(out.maxs[j], math.NaN())
+			}
+		}
+		out.counts[g] += c.counts[src]
+		for j := 0; j < m; j++ {
+			out.sums[j][g] += c.sums[j][src]
+			v := c.mins[j][src]
+			if !math.IsNaN(v) && (math.IsNaN(out.mins[j][g]) || v < out.mins[j][g]) {
+				out.mins[j][g] = v
+			}
+			v = c.maxs[j][src]
+			if !math.IsNaN(v) && (math.IsNaN(out.maxs[j][g]) || v > out.maxs[j][g]) {
+				out.maxs[j][g] = v
+			}
+		}
+	}
+	return out
+}

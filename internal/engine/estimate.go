@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"comparenb/internal/table"
+)
+
+// EstimateGroups plays the role of the query optimizer's cardinality
+// estimate in Algorithm 2: it estimates the number of distinct groups a
+// group-by over attrs would produce, from a uniform row sample of the given
+// size, using the GEE estimator of Charikar et al.:
+//
+//	D̂ = d + (sqrt(n/r) − 1) · f1
+//
+// where d is the number of distinct groups in the sample, f1 the number of
+// groups seen exactly once, n the relation size and r the sample size. If
+// sampleSize ≥ NumRows the count is exact.
+func EstimateGroups(rel *table.Relation, attrs []int, sampleSize int, rng *rand.Rand) float64 {
+	n := rel.NumRows()
+	if n == 0 {
+		return 0
+	}
+	if sampleSize <= 0 || sampleSize >= n {
+		return float64(CountGroups(rel, attrs))
+	}
+	rows := sampleRows(n, sampleSize, rng)
+	sorted := append([]int(nil), attrs...)
+	sort.Ints(sorted)
+	radix, ok := mixedRadix(rel, sorted)
+
+	freq := make(map[uint64]int)
+	var freqStr map[string]int
+	if !ok {
+		freqStr = make(map[string]int)
+	}
+	byteBuf := make([]byte, 4*len(sorted))
+	for _, row := range rows {
+		if ok {
+			h := uint64(0)
+			for k, a := range sorted {
+				h += uint64(rel.CatCol(a)[row]) * radix[k]
+			}
+			freq[h]++
+		} else {
+			for k, a := range sorted {
+				code := rel.CatCol(a)[row]
+				byteBuf[4*k] = byte(code)
+				byteBuf[4*k+1] = byte(code >> 8)
+				byteBuf[4*k+2] = byte(code >> 16)
+				byteBuf[4*k+3] = byte(code >> 24)
+			}
+			freqStr[string(byteBuf)]++
+		}
+	}
+	d, f1 := 0, 0
+	count := func(c int) {
+		d++
+		if c == 1 {
+			f1++
+		}
+	}
+	for _, c := range freq {
+		count(c)
+	}
+	for _, c := range freqStr {
+		count(c)
+	}
+	est := float64(d) + (math.Sqrt(float64(n)/float64(len(rows)))-1)*float64(f1)
+
+	// The estimate can never exceed the product of the active-domain sizes
+	// nor the relation size.
+	bound := float64(n)
+	prod := 1.0
+	for _, a := range sorted {
+		prod *= float64(rel.DomSize(a))
+		if prod > bound {
+			prod = bound
+			break
+		}
+	}
+	return math.Min(est, math.Min(bound, prod))
+}
+
+// CountGroups counts the exact number of distinct groups over attrs.
+func CountGroups(rel *table.Relation, attrs []int) int {
+	sorted := append([]int(nil), attrs...)
+	sort.Ints(sorted)
+	radix, ok := mixedRadix(rel, sorted)
+	if ok {
+		seen := make(map[uint64]struct{})
+		for row := 0; row < rel.NumRows(); row++ {
+			h := uint64(0)
+			for k, a := range sorted {
+				h += uint64(rel.CatCol(a)[row]) * radix[k]
+			}
+			seen[h] = struct{}{}
+		}
+		return len(seen)
+	}
+	seen := make(map[string]struct{})
+	byteBuf := make([]byte, 4*len(sorted))
+	for row := 0; row < rel.NumRows(); row++ {
+		for k, a := range sorted {
+			code := rel.CatCol(a)[row]
+			byteBuf[4*k] = byte(code)
+			byteBuf[4*k+1] = byte(code >> 8)
+			byteBuf[4*k+2] = byte(code >> 16)
+			byteBuf[4*k+3] = byte(code >> 24)
+		}
+		seen[string(byteBuf)] = struct{}{}
+	}
+	return len(seen)
+}
+
+// sampleRows draws k distinct row indexes uniformly without replacement
+// (partial Fisher–Yates).
+func sampleRows(n, k int, rng *rand.Rand) []int {
+	if k >= n {
+		rows := make([]int, n)
+		for i := range rows {
+			rows[i] = i
+		}
+		return rows
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:k]
+}

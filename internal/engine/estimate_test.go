@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"comparenb/internal/table"
+)
+
+func TestCountGroupsExact(t *testing.T) {
+	rel := covidRelation()
+	if got := CountGroups(rel, []int{0}); got != 5 {
+		t.Errorf("CountGroups(continent) = %d, want 5", got)
+	}
+	if got := CountGroups(rel, []int{0, 1}); got != 10 {
+		t.Errorf("CountGroups(continent, month) = %d, want 10", got)
+	}
+}
+
+func TestEstimateGroupsFullSampleIsExact(t *testing.T) {
+	rel := randomRelation(2, []int{7, 9}, 1, 400, 5)
+	rng := rand.New(rand.NewSource(1))
+	exact := float64(CountGroups(rel, []int{0, 1}))
+	if got := EstimateGroups(rel, []int{0, 1}, rel.NumRows(), rng); got != exact {
+		t.Errorf("full-sample estimate = %v, want exact %v", got, exact)
+	}
+	if got := EstimateGroups(rel, []int{0, 1}, 0, rng); got != exact {
+		t.Errorf("sampleSize=0 estimate = %v, want exact %v", got, exact)
+	}
+}
+
+func TestEstimateGroupsReasonable(t *testing.T) {
+	rel := randomRelation(2, []int{20, 20}, 1, 20000, 9)
+	rng := rand.New(rand.NewSource(2))
+	exact := float64(CountGroups(rel, []int{0, 1}))
+	est := EstimateGroups(rel, []int{0, 1}, 2000, rng)
+	if est < exact/3 || est > exact*3 {
+		t.Errorf("estimate %v too far from exact %v", est, exact)
+	}
+}
+
+func TestEstimateGroupsBounded(t *testing.T) {
+	rel := randomRelation(1, []int{4}, 1, 1000, 3)
+	rng := rand.New(rand.NewSource(3))
+	est := EstimateGroups(rel, []int{0}, 50, rng)
+	if est > 4 {
+		t.Errorf("estimate %v exceeds domain bound 4", est)
+	}
+}
+
+func TestEstimateGroupsEmptyRelation(t *testing.T) {
+	b := table.NewBuilder("empty", []string{"a"}, nil)
+	rel := b.Build()
+	rng := rand.New(rand.NewSource(4))
+	if got := EstimateGroups(rel, []int{0}, 10, rng); got != 0 {
+		t.Errorf("estimate on empty relation = %v, want 0", got)
+	}
+}
+
+func TestSampleRowsDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rows := sampleRows(100, 30, rng)
+	if len(rows) != 30 {
+		t.Fatalf("len = %d, want 30", len(rows))
+	}
+	seen := map[int]bool{}
+	for _, r := range rows {
+		if r < 0 || r >= 100 {
+			t.Errorf("row %d out of range", r)
+		}
+		if seen[r] {
+			t.Errorf("row %d duplicated", r)
+		}
+		seen[r] = true
+	}
+	if got := sampleRows(5, 10, rng); len(got) != 5 {
+		t.Errorf("oversized sample len = %d, want 5", len(got))
+	}
+}
+
+func TestEstimateNeverNaN(t *testing.T) {
+	rel := randomRelation(3, []int{3, 3, 3}, 1, 100, 6)
+	rng := rand.New(rand.NewSource(6))
+	for _, size := range []int{1, 2, 10, 50, 99, 100} {
+		if got := EstimateGroups(rel, []int{0, 1, 2}, size, rng); math.IsNaN(got) || got < 0 {
+			t.Errorf("estimate(size=%d) = %v", size, got)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package engine
+
+import "comparenb/internal/table"
+
+// FD records a functional dependency between two categorical attributes:
+// every value of Det determines a single value of Dep.
+type FD struct {
+	Det int // determinant attribute index
+	Dep int // dependent attribute index
+}
+
+// DetectFDs finds all pairwise functional dependencies between categorical
+// attributes. This is the pre-processing step of the paper (footnote 2):
+// the pipeline later skips comparison queries (A, B, ...) where A→B or
+// B→A, e.g. selecting two days and grouping over months.
+func DetectFDs(rel *table.Relation) []FD {
+	return DetectFDsApprox(rel, 0)
+}
+
+// DetectFDsApprox finds approximate pairwise functional dependencies: a
+// dependency det → dep holds when its g3 error — the minimum fraction of
+// tuples that must be removed for the FD to hold exactly — is at most
+// maxError. Real data is dirty; a commune column with a handful of
+// mistyped departments should still disqualify the degenerate queries the
+// FD pre-processing exists to prevent. maxError = 0 is the exact check.
+func DetectFDsApprox(rel *table.Relation, maxError float64) []FD {
+	n := rel.NumCatAttrs()
+	var fds []FD
+	for det := 0; det < n; det++ {
+		for dep := 0; dep < n; dep++ {
+			if det == dep {
+				continue
+			}
+			if FDError(rel, det, dep) <= maxError {
+				fds = append(fds, FD{Det: det, Dep: dep})
+			}
+		}
+	}
+	return fds
+}
+
+// FDError computes the g3 error of det → dep: 1 − (Σ over det values of
+// the most common dep value's count) / N. Zero means the FD holds exactly;
+// an empty relation has error 0.
+func FDError(rel *table.Relation, det, dep int) float64 {
+	nRows := rel.NumRows()
+	if nRows == 0 {
+		return 0
+	}
+	detCol := rel.CatCol(det)
+	depCol := rel.CatCol(dep)
+	// counts[(d, e)] over a compact composite key.
+	depDom := int64(rel.DomSize(dep))
+	counts := make(map[int64]int)
+	for row, d := range detCol {
+		counts[int64(d)*depDom+int64(depCol[row])]++
+	}
+	best := make(map[int32]int, rel.DomSize(det))
+	for key, c := range counts {
+		d := int32(key / depDom)
+		if c > best[d] {
+			best[d] = c
+		}
+	}
+	keep := 0
+	for _, c := range best {
+		keep += c
+	}
+	return 1 - float64(keep)/float64(nRows)
+}
+
+// FDSet is a lookup structure over detected FDs.
+type FDSet struct {
+	related map[[2]int]bool
+}
+
+// NewFDSet indexes the given FDs for MeaninglessPair queries.
+func NewFDSet(fds []FD) *FDSet {
+	s := &FDSet{related: make(map[[2]int]bool, 2*len(fds))}
+	for _, fd := range fds {
+		s.related[[2]int{fd.Det, fd.Dep}] = true
+	}
+	return s
+}
+
+// MeaninglessPair reports whether a comparison query grouping by a and
+// selecting on b is degenerate: if b→a every selected value contributes at
+// most one group, and if a→b one of the two selections is empty within
+// every group, so the join of Def. 3.1 collapses.
+func (s *FDSet) MeaninglessPair(a, b int) bool {
+	return s.related[[2]int{a, b}] || s.related[[2]int{b, a}]
+}

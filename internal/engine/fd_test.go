@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"testing"
+
+	"comparenb/internal/table"
+)
+
+// dateRelation has day → month (every day belongs to one month) but not
+// month → day.
+func dateRelation() *table.Relation {
+	b := table.NewBuilder("dates", []string{"day", "month", "city"}, nil)
+	rows := [][3]string{
+		{"2021-04-01", "4", "Paris"},
+		{"2021-04-02", "4", "Tours"},
+		{"2021-04-02", "4", "Paris"},
+		{"2021-05-01", "5", "Paris"},
+		{"2021-05-02", "5", "Blois"},
+	}
+	for _, r := range rows {
+		b.AddRow(r[:], nil)
+	}
+	return b.Build()
+}
+
+func TestDetectFDs(t *testing.T) {
+	rel := dateRelation()
+	fds := DetectFDs(rel)
+	want := map[FD]bool{{Det: 0, Dep: 1}: true}
+	got := map[FD]bool{}
+	for _, fd := range fds {
+		got[fd] = true
+	}
+	if !got[FD{Det: 0, Dep: 1}] {
+		t.Errorf("day→month not detected; got %v", fds)
+	}
+	if got[FD{Det: 1, Dep: 0}] {
+		t.Error("month→day should not hold")
+	}
+	if got[FD{Det: 2, Dep: 0}] || got[FD{Det: 0, Dep: 2}] {
+		t.Error("city/day dependency should not hold")
+	}
+	_ = want
+}
+
+func TestFDSetMeaninglessPair(t *testing.T) {
+	rel := dateRelation()
+	s := NewFDSet(DetectFDs(rel))
+	if !s.MeaninglessPair(0, 1) {
+		t.Error("grouping by day while selecting months should be meaningless")
+	}
+	if !s.MeaninglessPair(1, 0) {
+		t.Error("grouping by month while selecting days should be meaningless")
+	}
+	if s.MeaninglessPair(2, 1) {
+		t.Error("city/month pair should be fine")
+	}
+}
+
+func TestFDOnConstantColumn(t *testing.T) {
+	b := table.NewBuilder("r", []string{"const", "x"}, nil)
+	b.AddRow([]string{"k", "a"}, nil)
+	b.AddRow([]string{"k", "b"}, nil)
+	rel := b.Build()
+	s := NewFDSet(DetectFDs(rel))
+	// x → const holds trivially (const has one value), so the pair is
+	// meaningless in both grouping directions.
+	if !s.MeaninglessPair(0, 1) || !s.MeaninglessPair(1, 0) {
+		t.Error("constant column should induce an FD with every attribute")
+	}
+}
+
+func TestFDErrorAndApprox(t *testing.T) {
+	b := table.NewBuilder("dirty", []string{"commune", "dept"}, nil)
+	// 96 clean rows: commune determines dept…
+	for i := 0; i < 96; i++ {
+		b.AddRow([]string{string(rune('A' + i%8)), string(rune('a' + i%8/2))}, nil)
+	}
+	// …plus 4 dirty rows breaking the dependency.
+	for i := 0; i < 4; i++ {
+		b.AddRow([]string{"A", string(rune('z' - i))}, nil)
+	}
+	rel := b.Build()
+	errG3 := FDError(rel, 0, 1)
+	if errG3 <= 0 || errG3 > 0.05 {
+		t.Fatalf("g3 error = %v, want (0, 0.05] for 4 dirty of 100", errG3)
+	}
+	exact := NewFDSet(DetectFDsApprox(rel, 0))
+	if exact.MeaninglessPair(0, 1) {
+		t.Error("exact detection should reject the dirty FD")
+	}
+	approx := NewFDSet(DetectFDsApprox(rel, 0.05))
+	if !approx.MeaninglessPair(0, 1) {
+		t.Error("approximate detection should accept the dirty FD")
+	}
+}
+
+func TestFDErrorExactIsZero(t *testing.T) {
+	rel := dateRelation()
+	if got := FDError(rel, 0, 1); got != 0 {
+		t.Errorf("exact FD g3 error = %v, want 0", got)
+	}
+	if got := FDError(rel, 1, 0); got <= 0 {
+		t.Errorf("non-FD g3 error = %v, want > 0", got)
+	}
+}

@@ -1,0 +1,69 @@
+package engine
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPivotMatchesDirect: the §3.1 alternative (single group-by + pivot)
+// must produce exactly the join-form result.
+func TestPivotMatchesDirect(t *testing.T) {
+	rel := randomRelation(3, []int{5, 4, 6}, 2, 900, 31)
+	for attrA := 0; attrA < 3; attrA++ {
+		for attrB := 0; attrB < 3; attrB++ {
+			if attrA == attrB {
+				continue
+			}
+			dom := rel.SortedDomain(attrB)
+			for _, agg := range AllAggs {
+				a := ComparePivot(rel, attrA, attrB, dom[0], dom[1], 1, agg)
+				b := CompareDirect(rel, attrA, attrB, dom[0], dom[1], 1, agg)
+				if a.Len() != b.Len() {
+					t.Fatalf("A=%d B=%d %s: pivot %d rows, direct %d", attrA, attrB, agg, a.Len(), b.Len())
+				}
+				for i := range a.Groups {
+					if a.Groups[i] != b.Groups[i] ||
+						math.Abs(a.Left[i]-b.Left[i]) > 1e-9*(1+math.Abs(b.Left[i])) ||
+						math.Abs(a.Right[i]-b.Right[i]) > 1e-9*(1+math.Abs(b.Right[i])) {
+						t.Errorf("A=%d B=%d %s row %d: pivot (%v,%v) direct (%v,%v)",
+							attrA, attrB, agg, i, a.Left[i], a.Right[i], b.Left[i], b.Right[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPivotSelfComparison(t *testing.T) {
+	rel := covidRelation()
+	dom := rel.SortedDomain(1)
+	res := ComparePivot(rel, 0, 1, dom[0], dom[0], 0, Sum)
+	if res.Len() != 5 {
+		t.Fatalf("self comparison rows = %d, want 5", res.Len())
+	}
+	for i := range res.Left {
+		if res.Left[i] != res.Right[i] {
+			t.Errorf("row %d differs in self comparison", i)
+		}
+	}
+}
+
+// BenchmarkCompareJoinForm / PivotForm reproduce the §3.1 cost comparison:
+// the two plans should be in the same ballpark.
+func BenchmarkCompareJoinForm(b *testing.B) {
+	rel := randomRelation(4, []int{8, 10, 6, 12}, 2, 50000, 7)
+	dom := rel.SortedDomain(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CompareDirect(rel, 0, 1, dom[0], dom[1], 0, Sum)
+	}
+}
+
+func BenchmarkComparePivotForm(b *testing.B) {
+	rel := randomRelation(4, []int{8, 10, 6, 12}, 2, 50000, 7)
+	dom := rel.SortedDomain(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComparePivot(rel, 0, 1, dom[0], dom[1], 0, Sum)
+	}
+}

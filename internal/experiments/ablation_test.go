@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSolverQuality(t *testing.T) {
+	rows := SolverQuality(40, 4, 6, []float64{0.5, 1.0}, 5*time.Second, 9)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Solved == 0 {
+			t.Skipf("no instances certified at ε_d=%v within test timeout", r.EpsD)
+		}
+		if r.DevGreedy2Pct > r.DevGreedyPct+1e-9 {
+			t.Errorf("ε_d=%v: GreedyPlus deviation %v worse than Greedy %v",
+				r.EpsD, r.DevGreedy2Pct, r.DevGreedyPct)
+		}
+		if r.DevGreedyPct < 0 {
+			t.Errorf("negative Greedy deviation: %+v", r)
+		}
+		// TopK may show a negative deviation: it ignores ε_d, so it can
+		// "beat" the optimum only by being infeasible.
+		if r.DevTopKPct < 0 && r.InfeasibleTopK == 0 {
+			t.Errorf("TopK beat the optimum while feasible: %+v", r)
+		}
+	}
+}
+
+func TestDistanceAndCredibilityAblations(t *testing.T) {
+	ds := testRelation(t)
+	cfg := baseConfig()
+	dist, err := DistanceAblation(ds.Rel, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dist) != 2 {
+		t.Fatalf("distance rows = %d", len(dist))
+	}
+	for _, r := range dist {
+		if r.Queries == 0 {
+			t.Errorf("%s produced an empty notebook", r.Weights)
+		}
+	}
+	cred, err := CredibilityReadings(ds.Rel, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cred.CanonicalInsights == 0 || cred.ExistsInsights == 0 {
+		t.Fatal("ablation found no insights")
+	}
+	// The ∃agg reading can only increase per-insight credibility, so its
+	// saturation rate must be at least the canonical one.
+	canRate := float64(cred.CanonicalSaturated) / float64(cred.CanonicalInsights)
+	extRate := float64(cred.ExistsSaturated) / float64(cred.ExistsInsights)
+	if extRate < canRate-1e-9 {
+		t.Errorf("∃agg saturation %.3f below canonical %.3f", extRate, canRate)
+	}
+
+	out := AblationResult{
+		Solvers:     SolverQuality(30, 2, 5, []float64{0.8}, 2*time.Second, 3),
+		Distance:    dist,
+		Credibility: cred,
+	}.String()
+	for _, want := range []string{"Ablation 1", "Ablation 2", "Ablation 3", "2-opt", "∃agg"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

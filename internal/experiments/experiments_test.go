@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"comparenb/internal/datagen"
+	"comparenb/internal/pipeline"
+)
+
+func smallArtificial() ArtificialConfig {
+	return ArtificialConfig{
+		Sizes:     []int{30, 60},
+		Instances: 4,
+		EpsT:      6,
+		EpsD:      1.0,
+		Timeout:   5 * time.Second,
+		Seed:      3,
+	}
+}
+
+func TestArtificialTables(t *testing.T) {
+	res := Artificial(smallArtificial())
+	if len(res.Table4) != 2 || len(res.Table5) != 2 || len(res.Table6) != 2 {
+		t.Fatalf("row counts: %d %d %d", len(res.Table4), len(res.Table5), len(res.Table6))
+	}
+	for i, row := range res.Table4 {
+		if row.PctTimeouts < 0 || row.PctTimeouts > 100 {
+			t.Errorf("row %d: %%timeouts = %v", i, row.PctTimeouts)
+		}
+		if row.PctTimeouts < 100 && row.Avg <= 0 {
+			t.Errorf("row %d: avg time = %v", i, row.Avg)
+		}
+		if row.Min > row.Max {
+			t.Errorf("row %d: min %v > max %v", i, row.Min, row.Max)
+		}
+	}
+	for i, row := range res.Table5 {
+		if row.Comparable > 0 && (row.AvgDevPct < 0 || row.AvgDevPct > 100) {
+			t.Errorf("row %d: deviation %v%% out of range", i, row.AvgDevPct)
+		}
+	}
+	for i, row := range res.Table6 {
+		if row.Comparable == 0 {
+			continue
+		}
+		if row.RecallAlgo3 < 0 || row.RecallAlgo3 > 1 || row.RecallTopK < 0 || row.RecallTopK > 1 {
+			t.Errorf("row %d: recalls %v / %v", i, row.RecallAlgo3, row.RecallTopK)
+		}
+	}
+	out := res.String()
+	for _, want := range []string{"Table 4", "Table 5", "Table 6", "%Timeouts", "Recall"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func testRelation(t *testing.T) *datagen.Dataset {
+	t.Helper()
+	ds, err := datagen.Tiny(9, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func baseConfig() pipeline.Config {
+	cfg := pipeline.NewConfig()
+	cfg.Perms = 150
+	cfg.Seed = 2
+	cfg.Threads = 2
+	cfg.EpsT = 5
+	cfg.EpsD = 2
+	return cfg
+}
+
+func TestFig5(t *testing.T) {
+	ds := testRelation(t)
+	res := Fig5(ds.Rel, 50, 1)
+	if len(res.Times) != 50 {
+		t.Fatalf("times = %d, want 50", len(res.Times))
+	}
+	total := 0
+	for _, b := range res.Buckets {
+		total += b.Count
+	}
+	if total != 50 {
+		t.Errorf("histogram holds %d, want 50", total)
+	}
+	if !strings.Contains(res.String(), "median=") {
+		t.Error("render missing stats line")
+	}
+}
+
+func TestSampleSizeSweep(t *testing.T) {
+	ds := testRelation(t)
+	res, err := SampleSizeSweep(ds.Rel, baseConfig(), []float64{0.4, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("strategies = %d, want 2 (unbalanced, random)", len(res))
+	}
+	for _, r := range res {
+		if r.RefInsights == 0 {
+			t.Fatalf("%s: reference found no insights", r.Strategy)
+		}
+		if len(r.Points) != 2 {
+			t.Fatalf("%s: %d points", r.Strategy, len(r.Points))
+		}
+		for _, p := range r.Points {
+			if p.Runtime <= 0 {
+				t.Errorf("%s@%v: runtime %v", r.Strategy, p.Frac, p.Runtime)
+			}
+			if p.PctInsights < 0 {
+				t.Errorf("%s@%v: %%insights %v", r.Strategy, p.Frac, p.PctInsights)
+			}
+		}
+	}
+	out := RenderSampleSweep("Figure 6", res)
+	if !strings.Contains(out, "strategy=unbalanced") || !strings.Contains(out, "%insights") {
+		t.Error("render malformed")
+	}
+}
+
+func TestFig7(t *testing.T) {
+	ds := testRelation(t)
+	cells, err := Fig7(ds.Rel, baseConfig(), []int{3, 5}, 0.5, 0.7, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 10 { // 5 implementations × 2 budgets
+		t.Fatalf("cells = %d, want 10", len(cells))
+	}
+	names := map[string]bool{}
+	for _, c := range cells {
+		names[c.Impl] = true
+		if c.Timings.Total <= 0 {
+			t.Errorf("%s: zero total", c.Impl)
+		}
+	}
+	if len(names) != 5 {
+		t.Errorf("implementations = %v", names)
+	}
+	out := RenderFig7(cells)
+	if !strings.Contains(out, "Naive-exact") || !strings.Contains(out, "breakdown") {
+		t.Error("render malformed")
+	}
+}
+
+func TestFig8(t *testing.T) {
+	ds := testRelation(t)
+	points, err := Fig8(ds.Rel, baseConfig(), []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	out := RenderFig8(points)
+	if !strings.Contains(out, "speedup") {
+		t.Error("render malformed")
+	}
+}
+
+func TestFig10(t *testing.T) {
+	ds := testRelation(t)
+	res, err := Fig10(ds.Rel, baseConfig(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Variants) != 6 {
+		t.Fatalf("variants = %d, want 6 (Table 7)", len(res.Variants))
+	}
+	for _, v := range res.Variants {
+		for _, c := range []string{"informativity"} {
+			_ = c
+		}
+		if v.Features.NumQueries == 0 {
+			t.Errorf("%s produced an empty notebook", v.Name)
+		}
+	}
+	out := res.String()
+	for _, want := range []string{"Figure 10", "WSC-approx-sig", "t-tests", "informativity"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestNullFDR(t *testing.T) {
+	rows, err := NullFDR(3000, 200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byScope := map[string]FDRRow{}
+	for _, r := range rows {
+		byScope[r.Scope] = r
+		if r.Tested == 0 {
+			t.Fatalf("%s: nothing tested", r.Scope)
+		}
+	}
+	// Stricter families can only reduce discoveries on the null.
+	if byScope["global"].Significant > byScope["per-attribute"].Significant ||
+		byScope["per-attribute"].Significant > byScope["per-pair"].Significant {
+		t.Errorf("monotonicity violated: %+v", rows)
+	}
+	// Per-pair on a null dataset must stay in the vicinity of α per
+	// family; a rate far above 2×α would mean broken tests.
+	if pp := byScope["per-pair"]; pp.Rate > 0.10 {
+		t.Errorf("per-pair null FDR = %.3f, implausibly high", pp.Rate)
+	}
+	out := RenderFDR(rows, 0.05)
+	if !strings.Contains(out, "BH scope") || !strings.Contains(out, "per-pair") {
+		t.Error("render malformed")
+	}
+}

@@ -1,0 +1,342 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"comparenb/internal/engine"
+	"comparenb/internal/pipeline"
+	"comparenb/internal/sampling"
+	"comparenb/internal/table"
+)
+
+// Fig5Result is the run-time distribution of comparison queries
+// (Figure 5), supporting §4.2's uniform-cost argument.
+type Fig5Result struct {
+	Times   []time.Duration
+	Buckets []Fig5Bucket
+}
+
+// Fig5Bucket is one histogram bar.
+type Fig5Bucket struct {
+	Lo, Hi time.Duration
+	Count  int
+}
+
+// Fig5 executes a random sample of comparison queries with the literal
+// two-scan join plan and reports the run-time distribution.
+func Fig5(rel *table.Relation, queries int, seed int64) Fig5Result {
+	rng := rand.New(rand.NewSource(seed))
+	n := rel.NumCatAttrs()
+	var times []time.Duration
+	for k := 0; k < queries; k++ {
+		attrA := rng.Intn(n)
+		attrB := rng.Intn(n - 1)
+		if attrB >= attrA {
+			attrB++
+		}
+		dB := rel.DomSize(attrB)
+		if dB < 2 {
+			continue
+		}
+		val := int32(rng.Intn(dB))
+		val2 := int32(rng.Intn(dB - 1))
+		if val2 >= val {
+			val2++
+		}
+		meas := rng.Intn(rel.NumMeasures())
+		agg := engine.AllAggs[rng.Intn(len(engine.AllAggs))]
+		start := time.Now()
+		engine.CompareDirect(rel, attrA, attrB, val, val2, meas, agg)
+		times = append(times, time.Since(start))
+	}
+	res := Fig5Result{Times: times}
+	if len(times) == 0 {
+		return res
+	}
+	sorted := append([]time.Duration(nil), times...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	lo, hi := sorted[0], sorted[len(sorted)-1]
+	const nb = 10
+	width := (hi - lo) / nb
+	if width == 0 {
+		width = 1
+	}
+	res.Buckets = make([]Fig5Bucket, nb)
+	for b := range res.Buckets {
+		res.Buckets[b].Lo = lo + time.Duration(b)*width
+		res.Buckets[b].Hi = lo + time.Duration(b+1)*width
+	}
+	for _, t := range times {
+		b := int((t - lo) / width)
+		if b >= nb {
+			b = nb - 1
+		}
+		res.Buckets[b].Count++
+	}
+	return res
+}
+
+// String renders the histogram plus the spread statistics that matter for
+// the uniform-cost argument.
+func (r Fig5Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 5: Distribution of comparison query run times\n")
+	maxCount := 0
+	for _, b := range r.Buckets {
+		if b.Count > maxCount {
+			maxCount = b.Count
+		}
+	}
+	for _, b := range r.Buckets {
+		bar := ""
+		if maxCount > 0 {
+			bar = strings.Repeat("#", b.Count*50/maxCount)
+		}
+		fmt.Fprintf(&sb, "[%9s, %9s) %5d %s\n", fmtDur(b.Lo), fmtDur(b.Hi), b.Count, bar)
+	}
+	if len(r.Times) > 0 {
+		sorted := append([]time.Duration(nil), r.Times...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		med := sorted[len(sorted)/2]
+		p90 := sorted[len(sorted)*9/10]
+		fmt.Fprintf(&sb, "n=%d median=%s p90=%s max=%s (tight spread ⇒ uniform cost model, §4.2)\n",
+			len(r.Times), fmtDur(med), fmtDur(p90), fmtDur(sorted[len(sorted)-1]))
+	}
+	return sb.String()
+}
+
+// SampleSizePoint is one point of Figures 6 and 9: runtime and fraction of
+// insights detected at a sampling rate, with the phase breakdown Figure 9
+// discusses.
+type SampleSizePoint struct {
+	Frac        float64
+	Runtime     time.Duration
+	StatTests   time.Duration
+	HypoEval    time.Duration
+	TAP         time.Duration
+	Significant int
+	PctInsights float64 // vs the no-sampling reference; can exceed 100 (spurious)
+}
+
+// SampleSizeResult is one strategy's curve.
+type SampleSizeResult struct {
+	Strategy    string
+	RefInsights int // significant insights with no sampling
+	RefRuntime  time.Duration
+	Points      []SampleSizePoint
+}
+
+// SampleSizeSweep runs a generator config across sampling fractions for
+// both strategies (Figure 6 on ENEDIS, Figure 9 on Flights). The reference
+// run (no sampling) is executed once and shared.
+func SampleSizeSweep(rel *table.Relation, base pipeline.Config, fracs []float64) ([]SampleSizeResult, error) {
+	ref := base
+	ref.Sampling = sampling.None
+	ref.SampleFrac = 1
+	refRes, err := pipeline.Generate(rel, ref)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SampleSizeResult, 0, 2)
+	for _, strat := range []sampling.Strategy{sampling.Unbalanced, sampling.Random} {
+		r := SampleSizeResult{
+			Strategy:    strat.String(),
+			RefInsights: refRes.Counts.SignificantInsights,
+			RefRuntime:  refRes.Timings.Total,
+		}
+		for _, f := range fracs {
+			cfg := base
+			cfg.Sampling = strat
+			cfg.SampleFrac = f
+			res, err := pipeline.Generate(rel, cfg)
+			if err != nil {
+				return nil, err
+			}
+			pct := 0.0
+			if refRes.Counts.SignificantInsights > 0 {
+				pct = 100 * float64(res.Counts.SignificantInsights) / float64(refRes.Counts.SignificantInsights)
+			}
+			r.Points = append(r.Points, SampleSizePoint{
+				Frac:        f,
+				Runtime:     res.Timings.Total,
+				StatTests:   res.Timings.StatTests,
+				HypoEval:    res.Timings.HypoEval,
+				TAP:         res.Timings.TAP,
+				Significant: res.Counts.SignificantInsights,
+				PctInsights: pct,
+			})
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// RenderSampleSweep prints the curves in the layout of Figures 6/9.
+func RenderSampleSweep(title string, results []SampleSizeResult) string {
+	var sb strings.Builder
+	sb.WriteString(title + "\n")
+	for _, r := range results {
+		fmt.Fprintf(&sb, "strategy=%s (reference: %d insights, %s with no sampling)\n",
+			r.Strategy, r.RefInsights, fmtDur(r.RefRuntime))
+		fmt.Fprintf(&sb, "%8s %12s %12s %12s %12s %10s %12s\n",
+			"sample%", "runtime", "stat tests", "hypo eval", "TAP", "#insights", "%insights")
+		for _, p := range r.Points {
+			fmt.Fprintf(&sb, "%8.0f %12s %12s %12s %12s %10d %11.1f%%\n",
+				p.Frac*100, fmtDur(p.Runtime), fmtDur(p.StatTests), fmtDur(p.HypoEval),
+				fmtDur(p.TAP), p.Significant, p.PctInsights)
+		}
+	}
+	return sb.String()
+}
+
+// Fig7Cell is one implementation × budget measurement of Figure 7.
+type Fig7Cell struct {
+	Impl        string
+	EpsT        int
+	Timings     pipeline.Timings
+	Queries     int
+	TAPTimedOut bool
+}
+
+// Fig7 runs the five Table-3 implementations across notebook budgets ε_t.
+// exactTimeout bounds Naive-exact's TAP phase: like in the paper, when it
+// times out the TAP time is reported separately (the run is not counted in
+// the runtime-by-budget comparison).
+func Fig7(rel *table.Relation, base pipeline.Config, budgets []int, unbFrac, randFrac float64, exactTimeout time.Duration) ([]Fig7Cell, error) {
+	var cells []Fig7Cell
+	for _, epsT := range budgets {
+		impls := []pipeline.Config{
+			pipeline.NaiveExact(epsT, base.EpsD),
+			pipeline.NaiveApprox(epsT, base.EpsD),
+			pipeline.WSCApprox(epsT, base.EpsD),
+			pipeline.WSCUnbApprox(epsT, base.EpsD, unbFrac),
+			pipeline.WSCRandApprox(epsT, base.EpsD, randFrac),
+		}
+		for _, cfg := range impls {
+			cfg.Perms = base.Perms
+			cfg.Alpha = base.Alpha
+			cfg.Threads = base.Threads
+			cfg.Seed = base.Seed
+			cfg.MaxPairsPerAttr = base.MaxPairsPerAttr
+			cfg.ExactTimeout = exactTimeout
+			res, err := pipeline.Generate(rel, cfg)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, Fig7Cell{
+				Impl:        cfg.Name,
+				EpsT:        epsT,
+				Timings:     res.Timings,
+				Queries:     res.Counts.QueriesGenerated,
+				TAPTimedOut: res.ExactStats != nil && res.ExactStats.TimedOut,
+			})
+		}
+	}
+	return cells, nil
+}
+
+// RenderFig7 prints runtime by budget and the average phase breakdown.
+func RenderFig7(cells []Fig7Cell) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 7 (top): Runtime by budget ε_t\n")
+	fmt.Fprintf(&sb, "%-18s %8s %12s %12s %12s %12s %8s\n",
+		"implementation", "ε_t", "total", "stat tests", "hypo eval", "TAP", "|Q|")
+	for _, c := range cells {
+		total := c.Timings.Total
+		note := ""
+		if c.TAPTimedOut {
+			// Like the paper, the timed-out exact TAP is not counted in
+			// the generation runtime.
+			total -= c.Timings.TAP
+			note = " (TAP timeout, excluded)"
+		}
+		fmt.Fprintf(&sb, "%-18s %8d %12s %12s %12s %12s %8d%s\n",
+			c.Impl, c.EpsT, fmtDur(total), fmtDur(c.Timings.StatTests),
+			fmtDur(c.Timings.HypoEval), fmtDur(c.Timings.TAP), c.Queries, note)
+	}
+	sb.WriteString("\nFigure 7 (bottom): average breakdown per implementation\n")
+	type agg struct {
+		stat, hypo, tapd, fd time.Duration
+		n                    int
+	}
+	byImpl := map[string]*agg{}
+	var order []string
+	for _, c := range cells {
+		a := byImpl[c.Impl]
+		if a == nil {
+			a = &agg{}
+			byImpl[c.Impl] = a
+			order = append(order, c.Impl)
+		}
+		a.stat += c.Timings.StatTests
+		a.hypo += c.Timings.HypoEval
+		if !c.TAPTimedOut {
+			a.tapd += c.Timings.TAP
+		}
+		a.fd += c.Timings.FD
+		a.n++
+	}
+	fmt.Fprintf(&sb, "%-18s %12s %12s %12s %12s\n", "implementation", "FD prep", "stat tests", "hypo eval", "TAP")
+	for _, name := range order {
+		a := byImpl[name]
+		d := time.Duration(a.n)
+		fmt.Fprintf(&sb, "%-18s %12s %12s %12s %12s\n",
+			name, fmtDur(a.fd/d), fmtDur(a.stat/d), fmtDur(a.hypo/d), fmtDur(a.tapd/d))
+	}
+	return sb.String()
+}
+
+// Fig8Point is one thread-count measurement of Figure 8.
+type Fig8Point struct {
+	Threads   int
+	StatTests time.Duration
+	HypoEval  time.Duration
+}
+
+// Fig8 measures the two parallel phases of the generation of Q
+// (permutation testing, in-memory aggregate checking) across thread
+// counts, on the WSC-approx implementation.
+func Fig8(rel *table.Relation, base pipeline.Config, threads []int) ([]Fig8Point, error) {
+	var out []Fig8Point
+	for _, th := range threads {
+		cfg := pipeline.WSCApprox(base.EpsT, base.EpsD)
+		cfg.Perms = base.Perms
+		cfg.Alpha = base.Alpha
+		cfg.Seed = base.Seed
+		cfg.MaxPairsPerAttr = base.MaxPairsPerAttr
+		cfg.Threads = th
+		res, err := pipeline.Generate(rel, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig8Point{Threads: th, StatTests: res.Timings.StatTests, HypoEval: res.Timings.HypoEval})
+	}
+	return out, nil
+}
+
+// RenderFig8 prints the scaling curve with speedups vs single-threaded.
+func RenderFig8(points []Fig8Point) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 8: Impact of multi-threading on the generation of Q (WSC-approx)\n")
+	fmt.Fprintf(&sb, "%8s %14s %10s %14s %10s\n", "threads", "stat tests", "speedup", "hypo eval", "speedup")
+	var s1, h1 time.Duration
+	for i, p := range points {
+		if i == 0 {
+			s1, h1 = p.StatTests, p.HypoEval
+		}
+		su, hu := 0.0, 0.0
+		if p.StatTests > 0 {
+			su = float64(s1) / float64(p.StatTests)
+		}
+		if p.HypoEval > 0 {
+			hu = float64(h1) / float64(p.HypoEval)
+		}
+		fmt.Fprintf(&sb, "%8d %14s %9.2fx %14s %9.2fx\n",
+			p.Threads, fmtDur(p.StatTests), su, fmtDur(p.HypoEval), hu)
+	}
+	return sb.String()
+}

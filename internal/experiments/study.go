@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"comparenb/internal/pipeline"
+	"comparenb/internal/table"
+	"comparenb/internal/userstudy"
+)
+
+// Fig10Variant is one notebook generator of Table 7 with its ratings.
+type Fig10Variant struct {
+	Name     string
+	Features userstudy.Features
+	Scores   userstudy.VariantScores
+}
+
+// Fig10Result is the simulated human evaluation of §6.5.
+type Fig10Result struct {
+	Variants []Fig10Variant
+	Raters   int
+}
+
+// Fig10 generates one notebook per Table-7 variant and has a simulated
+// 9-rater panel score it on the four criteria of [11]. The paper's exact
+// generator line-up: Naive-exact, WSC-approx, WSC-approx-sig,
+// WSC-approx-sig-cred, WSC-unb-approx (10%), WSC-rand-approx (10%).
+func Fig10(rel *table.Relation, base pipeline.Config, exactTimeout time.Duration) (*Fig10Result, error) {
+	variants := []pipeline.Config{
+		pipeline.NaiveExact(base.EpsT, base.EpsD),
+		pipeline.WSCApprox(base.EpsT, base.EpsD),
+		pipeline.WSCApproxSig(base.EpsT, base.EpsD),
+		pipeline.WSCApproxSigCred(base.EpsT, base.EpsD),
+		pipeline.WSCUnbApprox(base.EpsT, base.EpsD, 0.10),
+		pipeline.WSCRandApprox(base.EpsT, base.EpsD, 0.10),
+	}
+	panel := userstudy.NewPanel(9, base.Seed+1000)
+	out := &Fig10Result{Raters: panel.NumRaters()}
+	for _, cfg := range variants {
+		cfg.Perms = base.Perms
+		cfg.Alpha = base.Alpha
+		cfg.Threads = base.Threads
+		cfg.Seed = base.Seed
+		cfg.MaxPairsPerAttr = base.MaxPairsPerAttr
+		cfg.ExactTimeout = exactTimeout
+		res, err := pipeline.Generate(rel, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("variant %s: %w", cfg.Name, err)
+		}
+		f := userstudy.ExtractFeatures(res)
+		out.Variants = append(out.Variants, Fig10Variant{
+			Name:     cfg.Name,
+			Features: f,
+			Scores:   userstudy.VariantScores{Name: cfg.Name, Scores: panel.Rate(f)},
+		})
+	}
+	return out, nil
+}
+
+// String renders mean scores per criterion (Figure 10) and the pairwise
+// t-tests the paper discusses.
+func (r *Fig10Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 10: Simulated human evaluation (%d raters, scale 1–7)\n", r.Raters)
+	fmt.Fprintf(&sb, "%-20s", "variant")
+	for _, c := range userstudy.AllCriteria {
+		fmt.Fprintf(&sb, " %17s", c)
+	}
+	sb.WriteString("\n")
+	for _, v := range r.Variants {
+		fmt.Fprintf(&sb, "%-20s", v.Name)
+		for _, c := range userstudy.AllCriteria {
+			fmt.Fprintf(&sb, " %17.2f", v.Scores.Mean(c))
+		}
+		sb.WriteString("\n")
+	}
+	sb.WriteString("\nNotebook features driving the rater model:\n")
+	fmt.Fprintf(&sb, "%-20s %8s %8s %10s %12s %9s %5s\n",
+		"variant", "sig", "cred", "diversity", "conciseness", "coverage", "|nb|")
+	for _, v := range r.Variants {
+		f := v.Features
+		fmt.Fprintf(&sb, "%-20s %8.3f %8.3f %10.3f %12.3f %9.3f %5d\n",
+			v.Name, f.MeanSig, f.MeanCredRatio, f.Diversity, f.MeanConciseness, f.Coverage, f.NumQueries)
+	}
+	var scored []userstudy.VariantScores
+	for _, v := range r.Variants {
+		scored = append(scored, v.Scores)
+	}
+	alphas := userstudy.AlphaByCriterion(scored)
+	sb.WriteString("\nInter-rater reliability (Cronbach's α across variants):\n")
+	for _, c := range userstudy.AllCriteria {
+		fmt.Fprintf(&sb, "  %-20s %6.3f\n", c.String(), alphas[c])
+	}
+	sb.WriteString("\nPairwise Welch t-tests (p-values), informativity:\n")
+	sb.WriteString(r.pairwise(userstudy.Informativity))
+	sb.WriteString("\nPairwise Welch t-tests (p-values), comprehensibility:\n")
+	sb.WriteString(r.pairwise(userstudy.Comprehensibility))
+	return sb.String()
+}
+
+func (r *Fig10Result) pairwise(c userstudy.Criterion) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-20s", "")
+	for _, v := range r.Variants {
+		fmt.Fprintf(&sb, " %9s", shorten(v.Name))
+	}
+	sb.WriteString("\n")
+	for _, a := range r.Variants {
+		fmt.Fprintf(&sb, "%-20s", a.Name)
+		for _, b := range r.Variants {
+			if a.Name == b.Name {
+				fmt.Fprintf(&sb, " %9s", "-")
+				continue
+			}
+			res := userstudy.Compare(a.Scores, b.Scores, c)
+			fmt.Fprintf(&sb, " %9.3f", res.P)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func shorten(name string) string {
+	name = strings.TrimPrefix(name, "WSC-")
+	name = strings.TrimPrefix(name, "Naive-")
+	if len(name) > 9 {
+		name = name[:9]
+	}
+	return name
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"comparenb/internal/datagen"
+	"comparenb/internal/engine"
+	"comparenb/internal/insight"
+)
+
+func TestTable2Row(t *testing.T) {
+	ds, err := datagen.Tiny(1, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := Table2(ds.Rel)
+	if row.Name != "tiny" || row.Tuples != 500 || row.CatAttrs != 4 || row.Measures != 1 {
+		t.Errorf("row = %+v", row)
+	}
+	if row.AdomMin < 1 || row.AdomMax > 6 || row.AdomMin > row.AdomMax {
+		t.Errorf("adom range = %d-%d", row.AdomMin, row.AdomMax)
+	}
+	if row.CompQueries != insight.CountComparisonQueries(ds.Rel, len(engine.AllAggs)) {
+		t.Error("comparison-query count mismatch with Lemma 3.2")
+	}
+	if row.Insights != insight.CountInsights(ds.Rel, 2) {
+		t.Error("insight count mismatch with Lemma 3.5")
+	}
+}
+
+func TestRenderTable2(t *testing.T) {
+	ds, err := datagen.Tiny(1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderTable2([]Table2Row{Table2(ds.Rel)})
+	for _, want := range []string{"Table 2", "tiny", "#Comp.queries", "Lemma 3.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

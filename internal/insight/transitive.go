@@ -1,0 +1,109 @@
+package insight
+
+import "sort"
+
+// PruneTransitive removes insights that can be deduced by transitivity
+// (§3.3): within one family (same measure, attribute and type), if
+// val1 > val2 and val2 > val3 are present, then val1 > val3 is deducible
+// and pruned. This is a transitive reduction of each family's dominance
+// graph; significant-but-deducible insights add no information to the
+// notebook.
+//
+// The input order is preserved for the survivors.
+func PruneTransitive(ins []Insight) []Insight {
+	type famKey struct {
+		Meas int
+		Attr int
+		Type Type
+	}
+	fams := make(map[famKey][]int) // indexes into ins
+	for idx, i := range ins {
+		k := famKey{i.Meas, i.Attr, i.Type}
+		fams[k] = append(fams[k], idx)
+	}
+	drop := make([]bool, len(ins))
+	for _, idxs := range fams {
+		pruneFamily(ins, idxs, drop)
+	}
+	out := ins[:0]
+	for idx, i := range ins {
+		if !drop[idx] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// pruneFamily marks deducible edges of one family. Edges val→val' mean
+// "val greater than val'". An edge (x,z) is deducible when a directed path
+// x→…→z of length ≥ 2 exists using the currently kept edges. Edges are
+// examined one at a time against the current graph (in a deterministic
+// order), so reachability is preserved even if ties in the underlying
+// statistics created a cycle — every pruned insight stays deducible from
+// the survivors.
+func pruneFamily(ins []Insight, idxs []int, drop []bool) {
+	order := append([]int(nil), idxs...)
+	sort.Slice(order, func(a, b int) bool {
+		x, y := ins[order[a]], ins[order[b]]
+		if x.Val != y.Val {
+			return x.Val < y.Val
+		}
+		return x.Val2 < y.Val2
+	})
+	succ := make(map[int32][]int32)
+	for _, idx := range order {
+		i := ins[idx]
+		succ[i.Val] = append(succ[i.Val], i.Val2)
+	}
+	removeEdge := func(from, to int32) {
+		vs := succ[from]
+		for k, v := range vs {
+			if v == to {
+				succ[from] = append(vs[:k:k], vs[k+1:]...)
+				return
+			}
+		}
+	}
+	for _, idx := range order {
+		e := [2]int32{ins[idx].Val, ins[idx].Val2}
+		if reachableWithout(succ, e[0], e[1], e, len(idxs)) {
+			drop[idx] = true
+			removeEdge(e[0], e[1])
+		}
+	}
+}
+
+// reachableWithout reports whether dst is reachable from src using at
+// least two edges and not using the excluded edge itself.
+func reachableWithout(succ map[int32][]int32, src, dst int32, excl [2]int32, maxDepth int) bool {
+	type state struct {
+		node  int32
+		depth int
+	}
+	seen := map[int32]bool{}
+	stack := []state{}
+	for _, nxt := range succ[src] {
+		if src == excl[0] && nxt == excl[1] {
+			continue
+		}
+		stack = append(stack, state{nxt, 1})
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if s.node == dst && s.depth >= 2 {
+			return true
+		}
+		if s.depth >= maxDepth || seen[s.node] {
+			continue
+		}
+		seen[s.node] = true
+		for _, nxt := range succ[s.node] {
+			if s.node == excl[0] && nxt == excl[1] {
+				continue
+			}
+			stack = append(stack, state{nxt, s.depth + 1})
+		}
+	}
+	return false
+}

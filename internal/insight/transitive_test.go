@@ -1,0 +1,142 @@
+package insight
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mkMean(val, val2 int32) Insight {
+	return Insight{Meas: 0, Attr: 0, Val: val, Val2: val2, Type: MeanGreater}
+}
+
+func keys(ins []Insight) map[Key]bool {
+	out := map[Key]bool{}
+	for _, i := range ins {
+		out[i.Key()] = true
+	}
+	return out
+}
+
+func TestPruneTransitiveChain(t *testing.T) {
+	// a>b, b>c, a>c: the last is deducible.
+	in := []Insight{mkMean(0, 1), mkMean(1, 2), mkMean(0, 2)}
+	out := PruneTransitive(in)
+	k := keys(out)
+	if len(out) != 2 {
+		t.Fatalf("kept %d insights, want 2: %v", len(out), out)
+	}
+	if k[mkMean(0, 2).Key()] {
+		t.Error("a>c should have been pruned")
+	}
+	if !k[mkMean(0, 1).Key()] || !k[mkMean(1, 2).Key()] {
+		t.Error("direct edges must survive")
+	}
+}
+
+func TestPruneTransitiveLongChain(t *testing.T) {
+	// Total order over 4 values: 6 edges, only the 3 adjacent ones survive.
+	var in []Insight
+	for a := int32(0); a < 4; a++ {
+		for b := a + 1; b < 4; b++ {
+			in = append(in, mkMean(a, b))
+		}
+	}
+	out := PruneTransitive(in)
+	if len(out) != 3 {
+		t.Fatalf("kept %d, want 3 adjacent edges", len(out))
+	}
+	k := keys(out)
+	for a := int32(0); a < 3; a++ {
+		if !k[mkMean(a, a+1).Key()] {
+			t.Errorf("adjacent edge %d>%d missing", a, a+1)
+		}
+	}
+}
+
+func TestPruneTransitiveKeepsIndependentFamilies(t *testing.T) {
+	in := []Insight{
+		mkMean(0, 1), mkMean(1, 2), mkMean(0, 2),
+		{Meas: 1, Attr: 0, Val: 0, Val2: 2, Type: MeanGreater},     // other measure
+		{Meas: 0, Attr: 1, Val: 0, Val2: 2, Type: MeanGreater},     // other attribute
+		{Meas: 0, Attr: 0, Val: 0, Val2: 2, Type: VarianceGreater}, // other type
+	}
+	out := PruneTransitive(in)
+	if len(out) != 5 {
+		t.Fatalf("kept %d, want 5 (only the deducible mean edge pruned): %v", len(out), out)
+	}
+}
+
+func TestPruneTransitiveNoChain(t *testing.T) {
+	in := []Insight{mkMean(0, 1), mkMean(2, 3)}
+	out := PruneTransitive(in)
+	if len(out) != 2 {
+		t.Errorf("disconnected edges must all survive, kept %d", len(out))
+	}
+}
+
+func TestPruneTransitiveEmpty(t *testing.T) {
+	if got := PruneTransitive(nil); len(got) != 0 {
+		t.Errorf("PruneTransitive(nil) = %v", got)
+	}
+}
+
+// Property: pruning is idempotent and never grows the set.
+func TestQuickPruneIdempotent(t *testing.T) {
+	f := func(edges [][2]uint8) bool {
+		seen := map[[2]int32]bool{}
+		var in []Insight
+		for _, e := range edges {
+			a, b := int32(e[0]%6), int32(e[1]%6)
+			if a == b || seen[[2]int32{a, b}] {
+				continue
+			}
+			seen[[2]int32{a, b}] = true
+			in = append(in, mkMean(a, b))
+		}
+		once := PruneTransitive(append([]Insight(nil), in...))
+		if len(once) > len(in) {
+			return false
+		}
+		twice := PruneTransitive(append([]Insight(nil), once...))
+		return len(twice) == len(once)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every pruned edge is indeed deducible from the kept edges.
+func TestQuickPrunedAreDeducible(t *testing.T) {
+	f := func(edges [][2]uint8) bool {
+		seen := map[[2]int32]bool{}
+		var in []Insight
+		for _, e := range edges {
+			a, b := int32(e[0]%5), int32(e[1]%5)
+			if a == b || seen[[2]int32{a, b}] || seen[[2]int32{b, a}] {
+				continue // keep it a simple orientation, closer to real data
+			}
+			seen[[2]int32{a, b}] = true
+			in = append(in, mkMean(a, b))
+		}
+		out := PruneTransitive(append([]Insight(nil), in...))
+		kept := map[[2]int32]bool{}
+		succ := map[int32][]int32{}
+		for _, i := range out {
+			kept[[2]int32{i.Val, i.Val2}] = true
+			succ[i.Val] = append(succ[i.Val], i.Val2)
+		}
+		for _, i := range in {
+			e := [2]int32{i.Val, i.Val2}
+			if kept[e] {
+				continue
+			}
+			if !reachableWithout(succ, i.Val, i.Val2, [2]int32{-1, -1}, len(in)+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

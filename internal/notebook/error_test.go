@@ -1,0 +1,45 @@
+package notebook
+
+import (
+	"errors"
+	"testing"
+)
+
+// failWriter fails after n successful writes.
+type failWriter struct {
+	n int
+}
+
+var errSink = errors.New("sink failed")
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errSink
+	}
+	w.n--
+	return len(p), nil
+}
+
+func TestWriteMarkdownPropagatesErrors(t *testing.T) {
+	nb := sampleNotebook()
+	for budget := 0; budget < 8; budget++ {
+		err := nb.WriteMarkdown(&failWriter{n: budget})
+		if budget < 8-1 && err == nil {
+			// Depending on cell count some budgets may suffice; only the
+			// zero budget is guaranteed to fail.
+			if budget == 0 {
+				t.Error("write to immediately failing writer succeeded")
+			}
+		}
+	}
+	if err := nb.WriteMarkdown(&failWriter{n: 0}); !errors.Is(err, errSink) {
+		t.Errorf("error not propagated: %v", err)
+	}
+}
+
+func TestWriteIPYNBPropagatesErrors(t *testing.T) {
+	nb := sampleNotebook()
+	if err := nb.WriteIPYNB(&failWriter{n: 0}); err == nil {
+		t.Error("ipynb write to failing writer succeeded")
+	}
+}

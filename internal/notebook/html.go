@@ -1,0 +1,166 @@
+package notebook
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"strings"
+)
+
+// WriteHTML serialises the notebook as a self-contained HTML document:
+// Markdown cells are rendered with a small subset of Markdown (headings,
+// bullet lists, bold, inline code, tables) and code cells become
+// highlighted <pre> blocks. The output opens in any browser, which makes
+// it the easiest artifact to hand to the "data enthusiast" of the paper's
+// introduction.
+func (nb *Notebook) WriteHTML(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString("<!DOCTYPE html>\n<html>\n<head>\n<meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&sb, "<title>%s</title>\n", html.EscapeString(nb.Title))
+	sb.WriteString(`<style>
+body { font-family: Georgia, serif; max-width: 56rem; margin: 2rem auto; padding: 0 1rem; color: #222; }
+pre { background: #f4f4f4; border-left: 3px solid #888; padding: 0.8rem; overflow-x: auto; font-size: 0.9rem; }
+code { background: #f4f4f4; padding: 0 0.2rem; }
+table { border-collapse: collapse; margin: 0.8rem 0; }
+td, th { border: 1px solid #bbb; padding: 0.25rem 0.6rem; text-align: left; }
+h1 { border-bottom: 2px solid #222; padding-bottom: 0.3rem; }
+h2 { margin-top: 2rem; }
+em { color: #666; }
+</style>
+</head>
+<body>
+`)
+	for _, c := range nb.Cells {
+		if c.Type == Code {
+			fmt.Fprintf(&sb, "<pre><code>%s</code></pre>\n", html.EscapeString(strings.TrimRight(c.Source, "\n")))
+			continue
+		}
+		sb.WriteString(renderMarkdownHTML(c.Source))
+	}
+	sb.WriteString("</body>\n</html>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// renderMarkdownHTML converts the subset of Markdown the notebook builder
+// emits (headings, bullets, tables, bold, inline code) to HTML.
+func renderMarkdownHTML(src string) string {
+	var sb strings.Builder
+	lines := strings.Split(src, "\n")
+	inList, inTable := false, false
+	closeList := func() {
+		if inList {
+			sb.WriteString("</ul>\n")
+			inList = false
+		}
+	}
+	closeTable := func() {
+		if inTable {
+			sb.WriteString("</table>\n")
+			inTable = false
+		}
+	}
+	for _, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(trimmed, "## "):
+			closeList()
+			closeTable()
+			fmt.Fprintf(&sb, "<h2>%s</h2>\n", inlineHTML(trimmed[3:]))
+		case strings.HasPrefix(trimmed, "# "):
+			closeList()
+			closeTable()
+			fmt.Fprintf(&sb, "<h1>%s</h1>\n", inlineHTML(trimmed[2:]))
+		case strings.HasPrefix(trimmed, "- "):
+			closeTable()
+			if !inList {
+				sb.WriteString("<ul>\n")
+				inList = true
+			}
+			fmt.Fprintf(&sb, "<li>%s</li>\n", inlineHTML(trimmed[2:]))
+		case strings.HasPrefix(trimmed, "|"):
+			closeList()
+			cells := splitTableRow(trimmed)
+			if isSeparatorRow(cells) {
+				continue
+			}
+			if !inTable {
+				sb.WriteString("<table>\n")
+				inTable = true
+			}
+			sb.WriteString("<tr>")
+			for _, cell := range cells {
+				fmt.Fprintf(&sb, "<td>%s</td>", inlineHTML(cell))
+			}
+			sb.WriteString("</tr>\n")
+		case trimmed == "":
+			closeList()
+			closeTable()
+		default:
+			closeList()
+			closeTable()
+			fmt.Fprintf(&sb, "<p>%s</p>\n", inlineHTML(trimmed))
+		}
+	}
+	closeList()
+	closeTable()
+	return sb.String()
+}
+
+func splitTableRow(line string) []string {
+	line = strings.Trim(line, "|")
+	parts := strings.Split(line, "|")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func isSeparatorRow(cells []string) bool {
+	for _, c := range cells {
+		if strings.Trim(c, "-: ") != "" {
+			return false
+		}
+	}
+	return len(cells) > 0
+}
+
+// inlineHTML escapes a text fragment and applies **bold**, _italic_ and
+// `code` spans.
+func inlineHTML(s string) string {
+	esc := html.EscapeString(s)
+	esc = replacePairs(esc, "**", "<strong>", "</strong>")
+	esc = replacePairs(esc, "`", "<code>", "</code>")
+	esc = replacePairs(esc, "_", "<em>", "</em>")
+	return esc
+}
+
+// replacePairs substitutes alternating occurrences of delim with open and
+// close tags; an unmatched trailing delimiter is left verbatim.
+func replacePairs(s, delim, open, close string) string {
+	parts := strings.Split(s, delim)
+	if len(parts) == 1 {
+		return s
+	}
+	var sb strings.Builder
+	for i, p := range parts {
+		if i == 0 {
+			sb.WriteString(p)
+			continue
+		}
+		if i%2 == 1 {
+			if i == len(parts)-1 {
+				// Unmatched opener: restore the literal delimiter.
+				sb.WriteString(delim)
+				sb.WriteString(p)
+				continue
+			}
+			sb.WriteString(open)
+			sb.WriteString(p)
+		} else {
+			sb.WriteString(close)
+			sb.WriteString(p)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,72 @@
+package notebook
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteHTMLBasics(t *testing.T) {
+	nb := New("ENEDIS <exploration>")
+	nb.AddMarkdown("## Step 1 — avg(sales)\n\n- **Insight**: `mean greater`\n- another")
+	nb.AddCode("select 1 < 2;")
+	nb.AddMarkdown("| g | a | b |\n|---|---|---|\n| x | 1 | 2 |")
+	var buf bytes.Buffer
+	if err := nb.WriteHTML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<title>ENEDIS &lt;exploration&gt;</title>",
+		"<h1>Comparison", // nothing — title cell says "# ENEDIS <exploration>"
+		"<h2>Step 1 — avg(sales)</h2>",
+		"<li><strong>Insight</strong>: <code>mean greater</code></li>",
+		"<pre><code>select 1 &lt; 2;</code></pre>",
+		"<tr><td>x</td><td>1</td><td>2</td></tr>",
+	} {
+		if want == "<h1>Comparison" {
+			continue
+		}
+		if !strings.Contains(out, want) {
+			t.Errorf("HTML missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "<h1>ENEDIS &lt;exploration&gt;</h1>") {
+		t.Error("title heading missing or unescaped")
+	}
+	if strings.Contains(out, "<script") {
+		t.Error("unexpected script tag")
+	}
+}
+
+func TestWriteHTMLSeparatorRowsSkipped(t *testing.T) {
+	nb := &Notebook{}
+	nb.AddMarkdown("| a | b |\n|---|---|\n| 1 | 2 |")
+	var buf bytes.Buffer
+	if err := nb.WriteHTML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "---") {
+		t.Error("separator row leaked into HTML")
+	}
+	if got := strings.Count(buf.String(), "<tr>"); got != 2 {
+		t.Errorf("table rows = %d, want 2 (header + data)", got)
+	}
+}
+
+func TestInlineHTMLEscapesFirst(t *testing.T) {
+	if got := inlineHTML("a < b & **c**"); !strings.Contains(got, "a &lt; b &amp; <strong>c</strong>") {
+		t.Errorf("inlineHTML = %q", got)
+	}
+	// Unmatched bold marker survives literally.
+	if got := inlineHTML("2 ** 3"); !strings.Contains(got, "2 ** 3") {
+		t.Errorf("unmatched delimiter mangled: %q", got)
+	}
+}
+
+func TestWriteHTMLError(t *testing.T) {
+	nb := sampleNotebook()
+	if err := nb.WriteHTML(&failWriter{n: 0}); err == nil {
+		t.Error("failing writer did not propagate")
+	}
+}

@@ -1,0 +1,160 @@
+// Package notebook models the generated artifact — a comparison notebook,
+// i.e. a finite sequence of comparison queries with commentary — and
+// exports it as a Jupyter notebook (nbformat 4) or Markdown. The paper's
+// user study deployed exactly such SQL notebooks on Jupyter (§6.5).
+package notebook
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// CellType distinguishes notebook cells.
+type CellType int
+
+const (
+	// Markdown cells carry commentary (insight descriptions, titles).
+	Markdown CellType = iota
+	// Code cells carry the SQL of a comparison query.
+	Code
+)
+
+// Cell is one notebook cell.
+type Cell struct {
+	Type   CellType
+	Source string
+}
+
+// Notebook is an ordered sequence of cells.
+type Notebook struct {
+	Title string
+	Cells []Cell
+}
+
+// New creates a notebook whose first cell is a Markdown title.
+func New(title string) *Notebook {
+	nb := &Notebook{Title: title}
+	nb.AddMarkdown("# " + title)
+	return nb
+}
+
+// AddMarkdown appends a Markdown cell.
+func (nb *Notebook) AddMarkdown(src string) { nb.Cells = append(nb.Cells, Cell{Markdown, src}) }
+
+// AddCode appends a code (SQL) cell.
+func (nb *Notebook) AddCode(src string) { nb.Cells = append(nb.Cells, Cell{Code, src}) }
+
+// NumQueries counts the code cells.
+func (nb *Notebook) NumQueries() int {
+	n := 0
+	for _, c := range nb.Cells {
+		if c.Type == Code {
+			n++
+		}
+	}
+	return n
+}
+
+// ipynb document shapes (nbformat 4.5).
+type ipynbDoc struct {
+	Cells         []ipynbCell    `json:"cells"`
+	Metadata      map[string]any `json:"metadata"`
+	NBFormat      int            `json:"nbformat"`
+	NBFormatMinor int            `json:"nbformat_minor"`
+}
+
+type ipynbCell struct {
+	CellType       string         `json:"cell_type"`
+	ExecutionCount *int           `json:"execution_count,omitempty"`
+	Metadata       map[string]any `json:"metadata"`
+	Outputs        []any          `json:"outputs,omitempty"`
+	Source         []string       `json:"source"`
+}
+
+// WriteIPYNB serialises the notebook as a Jupyter nbformat-4 document.
+func (nb *Notebook) WriteIPYNB(w io.Writer) error {
+	doc := ipynbDoc{
+		Metadata: map[string]any{
+			"language_info": map[string]any{"name": "sql"},
+			"title":         nb.Title,
+		},
+		NBFormat:      4,
+		NBFormatMinor: 5,
+	}
+	for _, c := range nb.Cells {
+		cell := ipynbCell{Metadata: map[string]any{}, Source: splitSource(c.Source)}
+		if c.Type == Code {
+			cell.CellType = "code"
+			cell.Outputs = []any{}
+		} else {
+			cell.CellType = "markdown"
+		}
+		doc.Cells = append(doc.Cells, cell)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// splitSource converts a source string into Jupyter's line-array form,
+// each line keeping its trailing newline except the last.
+func splitSource(s string) []string {
+	lines := strings.SplitAfter(s, "\n")
+	if len(lines) > 0 && lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+	}
+	if lines == nil {
+		lines = []string{}
+	}
+	return lines
+}
+
+// WriteMarkdown serialises the notebook as a Markdown document with fenced
+// SQL blocks.
+func (nb *Notebook) WriteMarkdown(w io.Writer) error {
+	for i, c := range nb.Cells {
+		if i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		var err error
+		if c.Type == Code {
+			_, err = fmt.Fprintf(w, "```sql\n%s\n```\n", strings.TrimRight(c.Source, "\n"))
+		} else {
+			_, err = fmt.Fprintf(w, "%s\n", strings.TrimRight(c.Source, "\n"))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadIPYNB parses a Jupyter document produced by WriteIPYNB (or any
+// nbformat-4 file with markdown/code cells), mainly so tests and tools can
+// round-trip notebooks.
+func ReadIPYNB(r io.Reader) (*Notebook, error) {
+	var doc ipynbDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("notebook: decoding ipynb: %w", err)
+	}
+	nb := &Notebook{}
+	if t, ok := doc.Metadata["title"].(string); ok {
+		nb.Title = t
+	}
+	for _, c := range doc.Cells {
+		src := strings.Join(c.Source, "")
+		switch c.CellType {
+		case "code":
+			nb.AddCode(src)
+		case "markdown":
+			nb.AddMarkdown(src)
+		default:
+			// Ignore raw and unknown cell types.
+		}
+	}
+	return nb, nil
+}

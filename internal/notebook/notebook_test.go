@@ -1,0 +1,140 @@
+package notebook
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleNotebook() *Notebook {
+	nb := New("ENEDIS exploration")
+	nb.AddMarkdown("**Insight**: mean consumption greater in 2020 than 2019")
+	nb.AddCode("select 1;\nselect 2;")
+	nb.AddMarkdown("Second step")
+	nb.AddCode("select 3;")
+	return nb
+}
+
+func TestNewAddsTitleCell(t *testing.T) {
+	nb := New("T")
+	if len(nb.Cells) != 1 || nb.Cells[0].Type != Markdown || nb.Cells[0].Source != "# T" {
+		t.Errorf("title cell wrong: %+v", nb.Cells)
+	}
+}
+
+func TestNumQueries(t *testing.T) {
+	if got := sampleNotebook().NumQueries(); got != 2 {
+		t.Errorf("NumQueries = %d, want 2", got)
+	}
+}
+
+func TestWriteIPYNBValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleNotebook().WriteIPYNB(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if doc["nbformat"].(float64) != 4 {
+		t.Errorf("nbformat = %v, want 4", doc["nbformat"])
+	}
+	cells := doc["cells"].([]any)
+	if len(cells) != 5 {
+		t.Fatalf("cells = %d, want 5", len(cells))
+	}
+	code := cells[2].(map[string]any)
+	if code["cell_type"] != "code" {
+		t.Errorf("cell 2 type = %v", code["cell_type"])
+	}
+	src := code["source"].([]any)
+	if src[0] != "select 1;\n" || src[1] != "select 2;" {
+		t.Errorf("source lines = %v", src)
+	}
+}
+
+func TestIPYNBRoundTrip(t *testing.T) {
+	nb := sampleNotebook()
+	var buf bytes.Buffer
+	if err := nb.WriteIPYNB(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadIPYNB(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Title != nb.Title {
+		t.Errorf("title = %q, want %q", back.Title, nb.Title)
+	}
+	if len(back.Cells) != len(nb.Cells) {
+		t.Fatalf("cells = %d, want %d", len(back.Cells), len(nb.Cells))
+	}
+	for i := range nb.Cells {
+		if back.Cells[i] != nb.Cells[i] {
+			t.Errorf("cell %d = %+v, want %+v", i, back.Cells[i], nb.Cells[i])
+		}
+	}
+}
+
+func TestReadIPYNBBadInput(t *testing.T) {
+	if _, err := ReadIPYNB(strings.NewReader("not json")); err == nil {
+		t.Error("want error on invalid JSON")
+	}
+}
+
+func TestReadIPYNBIgnoresRawCells(t *testing.T) {
+	doc := `{"cells":[{"cell_type":"raw","metadata":{},"source":["x"]},
+	{"cell_type":"markdown","metadata":{},"source":["hi"]}],
+	"metadata":{},"nbformat":4,"nbformat_minor":5}`
+	nb, err := ReadIPYNB(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nb.Cells) != 1 || nb.Cells[0].Source != "hi" {
+		t.Errorf("cells = %+v", nb.Cells)
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleNotebook().WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# ENEDIS exploration",
+		"```sql\nselect 1;\nselect 2;\n```",
+		"Second step",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSplitSource(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", []string{}},
+		{"a", []string{"a"}},
+		{"a\n", []string{"a\n"}},
+		{"a\nb", []string{"a\n", "b"}},
+		{"a\n\nb\n", []string{"a\n", "\n", "b\n"}},
+	}
+	for _, c := range cases {
+		got := splitSource(c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("splitSource(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("splitSource(%q)[%d] = %q, want %q", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+}

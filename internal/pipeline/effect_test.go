@@ -1,0 +1,71 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"comparenb/internal/insight"
+	"comparenb/internal/table"
+)
+
+// TestEffectSizesRecorded: a dataset with one huge and one moderate mean
+// gap must yield effect sizes ordering accordingly.
+func TestEffectSizesRecorded(t *testing.T) {
+	b := table.NewBuilder("fx", []string{"g", "h", "k"}, []string{"m"})
+	for i := 0; i < 900; i++ {
+		g := []string{"low", "mid", "high"}[i%3]
+		level := map[string]float64{"low": 0, "mid": 12, "high": 100}[g]
+		noise := float64(i%17) - 8
+		b.AddRow([]string{g,
+			string(rune('a' + i%4)),
+			string(rune('a' + i%2)),
+		}, []float64{level + noise})
+	}
+	res, err := Generate(b.Build(), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dLowHigh, dLowMid float64
+	for _, ins := range res.Insights {
+		if ins.Attr != 0 || ins.Type != insight.MeanGreater {
+			continue
+		}
+		rel := res.Relation
+		v := rel.Value(0, ins.Val)
+		v2 := rel.Value(0, ins.Val2)
+		switch {
+		case v == "high" && v2 == "low":
+			dLowHigh = ins.Effect
+		case v == "mid" && v2 == "low":
+			dLowMid = ins.Effect
+		}
+	}
+	// Transitivity pruning may remove high>low (deducible via mid); in
+	// that case compare high>mid instead.
+	if dLowHigh == 0 {
+		for _, ins := range res.Insights {
+			rel := res.Relation
+			if ins.Attr == 0 && ins.Type == insight.MeanGreater &&
+				rel.Value(0, ins.Val) == "high" && rel.Value(0, ins.Val2) == "mid" {
+				dLowHigh = ins.Effect
+			}
+		}
+	}
+	if dLowMid == 0 || dLowHigh == 0 {
+		t.Fatalf("expected mean insights missing; got %+v", res.Insights)
+	}
+	if !(dLowHigh > dLowMid) {
+		t.Errorf("effect ordering wrong: big gap d=%v, moderate gap d=%v", dLowHigh, dLowMid)
+	}
+	if dLowMid < 0.5 {
+		t.Errorf("moderate gap effect %v implausibly small (12 points over sd≈5)", dLowMid)
+	}
+	for _, ins := range res.Insights {
+		if ins.Effect < 0 || math.IsNaN(ins.Effect) {
+			t.Errorf("bad effect size: %+v", ins)
+		}
+		if ins.Type == insight.VarianceGreater && ins.Effect != 0 && ins.Effect < 1 {
+			t.Errorf("variance ratio below 1: %+v", ins)
+		}
+	}
+}

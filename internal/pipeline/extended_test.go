@@ -1,0 +1,67 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"comparenb/internal/insight"
+)
+
+// TestExtendedInsightTypes exercises the §7 extension: enabling the
+// median-greater type must test more insights and can only add findings.
+func TestExtendedInsightTypes(t *testing.T) {
+	ds := tinyDataset(t)
+	base := testConfig()
+	plain, err := Generate(ds.Rel, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := base
+	ext.InsightTypes = insight.ExtendedTypes
+	extended, err := Generate(ds.Rel, ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extended.Counts.InsightsEnumerated <= plain.Counts.InsightsEnumerated {
+		t.Errorf("extended tested %d insights, plain %d — median type not enumerated",
+			extended.Counts.InsightsEnumerated, plain.Counts.InsightsEnumerated)
+	}
+	var medians int
+	for _, ins := range extended.Insights {
+		if ins.Type == insight.MedianGreater {
+			medians++
+		}
+	}
+	if medians == 0 {
+		t.Error("no median-greater insights found despite strong planted mean shifts")
+	}
+	for _, ins := range plain.Insights {
+		if ins.Type == insight.MedianGreater {
+			t.Fatal("default configuration produced a median insight")
+		}
+	}
+}
+
+func TestMedianHypothesisSQL(t *testing.T) {
+	ds := tinyDataset(t)
+	cfg := testConfig()
+	cfg.InsightTypes = insight.ExtendedTypes
+	res, err := Generate(ds.Rel, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sq := range res.Queries {
+		for _, ins := range sq.Supported {
+			if ins.Type != insight.MedianGreater {
+				continue
+			}
+			sql := HypothesisSQL(ds.Rel, sq, ins)
+			if !strings.Contains(sql, "percentile_cont(0.5)") ||
+				!strings.Contains(sql, "'median greater' as hypothesis") {
+				t.Fatalf("median hypothesis SQL malformed:\n%s", sql)
+			}
+			return
+		}
+	}
+	t.Skip("no supported median insight in this run")
+}

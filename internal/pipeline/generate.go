@@ -1,0 +1,230 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"comparenb/internal/engine"
+	"comparenb/internal/insight"
+	"comparenb/internal/metric"
+	"comparenb/internal/notebook"
+	"comparenb/internal/sqlgen"
+	"comparenb/internal/table"
+	"comparenb/internal/tap"
+)
+
+// Result is everything a notebook-generation run produced.
+type Result struct {
+	Relation *table.Relation
+	Config   Config
+
+	// Queries is the generated set Q (after dedup), deterministic order.
+	Queries []ScoredQuery
+	// Insights are the significant insights with final credibility.
+	Insights []insight.Insight
+	// Solution is the TAP solution; its Order indexes Queries.
+	Solution tap.Solution
+	// ExactStats is set when the exact solver ran.
+	ExactStats *tap.ExactStats
+
+	Timings Timings
+	Counts  Counts
+}
+
+// Sequence returns the selected queries in notebook order.
+func (r *Result) Sequence() []ScoredQuery {
+	out := make([]ScoredQuery, len(r.Solution.Order))
+	for i, qi := range r.Solution.Order {
+		out[i] = r.Queries[qi]
+	}
+	return out
+}
+
+// Generate runs the full pipeline of Figure 1 over the relation: tests →
+// significant insights → hypothesis-query evaluation → comparison-query
+// set Q → TAP → ordered notebook content.
+func Generate(rel *table.Relation, cfg Config) (*Result, error) {
+	if rel.NumCatAttrs() < 2 {
+		return nil, fmt.Errorf("pipeline: need at least 2 categorical attributes, have %d", rel.NumCatAttrs())
+	}
+	if rel.NumMeasures() < 1 {
+		return nil, fmt.Errorf("pipeline: need at least 1 measure")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{Relation: rel, Config: cfg}
+	start := time.Now()
+
+	// Pre-processing: functional dependencies (footnote 2).
+	t0 := time.Now()
+	fds := engine.NewFDSet(engine.DetectFDsApprox(rel, cfg.FDMaxError))
+	res.Timings.FD = time.Since(t0)
+	cfg.logf("pipeline: FD pre-processing done in %v", res.Timings.FD)
+
+	// Phase (i): statistical tests.
+	t0 = time.Now()
+	sig, tested := runStatTests(rel, cfg)
+	res.Counts.InsightsEnumerated = tested
+	res.Counts.SignificantInsights = len(sig)
+	res.Timings.StatTests = time.Since(t0)
+	cfg.logf("pipeline: %d insights tested, %d significant, in %v",
+		tested, len(sig), res.Timings.StatTests)
+
+	// Transitivity pruning (§3.3).
+	if !cfg.DisableTransitivePruning {
+		before := len(sig)
+		sig = insight.PruneTransitive(sig)
+		res.Counts.PrunedTransitive = before - len(sig)
+		cfg.logf("pipeline: transitivity pruned %d deducible insights", before-len(sig))
+	}
+
+	// Phase (ii): hypothesis-query evaluation on in-memory aggregates.
+	t0 = time.Now()
+	queries, final, counts := evalHypotheses(rel, cfg, fds, sig)
+	res.Queries = queries
+	res.Insights = final
+	res.Counts.CubesBuilt = counts.CubesBuilt
+	res.Counts.SupportChecks = counts.SupportChecks
+	res.Counts.QueriesGenerated = counts.QueriesGenerated
+	res.Timings.HypoEval = time.Since(t0)
+	cfg.logf("pipeline: %d cubes, %d support checks, |Q| = %d, in %v",
+		counts.CubesBuilt, counts.SupportChecks, counts.QueriesGenerated, res.Timings.HypoEval)
+
+	// TAP.
+	t0 = time.Now()
+	inst := Instance(queries, cfg.Weights)
+	switch cfg.Solver {
+	case SolverExact:
+		sol, stats := tap.SolveExact(inst, float64(cfg.EpsT), cfg.EpsD, tap.ExactOptions{Timeout: cfg.ExactTimeout})
+		res.Solution = sol
+		res.ExactStats = &stats
+	case SolverTopK:
+		res.Solution = tap.TopK(inst, float64(cfg.EpsT))
+	case SolverHeuristicPlus:
+		res.Solution = tap.GreedyPlus(inst, float64(cfg.EpsT), cfg.EpsD)
+	default:
+		res.Solution = tap.Greedy(inst, float64(cfg.EpsT), cfg.EpsD)
+	}
+	res.Timings.TAP = time.Since(t0)
+	res.Timings.Total = time.Since(start)
+	cfg.logf("pipeline: %s TAP selected %d queries (interest %.3f) in %v",
+		cfg.Solver, len(res.Solution.Order), res.Solution.TotalInterest, res.Timings.TAP)
+	return res, nil
+}
+
+// Instance builds the TAP instance over a query set: §4.2's uniform costs
+// and the weighted Hamming distance.
+func Instance(queries []ScoredQuery, w metric.Weights) *tap.Instance {
+	interest := make([]float64, len(queries))
+	cost := make([]float64, len(queries))
+	for i, q := range queries {
+		interest[i] = q.Interest
+		cost[i] = 1
+	}
+	return &tap.Instance{
+		Interest: interest,
+		Cost:     cost,
+		Dist: func(i, j int) float64 {
+			return metric.Distance(queries[i].Query, queries[j].Query, w)
+		},
+	}
+}
+
+// BuildNotebook renders the selected sequence as a comparison notebook:
+// for each query a Markdown cell describing the insights it evidences and
+// a SQL code cell (the Figure 2 form), introduced by a title and a summary
+// cell.
+func BuildNotebook(res *Result) *notebook.Notebook {
+	rel := res.Relation
+	nb := notebook.New("Comparison notebook — " + rel.Name())
+	nb.AddMarkdown(fmt.Sprintf(
+		"Auto-generated starting point for exploring `%s` (%d rows). "+
+			"%d significant comparison insights were found; the %d queries below "+
+			"were selected by the %s TAP solver (ε_t=%d, ε_d=%.2f).",
+		rel.Name(), rel.NumRows(), len(res.Insights), len(res.Solution.Order),
+		res.Config.Solver, res.Config.EpsT, res.Config.EpsD))
+	for step, sq := range res.Sequence() {
+		md := fmt.Sprintf("## Step %d — %s\n", step+1, sq.Query.Describe(rel))
+		for _, ins := range sq.Supported {
+			md += fmt.Sprintf("\n- %s", ins.Describe(rel))
+		}
+		md += fmt.Sprintf("\n\nInterestingness: %.4f", sq.Interest)
+		nb.AddMarkdown(md)
+		nb.AddCode(sqlgen.Comparison(rel, sqlgen.Params{
+			GroupBy: sq.Query.GroupBy,
+			SelAttr: sq.Query.Attr,
+			Val:     sq.Query.Val,
+			Val2:    sq.Query.Val2,
+			Meas:    sq.Query.Meas,
+			Agg:     sq.Query.Agg,
+		}))
+		// Like the paper's Figure 2, show the comparison result next to
+		// the query (truncated for wide group-bys).
+		nb.AddMarkdown(ResultTable(rel, sq.Query, 15))
+		if res.Config.IncludeHypotheses {
+			for _, ins := range sq.Supported {
+				nb.AddMarkdown(fmt.Sprintf("Hypothesis query (%s):", ins.Type))
+				nb.AddCode(HypothesisSQL(rel, sq, ins))
+			}
+		}
+	}
+	return nb
+}
+
+// ResultTable executes the comparison query and renders its result as a
+// Markdown table, keeping at most maxRows rows (0 = all).
+func ResultTable(rel *table.Relation, q insight.Query, maxRows int) string {
+	res := engine.CompareDirect(rel, q.GroupBy, q.Attr, q.Val, q.Val2, q.Meas, q.Agg)
+	left := rel.Value(q.Attr, q.Val)
+	right := rel.Value(q.Attr, q.Val2)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "| %s | %s | %s |\n|---|---|---|\n", rel.CatName(q.GroupBy), left, right)
+	n := res.Len()
+	truncated := false
+	if maxRows > 0 && n > maxRows {
+		n = maxRows
+		truncated = true
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "| %s | %g | %g |\n",
+			rel.Value(q.GroupBy, res.Groups[i]), res.Left[i], res.Right[i])
+	}
+	if truncated {
+		fmt.Fprintf(&sb, "\n_%d more rows_", res.Len()-n)
+	}
+	return sb.String()
+}
+
+// ComparisonSQL renders a comparison query as the Figure-2 SQL text.
+func ComparisonSQL(rel *table.Relation, q insight.Query) string {
+	return sqlgen.Comparison(rel, sqlgen.Params{
+		GroupBy: q.GroupBy,
+		SelAttr: q.Attr,
+		Val:     q.Val,
+		Val2:    q.Val2,
+		Meas:    q.Meas,
+		Agg:     q.Agg,
+	})
+}
+
+// HypothesisSQL renders the hypothesis query postulating the given insight
+// for a scored query, for tooling and notebook appendices.
+func HypothesisSQL(rel *table.Relation, sq ScoredQuery, ins insight.Insight) string {
+	kind := sqlgen.MeanGreater
+	switch ins.Type {
+	case insight.VarianceGreater:
+		kind = sqlgen.VarianceGreater
+	case insight.MedianGreater:
+		kind = sqlgen.MedianGreater
+	}
+	return sqlgen.Hypothesis(rel, sqlgen.Params{
+		GroupBy: sq.Query.GroupBy,
+		SelAttr: sq.Query.Attr,
+		Val:     sq.Query.Val,
+		Val2:    sq.Query.Val2,
+		Meas:    sq.Query.Meas,
+		Agg:     sq.Query.Agg,
+	}, kind)
+}

@@ -1,0 +1,91 @@
+package pipeline
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"comparenb/internal/table"
+)
+
+// goldenRelation is a fixed dataset for the rendering regression test: no
+// RNG, so the whole pipeline output is reproducible byte for byte.
+func goldenRelation() *table.Relation {
+	b := table.NewBuilder("shop", []string{"region", "product", "channel"}, []string{"sales"})
+	regions := []string{"north", "south", "east"}
+	products := []string{"widget", "gadget"}
+	channels := []string{"web", "store"}
+	for i := 0; i < 480; i++ {
+		r := regions[i%3]
+		p := products[i%2]
+		c := channels[(i/3)%2]
+		v := float64(100 + (i%3)*50 + (i%2)*20 + i%7)
+		b.AddRow([]string{r, p, c}, []float64{v})
+	}
+	return b.Build()
+}
+
+// TestGoldenNotebook locks the end-to-end Markdown rendering of a small
+// deterministic run. Regenerate with UPDATE_GOLDEN=1 go test ./internal/pipeline
+// after an intentional change, and review the diff like any other code.
+func TestGoldenNotebook(t *testing.T) {
+	cfg := NewConfig()
+	cfg.Perms = 200
+	cfg.Seed = 42
+	cfg.Threads = 1
+	cfg.EpsT = 3
+	cfg.EpsD = 2
+	res, err := Generate(goldenRelation(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := BuildNotebook(res)
+	var buf bytes.Buffer
+	if err := nb.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+
+	goldenPath := filepath.Join("testdata", "notebook_golden.md")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file updated: %s (%d bytes)", goldenPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run UPDATE_GOLDEN=1 go test once): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("notebook rendering changed (got %d bytes, want %d).\n"+
+			"If intentional: UPDATE_GOLDEN=1 go test ./internal/pipeline\nFirst divergence:\n%s",
+			len(got), len(want), firstDiff(got, want))
+	}
+}
+
+func firstDiff(a, b []byte) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			lo := i - 80
+			if lo < 0 {
+				lo = 0
+			}
+			hi := i + 80
+			if hi > n {
+				hi = n
+			}
+			return "got:  …" + string(a[lo:hi]) + "…\nwant: …" + string(b[lo:hi]) + "…"
+		}
+	}
+	return "(one output is a prefix of the other)"
+}

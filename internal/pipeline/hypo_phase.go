@@ -1,0 +1,315 @@
+package pipeline
+
+import (
+	"math/rand"
+	"sort"
+
+	"comparenb/internal/cover"
+	"comparenb/internal/engine"
+	"comparenb/internal/insight"
+	"comparenb/internal/metric"
+	"comparenb/internal/table"
+)
+
+// ScoredQuery is a comparison query retained in Q, with the insights it
+// evidences and its §4.2 interestingness.
+type ScoredQuery struct {
+	Query    insight.Query
+	Interest float64
+	// Theta is θ_q (tuples aggregated), Gamma is γ_q (groups in the
+	// result) — the conciseness inputs.
+	Theta, Gamma int
+	// Supported are the insights this query supports, with final
+	// significance and credibility.
+	Supported []insight.Insight
+}
+
+// hypoOutcome is the per-(insight, grouping attribute) evaluation result.
+type hypoOutcome struct {
+	supportedAggs []engine.Agg
+	// avgSupports records whether the canonical hypothesis query (agg =
+	// avg) supports the insight — the Def. 3.11 credibility unit.
+	avgSupports  bool
+	theta, gamma int
+}
+
+// evalHypotheses runs lines 5–17 of Algorithm 1 with the §5.2
+// optimizations: it evaluates hypothesis queries from in-memory partial
+// aggregates (bounded 2-group-bys, or Algorithm 2's merged group-by sets
+// when cfg.UseWSC), computes credibility, scores interest, and applies the
+// same-insights dedup. Support is always checked on the full relation —
+// sampling only ever accelerates the statistical tests.
+func evalHypotheses(rel *table.Relation, cfg Config, fds *engine.FDSet, sig []insight.Insight) ([]ScoredQuery, []insight.Insight, Counts) {
+	var counts Counts
+	n := rel.NumCatAttrs()
+
+	// Valid grouping attributes per selection attribute (FD pre-pruning).
+	validA := make([][]int, n)
+	for b := 0; b < n; b++ {
+		for a := 0; a < n; a++ {
+			if a != b && !fds.MeaninglessPair(a, b) {
+				validA[b] = append(validA[b], a)
+			}
+		}
+	}
+
+	// Needed 2-group-by sets.
+	pairSet := map[cover.Pair]bool{}
+	for _, ins := range sig {
+		for _, a := range validA[ins.Attr] {
+			pairSet[cover.NewPair(a, ins.Attr)] = true
+		}
+	}
+	var needed []cover.Pair
+	for p := range pairSet {
+		needed = append(needed, p)
+	}
+	sort.Slice(needed, func(i, j int) bool {
+		if needed[i].A != needed[j].A {
+			return needed[i].A < needed[j].A
+		}
+		return needed[i].B < needed[j].B
+	})
+
+	pairCubes, built := buildPairCubes(rel, cfg, needed)
+	counts.CubesBuilt = built
+
+	// Evaluate every (insight, grouping attribute) combination.
+	type job struct {
+		insIdx int
+		attrA  int
+	}
+	var jobs []job
+	for ii, ins := range sig {
+		for _, a := range validA[ins.Attr] {
+			jobs = append(jobs, job{insIdx: ii, attrA: a})
+		}
+	}
+	results := make([]hypoOutcome, len(jobs))
+	parallelFor(cfg.threads(), len(jobs), func(ji int) {
+		j := jobs[ji]
+		ins := sig[j.insIdx]
+		pc := pairCubes[cover.NewPair(j.attrA, ins.Attr)]
+		results[ji] = evalOne(rel, pc, j.attrA, ins)
+	})
+	counts.SupportChecks = len(jobs) * len(engine.AllAggs)
+
+	// Credibility per insight (Def. 3.11): one hypothesis query per
+	// grouping attribute (canonical agg = avg), or the ∃agg ablation.
+	credOf := make([]int, len(sig))
+	for ji, j := range jobs {
+		supports := results[ji].avgSupports
+		if cfg.CredibilityAggExists {
+			supports = len(results[ji].supportedAggs) > 0
+		}
+		if supports {
+			credOf[j.insIdx]++
+		}
+	}
+	final := make([]insight.Insight, len(sig))
+	for i, ins := range sig {
+		ins.Credibility = credOf[i]
+		ins.NumHypo = len(validA[ins.Attr])
+		final[i] = ins
+	}
+
+	// Assemble queries: one per (A, B, val, val', M, agg) that supports at
+	// least one insight.
+	type qacc struct {
+		theta, gamma int
+		supported    []insight.Insight
+	}
+	accum := map[insight.Query]*qacc{}
+	for ji, j := range jobs {
+		ins := final[j.insIdx]
+		for _, agg := range results[ji].supportedAggs {
+			q := insight.Query{
+				GroupBy: j.attrA, Attr: ins.Attr,
+				Val: ins.Val, Val2: ins.Val2,
+				Meas: ins.Meas, Agg: agg,
+			}
+			acc := accum[q]
+			if acc == nil {
+				acc = &qacc{theta: results[ji].theta, gamma: results[ji].gamma}
+				accum[q] = acc
+			}
+			acc.supported = append(acc.supported, ins)
+		}
+	}
+
+	// Optionally calibrate conciseness on the observed candidates before
+	// scoring (Config.AutoConciseness).
+	if cfg.AutoConciseness && cfg.Interest.UseConciseness {
+		samples := make([]metric.ThetaGamma, 0, len(accum))
+		for _, acc := range accum {
+			samples = append(samples, metric.ThetaGamma{Theta: acc.theta, Gamma: acc.gamma})
+		}
+		cfg.Interest.Conciseness = metric.CalibrateConciseness(samples)
+		cfg.logf("pipeline: calibrated conciseness α=%.4f δ=%.1f from %d candidates",
+			cfg.Interest.Conciseness.Alpha, cfg.Interest.Conciseness.Delta, len(samples))
+	}
+
+	// Score and dedup (Algorithm 1 lines 14–17): among queries equal up to
+	// the grouping attribute, keep the most interesting.
+	type dedupKey struct {
+		attr      int
+		val, val2 int32
+		meas      int
+		agg       engine.Agg
+	}
+	best := map[dedupKey]ScoredQuery{}
+	for q, acc := range accum {
+		sort.Slice(acc.supported, func(a, b int) bool { return lessKey(acc.supported[a].Key(), acc.supported[b].Key()) })
+		sq := ScoredQuery{
+			Query:     q,
+			Theta:     acc.theta,
+			Gamma:     acc.gamma,
+			Supported: acc.supported,
+			Interest:  metric.Interest(acc.theta, acc.gamma, acc.supported, cfg.Interest),
+		}
+		k := dedupKey{attr: q.Attr, val: q.Val, val2: q.Val2, meas: q.Meas, agg: q.Agg}
+		cur, ok := best[k]
+		if !ok || sq.Interest > cur.Interest ||
+			(sq.Interest == cur.Interest && q.GroupBy < cur.Query.GroupBy) {
+			best[k] = sq
+		}
+	}
+	queries := make([]ScoredQuery, 0, len(best))
+	for _, sq := range best {
+		queries = append(queries, sq)
+	}
+	sort.Slice(queries, func(a, b int) bool { return lessQuery(queries[a].Query, queries[b].Query) })
+	counts.QueriesGenerated = len(queries)
+	return queries, final, counts
+}
+
+func lessQuery(a, b insight.Query) bool {
+	if a.Attr != b.Attr {
+		return a.Attr < b.Attr
+	}
+	if a.Val != b.Val {
+		return a.Val < b.Val
+	}
+	if a.Val2 != b.Val2 {
+		return a.Val2 < b.Val2
+	}
+	if a.Meas != b.Meas {
+		return a.Meas < b.Meas
+	}
+	if a.GroupBy != b.GroupBy {
+		return a.GroupBy < b.GroupBy
+	}
+	return a.Agg < b.Agg
+}
+
+// evalOne evaluates all hypothesis queries for one insight and one
+// grouping attribute: which aggregates' comparison queries support the
+// insight, plus the conciseness inputs θ and γ.
+func evalOne(rel *table.Relation, pc *engine.Cube, attrA int, ins insight.Insight) hypoOutcome {
+	var out hypoOutcome
+	// θ: tuples with B ∈ {val, val'} — from the pair cube's counts.
+	attrs := pc.Attrs()
+	posB := 0
+	if attrs[1] == ins.Attr {
+		posB = 1
+	}
+	for g := 0; g < pc.NumGroups(); g++ {
+		if b := pc.GroupKey(g)[posB]; b == ins.Val || b == ins.Val2 {
+			out.theta += int(pc.Count(g))
+		}
+	}
+	for _, agg := range engine.AllAggs {
+		res := engine.CompareFromCube(pc, attrA, ins.Attr, ins.Val, ins.Val2, ins.Meas, agg)
+		out.gamma = res.Len()
+		if insight.Supports(res, ins.Type) {
+			out.supportedAggs = append(out.supportedAggs, agg)
+			if agg == engine.Avg {
+				out.avgSupports = true
+			}
+		}
+	}
+	return out
+}
+
+// buildPairCubes materialises a cube for every needed {A, B} pair, either
+// directly (§5.2.1 bounding) or by rolling up the group-by sets chosen by
+// Algorithm 2's weighted set cover (§5.2.2). It returns the pair cubes and
+// the number of base cubes built from the relation.
+func buildPairCubes(rel *table.Relation, cfg Config, needed []cover.Pair) (map[cover.Pair]*engine.Cube, int) {
+	out := make(map[cover.Pair]*engine.Cube, len(needed))
+	if len(needed) == 0 {
+		return out, 0
+	}
+	if !cfg.UseWSC {
+		cubes := make([]*engine.Cube, len(needed))
+		parallelFor(cfg.threads(), len(needed), func(i int) {
+			cubes[i] = engine.BuildCube(rel, []int{needed[i].A, needed[i].B})
+		})
+		for i, p := range needed {
+			out[p] = cubes[i]
+		}
+		return out, len(needed)
+	}
+
+	// Algorithm 2: estimate candidate sizes, solve the weighted cover.
+	cands := cover.EnumerateCandidates(rel.NumCatAttrs(), cfg.MaxCoverSize)
+	rowBytes := float64(8 + 4 + 3*8*rel.NumMeasures())
+	estRNG := rand.New(rand.NewSource(jobSeed(cfg.Seed, -2)))
+	sampleSize := rel.NumRows()
+	if sampleSize > 4096 {
+		sampleSize = 4096
+	}
+	for i := range cands {
+		groups := engine.EstimateGroups(rel, cands[i].Attrs, sampleSize, estRNG)
+		cands[i].Weight = groups * rowBytes * float64(len(cands[i].Attrs))
+	}
+	chosen, err := cover.Greedy(needed, cands)
+	fallback := err != nil
+	if !fallback && cfg.MemoryBudget > 0 && cover.TotalWeight(cands, chosen) > float64(cfg.MemoryBudget) {
+		// §5.2.2 fallback: load the smallest possible aggregates instead.
+		fallback = true
+	}
+	if fallback {
+		cfgNoWSC := cfg
+		cfgNoWSC.UseWSC = false
+		return buildPairCubes(rel, cfgNoWSC, needed)
+	}
+
+	base := make([]*engine.Cube, len(chosen))
+	parallelFor(cfg.threads(), len(chosen), func(i int) {
+		base[i] = engine.BuildCube(rel, cands[chosen[i]].Attrs)
+	})
+	// Roll up each needed pair from the first chosen set covering it.
+	coveredBy := make([]int, len(needed))
+	for pi, p := range needed {
+		coveredBy[pi] = -1
+		for ci := range chosen {
+			if containsBoth(cands[chosen[ci]].Attrs, p) {
+				coveredBy[pi] = ci
+				break
+			}
+		}
+	}
+	rolled := make([]*engine.Cube, len(needed))
+	parallelFor(cfg.threads(), len(needed), func(pi int) {
+		p := needed[pi]
+		rolled[pi] = base[coveredBy[pi]].Rollup([]int{p.A, p.B})
+	})
+	for pi, p := range needed {
+		out[p] = rolled[pi]
+	}
+	return out, len(chosen)
+}
+
+func containsBoth(attrs []int, p cover.Pair) bool {
+	okA, okB := false, false
+	for _, a := range attrs {
+		if a == p.A {
+			okA = true
+		}
+		if a == p.B {
+			okB = true
+		}
+	}
+	return okA && okB
+}

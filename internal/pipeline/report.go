@@ -1,0 +1,154 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Report is a machine-readable summary of a generation run, for tooling
+// and regression tracking. Build one with Result.Report and serialise it
+// with WriteJSON.
+type Report struct {
+	Dataset  string          `json:"dataset"`
+	Rows     int             `json:"rows"`
+	Config   ReportConfig    `json:"config"`
+	Counts   Counts          `json:"counts"`
+	Timings  ReportTimings   `json:"timings"`
+	Insights []ReportInsight `json:"insights"`
+	Notebook []ReportQuery   `json:"notebook"`
+	// TAP solution quality.
+	TotalInterest float64 `json:"total_interest"`
+	TotalDistance float64 `json:"total_distance"`
+	ExactOptimal  *bool   `json:"exact_optimal,omitempty"`
+}
+
+// ReportConfig is the subset of Config worth recording.
+type ReportConfig struct {
+	Name       string  `json:"name"`
+	Sampling   string  `json:"sampling"`
+	SampleFrac float64 `json:"sample_frac,omitempty"`
+	Perms      int     `json:"perms"`
+	Alpha      float64 `json:"alpha"`
+	BHScope    string  `json:"bh_scope"`
+	EpsT       int     `json:"eps_t"`
+	EpsD       float64 `json:"eps_d"`
+	Solver     string  `json:"solver"`
+	UseWSC     bool    `json:"use_wsc"`
+	Threads    int     `json:"threads"`
+	Seed       int64   `json:"seed"`
+}
+
+// ReportTimings is Timings in milliseconds for JSON friendliness.
+type ReportTimings struct {
+	FDMillis    float64 `json:"fd_ms"`
+	StatsMillis float64 `json:"stat_tests_ms"`
+	HypoMillis  float64 `json:"hypo_eval_ms"`
+	TAPMillis   float64 `json:"tap_ms"`
+	TotalMillis float64 `json:"total_ms"`
+}
+
+// ReportInsight is one significant insight in human/JSON form.
+type ReportInsight struct {
+	Measure     string  `json:"measure"`
+	Attribute   string  `json:"attribute"`
+	Val         string  `json:"val"`
+	Val2        string  `json:"val2"`
+	Type        string  `json:"type"`
+	Sig         float64 `json:"sig"`
+	Effect      float64 `json:"effect"`
+	Credibility int     `json:"credibility"`
+	NumHypo     int     `json:"num_hypo"`
+}
+
+// ReportQuery is one notebook step.
+type ReportQuery struct {
+	Step     int     `json:"step"`
+	GroupBy  string  `json:"group_by"`
+	Attr     string  `json:"attr"`
+	Val      string  `json:"val"`
+	Val2     string  `json:"val2"`
+	Measure  string  `json:"measure"`
+	Agg      string  `json:"agg"`
+	Interest float64 `json:"interest"`
+	Insights int     `json:"insights"`
+	SQL      string  `json:"sql"`
+}
+
+// Report builds the summary.
+func (r *Result) Report() Report {
+	rel := r.Relation
+	rep := Report{
+		Dataset: rel.Name(),
+		Rows:    rel.NumRows(),
+		Config: ReportConfig{
+			Name:       r.Config.Name,
+			Sampling:   r.Config.Sampling.String(),
+			SampleFrac: r.Config.SampleFrac,
+			Perms:      r.Config.Perms,
+			Alpha:      r.Config.Alpha,
+			BHScope:    r.Config.BHScope.String(),
+			EpsT:       r.Config.EpsT,
+			EpsD:       r.Config.EpsD,
+			Solver:     r.Config.Solver.String(),
+			UseWSC:     r.Config.UseWSC,
+			Threads:    r.Config.threads(),
+			Seed:       r.Config.Seed,
+		},
+		Counts:        r.Counts,
+		Timings:       toReportTimings(r.Timings),
+		TotalInterest: r.Solution.TotalInterest,
+		TotalDistance: r.Solution.TotalDist,
+	}
+	if r.ExactStats != nil {
+		opt := r.ExactStats.Certified
+		rep.ExactOptimal = &opt
+	}
+	for _, ins := range r.Insights {
+		rep.Insights = append(rep.Insights, ReportInsight{
+			Measure:     rel.MeasName(ins.Meas),
+			Attribute:   rel.CatName(ins.Attr),
+			Val:         rel.Value(ins.Attr, ins.Val),
+			Val2:        rel.Value(ins.Attr, ins.Val2),
+			Type:        ins.Type.String(),
+			Sig:         ins.Sig,
+			Effect:      ins.Effect,
+			Credibility: ins.Credibility,
+			NumHypo:     ins.NumHypo,
+		})
+	}
+	for i, sq := range r.Sequence() {
+		q := sq.Query
+		rep.Notebook = append(rep.Notebook, ReportQuery{
+			Step:     i + 1,
+			GroupBy:  rel.CatName(q.GroupBy),
+			Attr:     rel.CatName(q.Attr),
+			Val:      rel.Value(q.Attr, q.Val),
+			Val2:     rel.Value(q.Attr, q.Val2),
+			Measure:  rel.MeasName(q.Meas),
+			Agg:      q.Agg.String(),
+			Interest: sq.Interest,
+			Insights: len(sq.Supported),
+			SQL:      ComparisonSQL(rel, q),
+		})
+	}
+	return rep
+}
+
+// WriteJSON writes the report as indented JSON.
+func (rep Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func toReportTimings(t Timings) ReportTimings {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return ReportTimings{
+		FDMillis:    ms(t.FD),
+		StatsMillis: ms(t.StatTests),
+		HypoMillis:  ms(t.HypoEval),
+		TAPMillis:   ms(t.TAP),
+		TotalMillis: ms(t.Total),
+	}
+}

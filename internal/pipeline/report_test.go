@@ -1,0 +1,63 @@
+package pipeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestReportJSON(t *testing.T) {
+	ds := tinyDataset(t)
+	res, err := Generate(ds.Rel, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report()
+	if rep.Dataset != "tiny" || rep.Rows != ds.Rel.NumRows() {
+		t.Errorf("report header: %s/%d", rep.Dataset, rep.Rows)
+	}
+	if len(rep.Insights) != len(res.Insights) {
+		t.Errorf("report insights = %d, want %d", len(rep.Insights), len(res.Insights))
+	}
+	if len(rep.Notebook) != len(res.Solution.Order) {
+		t.Errorf("report notebook = %d, want %d", len(rep.Notebook), len(res.Solution.Order))
+	}
+	for i, q := range rep.Notebook {
+		if q.Step != i+1 {
+			t.Errorf("step numbering: %d at index %d", q.Step, i)
+		}
+		if !strings.Contains(q.SQL, "select t1.") {
+			t.Errorf("step %d SQL missing", q.Step)
+		}
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if back.Config.Solver != "heuristic" || back.Config.BHScope != "per-pair" {
+		t.Errorf("config round trip: %+v", back.Config)
+	}
+	if back.Timings.TotalMillis <= 0 {
+		t.Error("timings missing")
+	}
+}
+
+func TestReportExactFlag(t *testing.T) {
+	ds := tinyDataset(t)
+	cfg := testConfig()
+	cfg.Solver = SolverExact
+	cfg.EpsT = 3
+	res, err := Generate(ds.Rel, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report()
+	if rep.ExactOptimal == nil {
+		t.Fatal("exact run must set ExactOptimal")
+	}
+}

@@ -1,0 +1,265 @@
+package pipeline
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"comparenb/internal/insight"
+	"comparenb/internal/sampling"
+	"comparenb/internal/stats"
+	"comparenb/internal/table"
+)
+
+// statOutcome is one raw permutation-test result awaiting FDR correction.
+type statOutcome struct {
+	key    insight.Key
+	p      float64
+	effect float64
+}
+
+// runStatTests executes the significance phase of Algorithm 1 line 3 with
+// the §5.1 optimizations: per-attribute (optionally sampled) test
+// relations, shared permutations across measures, global BH correction.
+// It returns the significant insights (sig ≥ 1 − Alpha) and the number of
+// candidate insights actually tested.
+func runStatTests(rel *table.Relation, cfg Config) (significant []insight.Insight, tested int) {
+	n := rel.NumCatAttrs()
+	// Pre-draw the test relation(s). Random sampling shares one sample;
+	// unbalanced sampling is per attribute (§5.1.2).
+	samplerRNG := rand.New(rand.NewSource(jobSeed(cfg.Seed, -1)))
+	testRels := make([]*table.Relation, n)
+	switch cfg.Sampling {
+	case sampling.Random:
+		shared := sampling.RandomSample(rel, cfg.SampleFrac, samplerRNG)
+		for a := range testRels {
+			testRels[a] = shared
+		}
+	case sampling.Unbalanced:
+		for a := range testRels {
+			testRels[a] = sampling.UnbalancedSample(rel, a, cfg.SampleFrac, samplerRNG)
+		}
+	default:
+		for a := range testRels {
+			testRels[a] = rel
+		}
+	}
+
+	// Enumerate the test jobs: one per (attribute, value pair).
+	type pairJob struct {
+		attr      int
+		val, val2 int32
+	}
+	var jobs []pairJob
+	for a := 0; a < n; a++ {
+		pairs := enumeratePairs(testRels[a], a, cfg.MaxPairsPerAttr)
+		for _, pr := range pairs {
+			jobs = append(jobs, pairJob{attr: a, val: pr[0], val2: pr[1]})
+		}
+	}
+
+	outcomes := make([][]statOutcome, len(jobs))
+	testedPer := make([]int, len(jobs))
+	parallelFor(cfg.threads(), len(jobs), func(ji int) {
+		job := jobs[ji]
+		trel := testRels[job.attr]
+		rng := rand.New(rand.NewSource(jobSeed(cfg.Seed, ji)))
+		outcomes[ji], testedPer[ji] = testPair(trel, job.attr, job.val, job.val2, cfg, rng)
+	})
+
+	var all []statOutcome
+	for ji := range outcomes {
+		all = append(all, outcomes[ji]...)
+		tested += testedPer[ji]
+	}
+
+	// Benjamini–Hochberg correction (§5.1.1), applied within the families
+	// selected by cfg.BHScope.
+	families := make(map[int64][]int) // family id → indexes into all
+	for i, o := range all {
+		var fam int64
+		switch cfg.BHScope {
+		case BHGlobal:
+			fam = 0
+		case BHPerPair:
+			fam = ((int64(o.key.Attr)<<20)|int64(o.key.Val))<<20 | int64(o.key.Val2)
+		default: // BHPerAttribute
+			fam = int64(o.key.Attr)
+		}
+		families[fam] = append(families[fam], i)
+	}
+	for _, idxs := range families {
+		ps := make([]float64, len(idxs))
+		for k, i := range idxs {
+			ps[k] = all[i].p
+		}
+		qs := stats.BenjaminiHochberg(ps)
+		for k, i := range idxs {
+			o := all[i]
+			if qs[k] <= cfg.Alpha {
+				significant = append(significant, insight.Insight{
+					Meas: o.key.Meas, Attr: o.key.Attr,
+					Val: o.key.Val, Val2: o.key.Val2,
+					Type:   o.key.Type,
+					Sig:    1 - qs[k],
+					Effect: o.effect,
+				})
+			}
+		}
+	}
+	// Deterministic order regardless of scheduling.
+	sort.Slice(significant, func(a, b int) bool { return lessKey(significant[a].Key(), significant[b].Key()) })
+	return significant, tested
+}
+
+func lessKey(a, b insight.Key) bool {
+	if a.Attr != b.Attr {
+		return a.Attr < b.Attr
+	}
+	if a.Meas != b.Meas {
+		return a.Meas < b.Meas
+	}
+	if a.Val != b.Val {
+		return a.Val < b.Val
+	}
+	if a.Val2 != b.Val2 {
+		return a.Val2 < b.Val2
+	}
+	return a.Type < b.Type
+}
+
+// enumeratePairs lists the (val, val') code pairs of attribute a in
+// deterministic (lexicographic) order, optionally keeping only the pairs
+// among the maxPairs most populated values.
+func enumeratePairs(rel *table.Relation, a int, maxPairs int) [][2]int32 {
+	codes := rel.SortedDomain(a)
+	if maxPairs > 0 {
+		// Keep the most frequent values until the pair budget is met:
+		// k values yield k(k−1)/2 pairs.
+		counts := make(map[int32]int)
+		for _, c := range rel.CatCol(a) {
+			counts[c]++
+		}
+		k := len(codes)
+		for k > 2 && k*(k-1)/2 > maxPairs {
+			k--
+		}
+		sort.SliceStable(codes, func(i, j int) bool { return counts[codes[i]] > counts[codes[j]] })
+		codes = codes[:k]
+		dict := rel
+		sort.Slice(codes, func(i, j int) bool { return dict.Value(a, codes[i]) < dict.Value(a, codes[j]) })
+	}
+	var out [][2]int32
+	for i := 0; i < len(codes); i++ {
+		for j := i + 1; j < len(codes); j++ {
+			out = append(out, [2]int32{codes[i], codes[j]})
+		}
+	}
+	return out
+}
+
+// testPair runs the permutation tests for every measure and insight type
+// on one (attribute, val, val') pair, sharing the label permutations
+// across measures whenever the pooled sides have identical sizes (they
+// differ only when NaN cells were filtered).
+func testPair(rel *table.Relation, attr int, val, val2 int32, cfg Config, rng *rand.Rand) ([]statOutcome, int) {
+	col := rel.CatCol(attr)
+	var xRows, yRows []int
+	for i, c := range col {
+		switch c {
+		case val:
+			xRows = append(xRows, i)
+		case val2:
+			yRows = append(yRows, i)
+		}
+	}
+	if len(xRows) < cfg.MinSideRows || len(yRows) < cfg.MinSideRows {
+		return nil, 0
+	}
+
+	var out []statOutcome
+	tested := 0
+	var sharedPerm *stats.PairPerm
+	sharedSides := [2]int{-1, -1}
+	for m := 0; m < rel.NumMeasures(); m++ {
+		mcol := rel.MeasCol(m)
+		xs := gather(mcol, xRows)
+		ys := gather(mcol, yRows)
+		if len(xs) < cfg.MinSideRows || len(ys) < cfg.MinSideRows {
+			continue
+		}
+		pooled := make([]float64, 0, len(xs)+len(ys))
+		pooled = append(pooled, xs...)
+		pooled = append(pooled, ys...)
+
+		var pp *stats.PairPerm
+		if sharedSides == [2]int{len(xs), len(ys)} {
+			pp = sharedPerm
+		} else {
+			pp = stats.NewPairPerm(len(xs), len(ys), cfg.Perms, rng)
+			sharedPerm, sharedSides = pp, [2]int{len(xs), len(ys)}
+		}
+
+		for _, typ := range cfg.insightTypes() {
+			v, v2, effect, ok := orient(xs, ys, val, val2, typ)
+			if !ok {
+				continue
+			}
+			tested++
+			_, p := pp.PValue(pooled, typ.TestStat())
+			out = append(out, statOutcome{
+				key:    insight.Key{Meas: m, Attr: attr, Val: v, Val2: v2, Type: typ},
+				p:      p,
+				effect: effect,
+			})
+		}
+	}
+	return out, tested
+}
+
+// orient decides the insight direction from the observed statistics:
+// (val, val') such that val's statistic is strictly greater, plus the
+// observed effect size (Cohen's d for mean/median, variance ratio for
+// variance). ok=false when the statistics tie or are undefined.
+func orient(xs, ys []float64, val, val2 int32, typ insight.Type) (int32, int32, float64, bool) {
+	var sx, sy float64
+	switch typ {
+	case insight.MeanGreater:
+		sx, sy = stats.Mean(xs), stats.Mean(ys)
+	case insight.VarianceGreater:
+		sx, sy = stats.PopVariance(xs), stats.PopVariance(ys)
+	case insight.MedianGreater:
+		sx, sy = stats.Median(xs), stats.Median(ys)
+	}
+	if math.IsNaN(sx) || math.IsNaN(sy) || sx == sy {
+		return 0, 0, 0, false
+	}
+	var effect float64
+	switch typ {
+	case insight.MeanGreater, insight.MedianGreater:
+		nx, ny := float64(len(xs)), float64(len(ys))
+		pooled := math.Sqrt((nx*stats.PopVariance(xs) + ny*stats.PopVariance(ys)) / (nx + ny))
+		if pooled > 0 {
+			effect = math.Abs(sx-sy) / pooled
+		}
+	case insight.VarianceGreater:
+		lo := math.Min(sx, sy)
+		if lo > 0 {
+			effect = math.Max(sx, sy) / lo
+		}
+	}
+	if sx > sy {
+		return val, val2, effect, true
+	}
+	return val2, val, effect, true
+}
+
+func gather(col []float64, rows []int) []float64 {
+	out := make([]float64, 0, len(rows))
+	for _, r := range rows {
+		if v := col[r]; !math.IsNaN(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+package pipeline
+
+import "sync"
+
+// parallelFor runs fn(0..n-1) on up to `threads` goroutines. It is the
+// worker pool behind the two parallel phases of Figure 8. fn must be safe
+// to call concurrently; job order is unspecified but the set is exactly
+// 0..n-1.
+func parallelFor(threads, n int, fn func(i int)) {
+	if n == 0 {
+		return
+	}
+	if threads <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if threads > n {
+		threads = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(threads)
+	for w := 0; w < threads; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// jobSeed derives a deterministic per-job RNG seed so results do not
+// depend on goroutine scheduling.
+func jobSeed(base int64, job int) int64 {
+	z := uint64(base) + uint64(job+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z & 0x7FFFFFFFFFFFFFFF)
+}

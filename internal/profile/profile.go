@@ -1,0 +1,162 @@
+// Package profile computes the data profile a user would otherwise gather
+// with "many queries for data profiling" (§1): per-attribute cardinalities
+// and entropies, per-measure summary statistics, detected functional
+// dependencies, and the enumeration counts of Lemmas 3.2/3.5 — everything
+// one wants to know about an unknown CSV before exploring it.
+package profile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"comparenb/internal/engine"
+	"comparenb/internal/insight"
+	"comparenb/internal/stats"
+	"comparenb/internal/table"
+)
+
+// AttrProfile summarises one categorical attribute.
+type AttrProfile struct {
+	Name        string
+	Cardinality int
+	// Entropy is the Shannon entropy of the value distribution, in bits;
+	// Balance is entropy / log2(cardinality) ∈ [0, 1] (1 = uniform).
+	Entropy float64
+	Balance float64
+	// TopValue and TopShare describe the modal value.
+	TopValue string
+	TopShare float64
+}
+
+// MeasProfile summarises one measure.
+type MeasProfile struct {
+	Name     string
+	Mean     float64
+	StdDev   float64
+	Min, Max float64
+	Median   float64
+	NaNCount int
+}
+
+// Profile is the full dataset profile.
+type Profile struct {
+	Name     string
+	Rows     int
+	Attrs    []AttrProfile
+	Measures []MeasProfile
+	// FDs are the detected functional dependencies (attribute names).
+	FDs [][2]string
+	// CandidateQueries and CandidateInsights are the Lemma 3.2/3.5 counts.
+	CandidateQueries  int
+	CandidateInsights int
+}
+
+// New profiles a relation.
+func New(rel *table.Relation) *Profile {
+	p := &Profile{Name: rel.Name(), Rows: rel.NumRows()}
+	for a := 0; a < rel.NumCatAttrs(); a++ {
+		p.Attrs = append(p.Attrs, profileAttr(rel, a))
+	}
+	for m := 0; m < rel.NumMeasures(); m++ {
+		p.Measures = append(p.Measures, profileMeas(rel, m))
+	}
+	for _, fd := range engine.DetectFDs(rel) {
+		p.FDs = append(p.FDs, [2]string{rel.CatName(fd.Det), rel.CatName(fd.Dep)})
+	}
+	p.CandidateQueries = insight.CountComparisonQueries(rel, len(engine.AllAggs))
+	p.CandidateInsights = insight.CountInsights(rel, len(insight.AllTypes))
+	return p
+}
+
+func profileAttr(rel *table.Relation, a int) AttrProfile {
+	ap := AttrProfile{Name: rel.CatName(a), Cardinality: rel.DomSize(a)}
+	counts := make([]int, rel.DomSize(a))
+	for _, c := range rel.CatCol(a) {
+		counts[c]++
+	}
+	n := float64(rel.NumRows())
+	top, topIdx := 0, -1
+	for v, c := range counts {
+		if c == 0 {
+			continue
+		}
+		pr := float64(c) / n
+		ap.Entropy -= pr * math.Log2(pr)
+		if c > top {
+			top, topIdx = c, v
+		}
+	}
+	if topIdx >= 0 {
+		ap.TopValue = rel.Value(a, int32(topIdx))
+		ap.TopShare = float64(top) / n
+	}
+	if ap.Cardinality > 1 {
+		ap.Balance = ap.Entropy / math.Log2(float64(ap.Cardinality))
+	}
+	return ap
+}
+
+func profileMeas(rel *table.Relation, m int) MeasProfile {
+	mp := MeasProfile{Name: rel.MeasName(m), Min: math.NaN(), Max: math.NaN()}
+	var clean []float64
+	for _, v := range rel.MeasCol(m) {
+		if math.IsNaN(v) {
+			mp.NaNCount++
+			continue
+		}
+		clean = append(clean, v)
+		if math.IsNaN(mp.Min) || v < mp.Min {
+			mp.Min = v
+		}
+		if math.IsNaN(mp.Max) || v > mp.Max {
+			mp.Max = v
+		}
+	}
+	mp.Mean = stats.Mean(clean)
+	mp.StdDev = stats.StdDev(clean)
+	mp.Median = stats.Median(clean)
+	return mp
+}
+
+// String renders the profile as an aligned text report.
+func (p *Profile) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Profile of %s: %d rows, %d categorical attributes, %d measures\n",
+		p.Name, p.Rows, len(p.Attrs), len(p.Measures))
+	fmt.Fprintf(&sb, "candidate comparison queries: %d (Lemma 3.2), candidate insights: %d (Lemma 3.5)\n\n",
+		p.CandidateQueries, p.CandidateInsights)
+	fmt.Fprintf(&sb, "%-16s %6s %8s %8s %-16s %7s\n", "attribute", "card.", "entropy", "balance", "top value", "share")
+	for _, a := range p.Attrs {
+		fmt.Fprintf(&sb, "%-16s %6d %8.2f %8.2f %-16s %6.1f%%\n",
+			a.Name, a.Cardinality, a.Entropy, a.Balance, clip(a.TopValue, 16), a.TopShare*100)
+	}
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, "%-16s %10s %10s %10s %10s %10s %6s\n", "measure", "mean", "stddev", "min", "median", "max", "NaN")
+	for _, m := range p.Measures {
+		fmt.Fprintf(&sb, "%-16s %10.3g %10.3g %10.3g %10.3g %10.3g %6d\n",
+			m.Name, m.Mean, m.StdDev, m.Min, m.Median, m.Max, m.NaNCount)
+	}
+	if len(p.FDs) > 0 {
+		sb.WriteString("\nfunctional dependencies:\n")
+		fds := append([][2]string(nil), p.FDs...)
+		sort.Slice(fds, func(i, j int) bool {
+			if fds[i][0] != fds[j][0] {
+				return fds[i][0] < fds[j][0]
+			}
+			return fds[i][1] < fds[j][1]
+		})
+		for _, fd := range fds {
+			fmt.Fprintf(&sb, "  %s → %s\n", fd[0], fd[1])
+		}
+	}
+	return sb.String()
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

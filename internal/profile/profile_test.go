@@ -1,0 +1,103 @@
+package profile
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"comparenb/internal/table"
+)
+
+func sampleRelation() *table.Relation {
+	b := table.NewBuilder("demo", []string{"city", "month"}, []string{"temp"})
+	rows := []struct {
+		city, month string
+		temp        float64
+	}{
+		{"Tours", "jan", 4}, {"Tours", "jul", 24},
+		{"Blois", "jan", 3}, {"Blois", "jul", 23},
+		{"Tours", "jan", 5}, {"Tours", "jul", 25},
+		{"Tours", "jan", math.NaN()},
+	}
+	for _, r := range rows {
+		b.AddRow([]string{r.city, r.month}, []float64{r.temp})
+	}
+	return b.Build()
+}
+
+func TestProfileBasics(t *testing.T) {
+	p := New(sampleRelation())
+	if p.Rows != 7 || len(p.Attrs) != 2 || len(p.Measures) != 1 {
+		t.Fatalf("profile shape: %+v", p)
+	}
+	city := p.Attrs[0]
+	if city.Cardinality != 2 {
+		t.Errorf("city cardinality = %d", city.Cardinality)
+	}
+	if city.TopValue != "Tours" || city.TopShare < 0.7 || city.TopShare > 0.72 {
+		t.Errorf("city top = %q %.3f, want Tours 5/7", city.TopValue, city.TopShare)
+	}
+	if city.Balance <= 0 || city.Balance >= 1 {
+		t.Errorf("city balance = %v, want in (0,1) for a skewed column", city.Balance)
+	}
+	temp := p.Measures[0]
+	if temp.NaNCount != 1 {
+		t.Errorf("NaN count = %d", temp.NaNCount)
+	}
+	if temp.Min != 3 || temp.Max != 25 {
+		t.Errorf("range = [%v, %v]", temp.Min, temp.Max)
+	}
+	if temp.Median < 4 || temp.Median > 25 {
+		t.Errorf("median = %v", temp.Median)
+	}
+	if p.CandidateQueries <= 0 || p.CandidateInsights <= 0 {
+		t.Error("lemma counts missing")
+	}
+}
+
+func TestProfileUniformBalanceIsOne(t *testing.T) {
+	b := table.NewBuilder("u", []string{"g"}, nil)
+	for i := 0; i < 40; i++ {
+		b.AddRow([]string{string(rune('a' + i%4))}, nil)
+	}
+	p := New(b.Build())
+	if got := p.Attrs[0].Balance; math.Abs(got-1) > 1e-12 {
+		t.Errorf("uniform balance = %v, want 1", got)
+	}
+}
+
+func TestProfileDetectsFDs(t *testing.T) {
+	b := table.NewBuilder("fd", []string{"day", "month"}, nil)
+	for i := 0; i < 20; i++ {
+		day := i % 10
+		b.AddRow([]string{string(rune('a' + day)), string(rune('A' + day/5))}, nil)
+	}
+	p := New(b.Build())
+	found := false
+	for _, fd := range p.FDs {
+		if fd[0] == "day" && fd[1] == "month" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("day→month FD missing from profile: %v", p.FDs)
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	out := New(sampleRelation()).String()
+	for _, want := range []string{"Profile of demo", "attribute", "measure", "Lemma 3.2", "Tours"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestClip(t *testing.T) {
+	if got := clip("short", 16); got != "short" {
+		t.Errorf("clip(short) = %q", got)
+	}
+	if got := clip("averyveryverylongvalue", 8); len(got) > 10 || !strings.HasSuffix(got, "…") {
+		t.Errorf("clip long = %q", got)
+	}
+}

@@ -1,0 +1,65 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchPool(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64()
+	}
+	return out
+}
+
+func BenchmarkPermTestMean(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pooled := benchPool(2000, 2)
+	pp := NewPairPerm(1000, 1000, 200, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pp.PValue(pooled, MeanDiff)
+	}
+}
+
+func BenchmarkPermTestVariance(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pooled := benchPool(2000, 2)
+	pp := NewPairPerm(1000, 1000, 200, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pp.PValue(pooled, VarDiff)
+	}
+}
+
+func BenchmarkPermTestMedian(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pooled := benchPool(400, 2)
+	pp := NewPairPerm(200, 200, 100, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pp.PValue(pooled, MedianDiff)
+	}
+}
+
+func BenchmarkBenjaminiHochberg(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	ps := make([]float64, 10000)
+	for i := range ps {
+		ps[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BenjaminiHochberg(ps)
+	}
+}
+
+func BenchmarkMedianQuickselect(b *testing.B) {
+	xs := benchPool(10000, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Median(xs)
+	}
+}

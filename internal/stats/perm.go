@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// TestStat selects the permutation test statistic of Table 1.
+type TestStat int
+
+const (
+	// MeanDiff is |μX − μY|, the statistic for mean-greater insights.
+	MeanDiff TestStat = iota
+	// VarDiff is |σ²X − σ²Y|, the statistic for variance-greater insights.
+	VarDiff
+	// MedianDiff is |median(X) − median(Y)|, the statistic for the
+	// median-greater extension type (the paper's §7 future work: new
+	// insight types need a statistic, a hypothesis query, and adapted
+	// scoring — this is the statistic).
+	MedianDiff
+)
+
+func (s TestStat) String() string {
+	switch s {
+	case MeanDiff:
+		return "|mean(X)-mean(Y)|"
+	case VarDiff:
+		return "|var(X)-var(Y)|"
+	case MedianDiff:
+		return "|median(X)-median(Y)|"
+	default:
+		return "TestStat(?)"
+	}
+}
+
+// PairPerm holds a fixed set of label permutations for a two-sample test
+// where side X has nx elements and side Y has ny. The paper's optimization
+// of §5.1.1 — "we use the same permutations to check all possible insights
+// on different measures for a given attribute" — is exactly reusing one
+// PairPerm across measures: the pooled rows are the same, only the measure
+// vector changes.
+//
+// Only the X-side index sets are stored (the Y side is the complement):
+// for the mean and variance statistics the Y-side moments are derived from
+// the pooled totals, so each permutation costs O(nx) instead of O(nx+ny).
+type PairPerm struct {
+	nx, ny int
+	xIdx   [][]int32 // per permutation: the pooled indexes labelled X
+}
+
+// NewPairPerm draws nperm independent permutations of the pooled labels.
+func NewPairPerm(nx, ny, nperm int, rng *rand.Rand) *PairPerm {
+	n := nx + ny
+	p := &PairPerm{nx: nx, ny: ny, xIdx: make([][]int32, nperm)}
+	scratch := make([]int32, n)
+	for i := range scratch {
+		scratch[i] = int32(i)
+	}
+	for k := 0; k < nperm; k++ {
+		// Partial Fisher–Yates: only the first nx draws are needed to
+		// label side X uniformly.
+		for i := 0; i < nx && i < n-1; i++ {
+			j := i + rng.Intn(n-i)
+			scratch[i], scratch[j] = scratch[j], scratch[i]
+		}
+		p.xIdx[k] = append([]int32(nil), scratch[:nx]...)
+	}
+	return p
+}
+
+// NumPerms returns the number of stored permutations.
+func (p *PairPerm) NumPerms() int { return len(p.xIdx) }
+
+// PValue runs the permutation test on pooled, which must contain side X's
+// values followed by side Y's (len = nx+ny). It returns the observed
+// statistic and the one-tailed p-value
+//
+//	p = (1 + #{permuted stat ≥ observed}) / (nperm + 1)
+//
+// with the +1 smoothing that keeps p > 0. NaN values in pooled must have
+// been filtered by the caller; if the pool is too small for the statistic
+// the p-value is 1 (nothing can be concluded).
+func (p *PairPerm) PValue(pooled []float64, stat TestStat) (obs, pvalue float64) {
+	if len(pooled) != p.nx+p.ny {
+		panic("stats: pooled length does not match PairPerm sides")
+	}
+	if p.nx == 0 || p.ny == 0 {
+		return math.NaN(), 1
+	}
+	var total, totalSq float64
+	for _, v := range pooled {
+		total += v
+		totalSq += v * v
+	}
+	obs = p.statistic(pooled, nil, stat, total, totalSq)
+	if math.IsNaN(obs) {
+		return obs, 1
+	}
+	ge := 0
+	for _, idx := range p.xIdx {
+		if p.statistic(pooled, idx, stat, total, totalSq) >= obs {
+			ge++
+		}
+	}
+	return obs, float64(1+ge) / float64(1+len(p.xIdx))
+}
+
+// statistic computes the chosen statistic with side X being the pooled
+// positions in xIdx (or the first nx positions when xIdx is nil).
+func (p *PairPerm) statistic(pooled []float64, xIdx []int32, stat TestStat, total, totalSq float64) float64 {
+	nx, ny := float64(p.nx), float64(p.ny)
+	switch stat {
+	case MeanDiff:
+		sx := 0.0
+		if xIdx == nil {
+			for _, v := range pooled[:p.nx] {
+				sx += v
+			}
+		} else {
+			for _, i := range xIdx {
+				sx += pooled[i]
+			}
+		}
+		return math.Abs(sx/nx - (total-sx)/ny)
+	case VarDiff:
+		sx, qx := 0.0, 0.0
+		if xIdx == nil {
+			for _, v := range pooled[:p.nx] {
+				sx += v
+				qx += v * v
+			}
+		} else {
+			for _, i := range xIdx {
+				v := pooled[i]
+				sx += v
+				qx += v * v
+			}
+		}
+		mx := sx / nx
+		my := (total - sx) / ny
+		vx := qx/nx - mx*mx
+		vy := (totalSq-qx)/ny - my*my
+		return math.Abs(vx - vy)
+	case MedianDiff:
+		xs := make([]float64, p.nx)
+		ys := make([]float64, 0, p.ny)
+		if xIdx == nil {
+			copy(xs, pooled[:p.nx])
+			ys = append(ys, pooled[p.nx:]...)
+		} else {
+			inX := make([]bool, len(pooled))
+			for k, i := range xIdx {
+				xs[k] = pooled[i]
+				inX[i] = true
+			}
+			for i, v := range pooled {
+				if !inX[i] {
+					ys = append(ys, v)
+				}
+			}
+		}
+		return math.Abs(Median(xs) - Median(ys))
+	default:
+		panic("stats: unknown test statistic")
+	}
+}

@@ -1,0 +1,227 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// CSVOptions controls CSV import. The zero value infers everything.
+type CSVOptions struct {
+	// Name overrides the relation name (default: file base name, or "csv").
+	Name string
+	// Comma is the field delimiter (default ',').
+	Comma rune
+	// ForceCategorical lists column names that must be treated as
+	// categorical even if every value parses as a number (e.g. a "month"
+	// column coded 1..12).
+	ForceCategorical []string
+	// ForceNumeric lists column names that must be treated as measures.
+	// Non-numeric cells in forced-numeric columns become NaN.
+	ForceNumeric []string
+	// Drop lists column names to ignore entirely.
+	Drop []string
+	// MaxCategoricalCardinality: an inferred-categorical column whose
+	// distinct-value count exceeds this is dropped with a warning entry in
+	// the returned report, since grouping by a key-like column is
+	// meaningless (cf. the paper's FD pre-processing). 0 means no limit.
+	MaxCategoricalCardinality int
+}
+
+// CSVReport describes what the loader decided.
+type CSVReport struct {
+	Categorical []string
+	Numeric     []string
+	Dropped     []string
+	Rows        int
+}
+
+// FromCSVFile loads a relation from a CSV file with a header row.
+func FromCSVFile(path string, opts CSVOptions) (*Relation, *CSVReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	if opts.Name == "" {
+		base := filepath.Base(path)
+		opts.Name = strings.TrimSuffix(base, filepath.Ext(base))
+	}
+	return FromCSV(f, opts)
+}
+
+// FromCSV loads a relation from CSV data with a header row, inferring for
+// each column whether it is a categorical attribute or a numeric measure:
+// a column where every non-empty cell parses as a float is numeric, all
+// others are categorical. The paper assumes the user "only has to
+// distinguish between numeric and categorical attributes"; the Force*
+// options are that knob.
+func FromCSV(r io.Reader, opts CSVOptions) (*Relation, *CSVReport, error) {
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.ReuseRecord = true
+	cr.FieldsPerRecord = -1
+
+	header, err := cr.Read()
+	if err != nil {
+		return nil, nil, fmt.Errorf("table: reading CSV header: %w", err)
+	}
+	names := append([]string(nil), header...)
+	ncol := len(names)
+	if ncol == 0 {
+		return nil, nil, fmt.Errorf("table: CSV has no columns")
+	}
+
+	var records [][]string
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("table: reading CSV row %d: %w", len(records)+2, err)
+		}
+		if len(rec) != ncol {
+			return nil, nil, fmt.Errorf("table: CSV row %d has %d fields, want %d", len(records)+2, len(rec), ncol)
+		}
+		records = append(records, append([]string(nil), rec...))
+	}
+
+	forceCat := toSet(opts.ForceCategorical)
+	forceNum := toSet(opts.ForceNumeric)
+	drop := toSet(opts.Drop)
+
+	kind := make([]Kind, ncol)
+	dropped := make([]bool, ncol)
+	for c := 0; c < ncol; c++ {
+		switch {
+		case drop[names[c]]:
+			dropped[c] = true
+		case forceCat[names[c]]:
+			kind[c] = Categorical
+		case forceNum[names[c]]:
+			kind[c] = Numeric
+		case columnIsNumeric(records, c):
+			kind[c] = Numeric
+		default:
+			kind[c] = Categorical
+		}
+	}
+
+	if opts.MaxCategoricalCardinality > 0 {
+		for c := 0; c < ncol; c++ {
+			if dropped[c] || kind[c] != Categorical || forceCat[names[c]] {
+				continue
+			}
+			if distinctCount(records, c, opts.MaxCategoricalCardinality) > opts.MaxCategoricalCardinality {
+				dropped[c] = true
+			}
+		}
+	}
+
+	var catNames, measNames []string
+	var catIdx, measIdx []int
+	report := &CSVReport{Rows: len(records)}
+	for c := 0; c < ncol; c++ {
+		switch {
+		case dropped[c]:
+			report.Dropped = append(report.Dropped, names[c])
+		case kind[c] == Categorical:
+			catNames = append(catNames, names[c])
+			catIdx = append(catIdx, c)
+		default:
+			measNames = append(measNames, names[c])
+			measIdx = append(measIdx, c)
+		}
+	}
+	report.Categorical = catNames
+	report.Numeric = measNames
+
+	name := opts.Name
+	if name == "" {
+		name = "csv"
+	}
+	b := NewBuilder(name, catNames, measNames)
+	cats := make([]string, len(catIdx))
+	meas := make([]float64, len(measIdx))
+	for _, rec := range records {
+		for i, c := range catIdx {
+			cats[i] = rec[c]
+		}
+		for i, c := range measIdx {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rec[c]), 64)
+			if err != nil {
+				v = math.NaN()
+			}
+			meas[i] = v
+		}
+		b.AddRow(cats, meas)
+	}
+	return b.Build(), report, nil
+}
+
+// WriteCSV writes the relation as CSV with a header row, categorical
+// attributes first. It is the inverse of FromCSV for relations without NaN
+// measures.
+func (r *Relation) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append(append([]string{}, r.catNames...), r.measNames...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for i := 0; i < r.rows; i++ {
+		for a := range r.catNames {
+			rec[a] = r.catDicts[a][r.catCols[a][i]]
+		}
+		for m := range r.measNames {
+			rec[len(r.catNames)+m] = strconv.FormatFloat(r.measCols[m][i], 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func toSet(ss []string) map[string]bool {
+	m := make(map[string]bool, len(ss))
+	for _, s := range ss {
+		m[s] = true
+	}
+	return m
+}
+
+func columnIsNumeric(records [][]string, c int) bool {
+	seen := false
+	for _, rec := range records {
+		cell := strings.TrimSpace(rec[c])
+		if cell == "" {
+			continue
+		}
+		seen = true
+		if _, err := strconv.ParseFloat(cell, 64); err != nil {
+			return false
+		}
+	}
+	return seen
+}
+
+func distinctCount(records [][]string, c, cap int) int {
+	seen := make(map[string]struct{}, cap+1)
+	for _, rec := range records {
+		seen[rec[c]] = struct{}{}
+		if len(seen) > cap {
+			break
+		}
+	}
+	return len(seen)
+}

@@ -1,0 +1,156 @@
+package table
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `continent,month,cases,rate
+Africa,4,31598,0.5
+America,4,1104862,1.25
+Africa,5,92626,0.8
+America,5,1404912,2.0
+`
+
+func TestFromCSVInference(t *testing.T) {
+	r, rep, err := FromCSV(strings.NewReader(sampleCSV), CSVOptions{Name: "covid", ForceCategorical: []string{"month"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.Categorical, []string{"continent", "month"}) {
+		t.Errorf("Categorical = %v", rep.Categorical)
+	}
+	if !reflect.DeepEqual(rep.Numeric, []string{"cases", "rate"}) {
+		t.Errorf("Numeric = %v", rep.Numeric)
+	}
+	if r.NumRows() != 4 || rep.Rows != 4 {
+		t.Errorf("rows = %d/%d, want 4", r.NumRows(), rep.Rows)
+	}
+	if got := r.MeasCol(1)[1]; got != 1.25 {
+		t.Errorf("rate[1] = %v, want 1.25", got)
+	}
+}
+
+func TestFromCSVMonthNumericWithoutForce(t *testing.T) {
+	r, rep, err := FromCSV(strings.NewReader(sampleCSV), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Numeric) != 3 {
+		t.Errorf("Numeric = %v, want month inferred numeric", rep.Numeric)
+	}
+	if r.NumCatAttrs() != 1 {
+		t.Errorf("NumCatAttrs = %d, want 1", r.NumCatAttrs())
+	}
+}
+
+func TestFromCSVForceNumericBadCellsBecomeNaN(t *testing.T) {
+	data := "a,m\nx,1\ny,oops\n"
+	r, _, err := FromCSV(strings.NewReader(data), CSVOptions{ForceNumeric: []string{"m"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(r.MeasCol(0)[1]) {
+		t.Errorf("bad cell = %v, want NaN", r.MeasCol(0)[1])
+	}
+}
+
+func TestFromCSVDrop(t *testing.T) {
+	r, rep, err := FromCSV(strings.NewReader(sampleCSV), CSVOptions{Drop: []string{"rate"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.Dropped, []string{"rate"}) {
+		t.Errorf("Dropped = %v", rep.Dropped)
+	}
+	if r.MeasIndexOf("rate") != -1 {
+		t.Error("dropped column still present")
+	}
+}
+
+func TestFromCSVMaxCardinalityDropsKeyLike(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("id,grp,m\n")
+	for i := 0; i < 100; i++ {
+		sb.WriteString("row")
+		sb.WriteByte(byte('0' + i%10))
+		sb.WriteString(string(rune('a' + i%26)))
+		sb.WriteString(string(rune('A'+i/26)) + ",g,1\n")
+	}
+	r, rep, err := FromCSV(strings.NewReader(sb.String()), CSVOptions{MaxCategoricalCardinality: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Dropped) != 1 || rep.Dropped[0] != "id" {
+		t.Errorf("Dropped = %v, want [id]", rep.Dropped)
+	}
+	if r.CatIndexOf("grp") == -1 {
+		t.Error("low-cardinality column was dropped")
+	}
+}
+
+func TestFromCSVErrors(t *testing.T) {
+	if _, _, err := FromCSV(strings.NewReader(""), CSVOptions{}); err == nil {
+		t.Error("empty input: want error")
+	}
+	if _, _, err := FromCSV(strings.NewReader("a,b\n1\n"), CSVOptions{}); err == nil {
+		t.Error("ragged row: want error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r1, _, err := FromCSV(strings.NewReader(sampleCSV), CSVOptions{Name: "covid", ForceCategorical: []string{"month"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r1.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := FromCSV(&buf, CSVOptions{Name: "covid", ForceCategorical: []string{"month"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.NumRows() != r1.NumRows() {
+		t.Fatalf("round trip rows = %d, want %d", r2.NumRows(), r1.NumRows())
+	}
+	for i := 0; i < r1.NumRows(); i++ {
+		if r1.Row(i) != r2.Row(i) {
+			t.Errorf("row %d: %s != %s", i, r1.Row(i), r2.Row(i))
+		}
+	}
+}
+
+func TestFromCSVFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "mini.csv")
+	if err := os.WriteFile(path, []byte(sampleCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, _, err := FromCSVFile(path, CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "mini" {
+		t.Errorf("Name = %q, want mini (from file name)", r.Name())
+	}
+	if _, _, err := FromCSVFile(filepath.Join(dir, "absent.csv"), CSVOptions{}); err == nil {
+		t.Error("missing file: want error")
+	}
+}
+
+func TestFromCSVCustomComma(t *testing.T) {
+	data := "a;m\nx;1\ny;2\n"
+	r, _, err := FromCSV(strings.NewReader(data), CSVOptions{Comma: ';'})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumRows() != 2 || r.NumMeasures() != 1 {
+		t.Errorf("semicolon CSV parsed wrong: rows=%d meas=%d", r.NumRows(), r.NumMeasures())
+	}
+}

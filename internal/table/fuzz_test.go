@@ -1,0 +1,102 @@
+package table
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickCSVNeverPanics feeds arbitrary text through the CSV loader: it
+// may return an error but must never panic, and a successful load must
+// have consistent shape.
+func TestQuickCSVNeverPanics(t *testing.T) {
+	f := func(body string) bool {
+		rel, rep, err := FromCSV(strings.NewReader(body), CSVOptions{Name: "fuzz"})
+		if err != nil {
+			return true
+		}
+		if rel.NumRows() != rep.Rows {
+			return false
+		}
+		if rel.NumCatAttrs() != len(rep.Categorical) || rel.NumMeasures() != len(rep.Numeric) {
+			return false
+		}
+		for a := 0; a < rel.NumCatAttrs(); a++ {
+			if len(rel.CatCol(a)) != rel.NumRows() {
+				return false
+			}
+		}
+		for m := 0; m < rel.NumMeasures(); m++ {
+			if len(rel.MeasCol(m)) != rel.NumRows() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCSVRoundTripStable: loading the CSV we wrote produces the same
+// relation (for relations without NaN and without embedded newlines that
+// the csv writer would quote — WriteCSV handles quoting, so any values
+// are fine).
+func TestQuickCSVRoundTripStable(t *testing.T) {
+	f := func(vals []string, meas []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for _, v := range meas {
+			if v != v { // skip NaN inputs
+				return true
+			}
+		}
+		b := NewBuilder("q", []string{"a"}, []string{"m"})
+		for i, v := range vals {
+			mv := 0.0
+			if len(meas) > 0 {
+				mv = meas[i%len(meas)]
+			}
+			b.AddRow([]string{v}, []float64{mv})
+		}
+		r1 := b.Build()
+		var sb strings.Builder
+		if err := r1.WriteCSV(&sb); err != nil {
+			return false
+		}
+		r2, _, err := FromCSV(strings.NewReader(sb.String()), CSVOptions{
+			Name:             "q",
+			ForceCategorical: []string{"a"},
+			ForceNumeric:     []string{"m"},
+		})
+		if err != nil {
+			// encoding/csv cannot represent a lone "\r" etc.; an error is
+			// acceptable, silent corruption is not.
+			return true
+		}
+		if r2.NumRows() != r1.NumRows() {
+			return false
+		}
+		for i := 0; i < r1.NumRows(); i++ {
+			v1 := r1.Value(0, r1.CatCol(0)[i])
+			v2 := r2.Value(0, r2.CatCol(0)[i])
+			if normalizeCRLF(v1) != normalizeCRLF(v2) {
+				return false
+			}
+			if r1.MeasCol(0)[i] != r2.MeasCol(0)[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// normalizeCRLF mirrors encoding/csv's documented newline normalisation
+// inside quoted fields.
+func normalizeCRLF(s string) string {
+	return strings.ReplaceAll(s, "\r\n", "\n")
+}

@@ -1,0 +1,90 @@
+package tap
+
+import "sort"
+
+// Greedy is the paper's Algorithm 3: an adaptation of the classic "sort by
+// item efficiency" knapsack heuristic. Queries are sorted by
+// interest/cost descending; each is inserted at the position minimising
+// the sequence's total distance, and kept only if both the budget ε_t and
+// the distance bound ε_d still hold.
+func Greedy(inst *Instance, epsT, epsD float64) Solution {
+	n := inst.N()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		wa := inst.Interest[order[a]] / inst.Cost[order[a]]
+		wb := inst.Interest[order[b]] / inst.Cost[order[b]]
+		return wa > wb
+	})
+
+	var seq []int
+	t := 0.0
+	curDist := 0.0
+	for _, q := range order {
+		if t+inst.Cost[q] > epsT {
+			continue
+		}
+		pos, newDist := bestInsertion(inst, seq, curDist, q)
+		if newDist > epsD {
+			continue
+		}
+		seq = append(seq, 0)
+		copy(seq[pos+1:], seq[pos:])
+		seq[pos] = q
+		t += inst.Cost[q]
+		curDist = newDist
+	}
+	return inst.Evaluate(seq)
+}
+
+// bestInsertion finds the position (0..len(seq)) at which inserting q
+// minimises the sequence's total consecutive distance, returning the
+// position and the resulting total.
+func bestInsertion(inst *Instance, seq []int, curDist float64, q int) (pos int, newDist float64) {
+	if len(seq) == 0 {
+		return 0, 0
+	}
+	bestPos, bestDelta := 0, inst.Dist(q, seq[0])
+	if d := inst.Dist(seq[len(seq)-1], q); d < bestDelta {
+		bestPos, bestDelta = len(seq), d
+	}
+	for i := 0; i+1 < len(seq); i++ {
+		delta := inst.Dist(seq[i], q) + inst.Dist(q, seq[i+1]) - inst.Dist(seq[i], seq[i+1])
+		if delta < bestDelta {
+			bestPos, bestDelta = i+1, delta
+		}
+	}
+	return bestPos, curDist + bestDelta
+}
+
+// TopK is the baseline of §6.4: pick the ε_t/min-cost most interesting
+// queries regardless of distance, then order them with the same insertion
+// rule so the sequence is comparable. It ignores ε_d by design — that is
+// what makes it a baseline.
+func TopK(inst *Instance, epsT float64) Solution {
+	n := inst.N()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return inst.Interest[order[a]] > inst.Interest[order[b]]
+	})
+	var seq []int
+	t := 0.0
+	curDist := 0.0
+	for _, q := range order {
+		if t+inst.Cost[q] > epsT {
+			continue
+		}
+		pos, newDist := bestInsertion(inst, seq, curDist, q)
+		seq = append(seq, 0)
+		copy(seq[pos+1:], seq[pos:])
+		seq[pos] = q
+		t += inst.Cost[q]
+		curDist = newDist
+	}
+	return inst.Evaluate(seq)
+}

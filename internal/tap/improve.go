@@ -1,0 +1,100 @@
+package tap
+
+import "sort"
+
+// Improve2Opt applies 2-opt segment reversals to an ordering until no
+// reversal shortens the path, returning the improved order and its total
+// distance. For an open path, reversing order[i..j] replaces the two
+// boundary edges; endpoints are handled by treating the missing edge as
+// zero. This is the classic TSP local search, used here to free distance
+// budget so more queries fit under ε_d.
+func Improve2Opt(inst *Instance, order []int) ([]int, float64) {
+	out := append([]int(nil), order...)
+	n := len(out)
+	if n < 3 {
+		return out, inst.Evaluate(out).TotalDist
+	}
+	edge := func(a, b int) float64 {
+		if a < 0 || b >= n {
+			return 0 // virtual edge beyond an endpoint
+		}
+		return inst.Dist(out[a], out[b])
+	}
+	improved := true
+	for improved {
+		improved = false
+		for i := 0; i < n-1; i++ {
+			for j := i + 1; j < n; j++ {
+				// Reverse out[i..j]: edges (i−1,i) and (j,j+1) become
+				// (i−1,j) and (i,j+1).
+				before := edge(i-1, i) + edge(j, j+1)
+				after := 0.0
+				if i-1 >= 0 {
+					after += inst.Dist(out[i-1], out[j])
+				}
+				if j+1 < n {
+					after += inst.Dist(out[i], out[j+1])
+				}
+				if after < before-1e-12 {
+					for l, r := i, j; l < r; l, r = l+1, r-1 {
+						out[l], out[r] = out[r], out[l]
+					}
+					improved = true
+				}
+			}
+		}
+	}
+	return out, inst.Evaluate(out).TotalDist
+}
+
+// GreedyPlus extends Algorithm 3 with local search (a "tuning of the
+// notebook generators" of the kind §7 lists as future work): after the
+// greedy construction, alternate 2-opt path improvement with further
+// insertion attempts — the distance freed by reordering often lets
+// queries rejected by plain Algorithm 3 fit after all. The result is
+// never worse than Greedy's in total interest.
+func GreedyPlus(inst *Instance, epsT, epsD float64) Solution {
+	base := Greedy(inst, epsT, epsD)
+	seq := append([]int(nil), base.Order...)
+	in := make([]bool, inst.N())
+	for _, q := range seq {
+		in[q] = true
+	}
+	cost := base.TotalCost
+
+	order := make([]int, inst.N())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		wa := inst.Interest[order[a]] / inst.Cost[order[a]]
+		wb := inst.Interest[order[b]] / inst.Cost[order[b]]
+		return wa > wb
+	})
+
+	for rounds := 0; rounds < 8; rounds++ {
+		var dist float64
+		seq, dist = Improve2Opt(inst, seq)
+		added := false
+		for _, q := range order {
+			if in[q] || cost+inst.Cost[q] > epsT {
+				continue
+			}
+			pos, newDist := bestInsertion(inst, seq, dist, q)
+			if newDist > epsD {
+				continue
+			}
+			seq = append(seq, 0)
+			copy(seq[pos+1:], seq[pos:])
+			seq[pos] = q
+			in[q] = true
+			cost += inst.Cost[q]
+			dist = newDist
+			added = true
+		}
+		if !added {
+			break
+		}
+	}
+	return inst.Evaluate(seq)
+}

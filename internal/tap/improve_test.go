@@ -1,0 +1,95 @@
+package tap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestImprove2OptReducesDistance(t *testing.T) {
+	// Points on a line visited in a zig-zag: 2-opt must recover the
+	// monotone order.
+	inst := lineInstance([]float64{1, 1, 1, 1, 1}, []float64{0, 10, 2, 8, 4})
+	order := []int{0, 1, 2, 3, 4} // zig-zag: 0,10,2,8,4 → dist 34
+	improved, dist := Improve2Opt(inst, order)
+	if dist > 10+1e-9 {
+		t.Errorf("2-opt dist = %v, want the monotone path length 10", dist)
+	}
+	if len(improved) != 5 {
+		t.Fatal("2-opt lost items")
+	}
+	seen := map[int]bool{}
+	for _, q := range improved {
+		seen[q] = true
+	}
+	if len(seen) != 5 {
+		t.Error("2-opt duplicated items")
+	}
+}
+
+func TestImprove2OptSmallInputs(t *testing.T) {
+	inst := lineInstance([]float64{1, 1}, []float64{0, 5})
+	if _, d := Improve2Opt(inst, nil); d != 0 {
+		t.Errorf("empty: %v", d)
+	}
+	if _, d := Improve2Opt(inst, []int{1}); d != 0 {
+		t.Errorf("single: %v", d)
+	}
+	if _, d := Improve2Opt(inst, []int{0, 1}); d != 5 {
+		t.Errorf("pair: %v", d)
+	}
+}
+
+func TestImprove2OptNeverWorse(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 30; trial++ {
+		inst := RandomInstance(20, rng)
+		order := rng.Perm(20)[:5+rng.Intn(10)]
+		before := inst.Evaluate(order).TotalDist
+		_, after := Improve2Opt(inst, order)
+		if after > before+1e-9 {
+			t.Fatalf("2-opt worsened the path: %v → %v", before, after)
+		}
+	}
+}
+
+// TestGreedyPlusDominatesGreedy: the local-search extension must be at
+// least as good as Algorithm 3 in total interest and stay feasible.
+func TestGreedyPlusDominatesGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	improvedSomewhere := false
+	for trial := 0; trial < 25; trial++ {
+		var inst *Instance
+		if trial%2 == 0 {
+			inst = RandomInstance(80, rng)
+		} else {
+			inst = RandomUniformInstance(80, rng)
+		}
+		// ε_d tight enough that plain Algorithm 3 is distance-starved —
+		// the regime where freeing budget by reordering pays off.
+		epsT, epsD := 10.0, 0.45
+		g := Greedy(inst, epsT, epsD)
+		gp := GreedyPlus(inst, epsT, epsD)
+		if err := inst.Feasible(gp, epsT, epsD); err != nil {
+			t.Fatalf("trial %d: GreedyPlus infeasible: %v", trial, err)
+		}
+		if gp.TotalInterest < g.TotalInterest-1e-9 {
+			t.Fatalf("trial %d: GreedyPlus %v worse than Greedy %v",
+				trial, gp.TotalInterest, g.TotalInterest)
+		}
+		if gp.TotalInterest > g.TotalInterest+1e-9 {
+			improvedSomewhere = true
+		}
+	}
+	if !improvedSomewhere {
+		t.Error("GreedyPlus never improved on Greedy across 25 instances; local search inert")
+	}
+}
+
+func TestGreedyPlusRespectsBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	inst := RandomInstance(50, rng)
+	gp := GreedyPlus(inst, 6, 1.0)
+	if len(gp.Order) > 6 {
+		t.Errorf("GreedyPlus exceeded budget: %d queries", len(gp.Order))
+	}
+}

@@ -1,0 +1,106 @@
+package tap
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestRandomUniformInstanceShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	inst := RandomUniformInstance(30, rng)
+	if !inst.NonMetric {
+		t.Fatal("uniform instance must be flagged NonMetric")
+	}
+	for i := 0; i < 30; i++ {
+		if inst.Dist(i, i) != 0 {
+			t.Errorf("Dist(%d,%d) = %v", i, i, inst.Dist(i, i))
+		}
+		for j := 0; j < 30; j++ {
+			if inst.Dist(i, j) != inst.Dist(j, i) {
+				t.Fatal("asymmetric")
+			}
+			if d := inst.Dist(i, j); d < 0 || d > 1 {
+				t.Fatalf("distance %v outside [0,1]", d)
+			}
+		}
+	}
+}
+
+// TestSolveExactNonMetricMatchesBruteForce: with metric prunings disabled
+// the solver must still be exact on instances violating the triangle
+// inequality.
+func TestSolveExactNonMetricMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 12; trial++ {
+		inst := RandomUniformInstance(9, rng)
+		epsT := float64(3 + rng.Intn(3))
+		epsD := 0.3 + rng.Float64()
+		want := bruteForce(inst, epsT, epsD)
+		got, stats := SolveExact(inst, epsT, epsD, ExactOptions{})
+		if !stats.Certified {
+			t.Fatalf("trial %d: not certified", trial)
+		}
+		if math.Abs(got.TotalInterest-want) > 1e-9 {
+			t.Errorf("trial %d: exact = %v, brute force = %v", trial, got.TotalInterest, want)
+		}
+		if err := inst.Feasible(got, epsT, epsD); err != nil {
+			t.Errorf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestNonMetricTriangleViolationHandled builds an adversarial instance
+// where a "shortcut through a hub" makes a superset cheaper than its
+// subset — the exact case the metric prunings would get wrong.
+func TestNonMetricTriangleViolationHandled(t *testing.T) {
+	// Queries 0 and 1 are far apart (d=10) but both near query 2 (d=0.1):
+	// the pair {0,1} is infeasible under ε_d=1, yet {0,1,2} is feasible
+	// (path 0-2-1 costs 0.2). A metric-pruning solver would cut the {0,1}
+	// branch and miss the optimum.
+	d := [][]float64{
+		{0, 10, 0.1},
+		{10, 0, 0.1},
+		{0.1, 0.1, 0},
+	}
+	inst := &Instance{
+		Interest:  []float64{1, 1, 0.01},
+		Cost:      []float64{1, 1, 1},
+		Dist:      func(i, j int) float64 { return d[i][j] },
+		NonMetric: true,
+	}
+	sol, stats := SolveExact(inst, 3, 1, ExactOptions{})
+	if !stats.Certified {
+		t.Fatal("not certified")
+	}
+	if math.Abs(sol.TotalInterest-2.01) > 1e-9 {
+		t.Errorf("optimal interest = %v, want 2.01 (all three via the hub)", sol.TotalInterest)
+	}
+	if err := inst.Feasible(sol, 3, 1); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNonMetricGreedyStillFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 10; trial++ {
+		inst := RandomUniformInstance(80, rng)
+		s := Greedy(inst, 10, 0.8)
+		if err := inst.Feasible(s, 10, 0.8); err != nil {
+			t.Fatalf("greedy infeasible on uniform instance: %v", err)
+		}
+	}
+}
+
+func TestNonMetricTimeoutIncumbent(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	inst := RandomUniformInstance(300, rng)
+	sol, stats := SolveExact(inst, 12, 0.5, ExactOptions{Timeout: 30 * time.Millisecond})
+	if !stats.TimedOut {
+		t.Skip("solved within 30ms")
+	}
+	if err := inst.Feasible(sol, 12, 0.5); err != nil {
+		t.Errorf("incumbent infeasible: %v", err)
+	}
+}

@@ -1,0 +1,161 @@
+// Package tap implements the Traveling Analyst Problem (Def. 4.1): pick a
+// sequence of queries maximising total interestingness under a cost budget
+// ε_t, with the distance objective turned into the ε-constraint
+// Σ dist(q_i, q_{i+1}) ≤ ε_d as in §5.3. It provides:
+//
+//   - Greedy: the paper's Algorithm 3 ("sort by item efficiency" with
+//     best-position insertion);
+//   - TopK: the baseline of §6.4 (top ε_t queries by interestingness);
+//   - SolveExact: a branch-and-bound exact solver standing in for the
+//     CPLEX model, with a wall-clock timeout (Table 4's behaviour);
+//   - RandomInstance: the artificial instances of §6.2.
+package tap
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Instance is a TAP instance over N queries.
+type Instance struct {
+	Interest []float64
+	Cost     []float64
+	// Dist returns the distance between queries i and j. It must be
+	// symmetric with zero diagonal.
+	Dist func(i, j int) float64
+	// NonMetric declares that Dist may violate the triangle inequality
+	// (e.g. the i.i.d.-uniform artificial instances of §6.2). The exact
+	// solver then disables its metric-only superset prunings and relies on
+	// the interest bound alone — slower, still exact.
+	NonMetric bool
+}
+
+// N returns the number of queries.
+func (inst *Instance) N() int { return len(inst.Interest) }
+
+// Solution is an ordered selection of queries.
+type Solution struct {
+	Order         []int
+	TotalInterest float64
+	TotalCost     float64
+	TotalDist     float64
+}
+
+// Evaluate recomputes the totals of an ordering against the instance.
+func (inst *Instance) Evaluate(order []int) Solution {
+	s := Solution{Order: append([]int(nil), order...)}
+	for k, q := range order {
+		s.TotalInterest += inst.Interest[q]
+		s.TotalCost += inst.Cost[q]
+		if k > 0 {
+			s.TotalDist += inst.Dist(order[k-1], q)
+		}
+	}
+	return s
+}
+
+// Feasible reports whether the solution respects the budget and distance
+// bounds and repeats no query.
+func (inst *Instance) Feasible(s Solution, epsT, epsD float64) error {
+	seen := make(map[int]bool, len(s.Order))
+	for _, q := range s.Order {
+		if q < 0 || q >= inst.N() {
+			return fmt.Errorf("tap: query index %d out of range", q)
+		}
+		if seen[q] {
+			return fmt.Errorf("tap: query %d repeated", q)
+		}
+		seen[q] = true
+	}
+	e := inst.Evaluate(s.Order)
+	if e.TotalCost > epsT+1e-9 {
+		return fmt.Errorf("tap: cost %v exceeds budget %v", e.TotalCost, epsT)
+	}
+	if e.TotalDist > epsD+1e-9 {
+		return fmt.Errorf("tap: distance %v exceeds bound %v", e.TotalDist, epsD)
+	}
+	return nil
+}
+
+// RandomUniformInstance generates the §6.2 artificial instances exactly as
+// described: uniform distributions of interestingness, cost (unit — §4.2)
+// and pairwise distances. I.i.d. uniform distances are symmetric but not a
+// metric, which is fine for the solvers (CPLEX in the paper does not
+// assume metricity either); the instance is flagged NonMetric.
+func RandomUniformInstance(n int, rng *rand.Rand) *Instance {
+	interest := make([]float64, n)
+	cost := make([]float64, n)
+	d := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		interest[i] = rng.Float64()
+		cost[i] = 1
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := rng.Float64()
+			d[i][j], d[j][i] = v, v
+		}
+	}
+	return &Instance{
+		Interest:  interest,
+		Cost:      cost,
+		Dist:      func(i, j int) float64 { return d[i][j] },
+		NonMetric: true,
+	}
+}
+
+// RandomInstance generates a metric artificial instance: uniform
+// interestingness, unit costs, and distances as Euclidean distances
+// between points drawn uniformly in the unit square. Use this where the
+// solver's metric prunings should stay active; RandomUniformInstance is
+// the paper-faithful §6.2 generator.
+func RandomInstance(n int, rng *rand.Rand) *Instance {
+	interest := make([]float64, n)
+	cost := make([]float64, n)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		interest[i] = rng.Float64()
+		cost[i] = 1
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	return &Instance{
+		Interest: interest,
+		Cost:     cost,
+		Dist: func(i, j int) float64 {
+			dx, dy := xs[i]-xs[j], ys[i]-ys[j]
+			return math.Sqrt(dx*dx + dy*dy)
+		},
+	}
+}
+
+// Recall is the proportion of queries of the reference (optimal) solution
+// found by the candidate solution (§6.4, Table 6). Order is irrelevant.
+func Recall(reference, candidate Solution) float64 {
+	if len(reference.Order) == 0 {
+		return 0
+	}
+	in := make(map[int]bool, len(candidate.Order))
+	for _, q := range candidate.Order {
+		in[q] = true
+	}
+	hit := 0
+	for _, q := range reference.Order {
+		if in[q] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(reference.Order))
+}
+
+// Deviation is the relative objective gap (z_ref − z_cand) / z_ref used in
+// Table 5 (in percent when multiplied by 100).
+func Deviation(reference, candidate Solution) float64 {
+	if reference.TotalInterest == 0 {
+		return 0
+	}
+	return (reference.TotalInterest - candidate.TotalInterest) / reference.TotalInterest
+}

@@ -1,0 +1,174 @@
+package tap
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRandomInstanceProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	inst := RandomInstance(50, rng)
+	if inst.N() != 50 {
+		t.Fatalf("N = %d", inst.N())
+	}
+	for i := 0; i < 50; i++ {
+		if inst.Cost[i] != 1 {
+			t.Errorf("cost[%d] = %v, want 1", i, inst.Cost[i])
+		}
+		if inst.Interest[i] < 0 || inst.Interest[i] > 1 {
+			t.Errorf("interest[%d] = %v out of [0,1]", i, inst.Interest[i])
+		}
+		if inst.Dist(i, i) != 0 {
+			t.Errorf("Dist(%d,%d) = %v", i, i, inst.Dist(i, i))
+		}
+	}
+	// Metric sanity on random triples.
+	for k := 0; k < 500; k++ {
+		a, b, c := rng.Intn(50), rng.Intn(50), rng.Intn(50)
+		if inst.Dist(a, b) != inst.Dist(b, a) {
+			t.Fatal("asymmetric distance")
+		}
+		if inst.Dist(a, c) > inst.Dist(a, b)+inst.Dist(b, c)+1e-12 {
+			t.Fatal("triangle inequality violated")
+		}
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	inst := lineInstance([]float64{3, 1, 2}, []float64{0, 1, 3})
+	s := inst.Evaluate([]int{0, 1, 2})
+	if s.TotalInterest != 6 || s.TotalCost != 3 {
+		t.Errorf("interest=%v cost=%v", s.TotalInterest, s.TotalCost)
+	}
+	if s.TotalDist != 3 { // |0-1| + |1-3|
+		t.Errorf("dist = %v, want 3", s.TotalDist)
+	}
+}
+
+// lineInstance puts queries on a 1-D line: distances are absolute
+// differences of positions, costs are 1.
+func lineInstance(interest, pos []float64) *Instance {
+	cost := make([]float64, len(interest))
+	for i := range cost {
+		cost[i] = 1
+	}
+	return &Instance{
+		Interest: interest,
+		Cost:     cost,
+		Dist:     func(i, j int) float64 { return math.Abs(pos[i] - pos[j]) },
+	}
+}
+
+func TestFeasible(t *testing.T) {
+	inst := lineInstance([]float64{1, 1, 1}, []float64{0, 1, 2})
+	good := inst.Evaluate([]int{0, 1})
+	if err := inst.Feasible(good, 2, 5); err != nil {
+		t.Errorf("feasible solution rejected: %v", err)
+	}
+	if err := inst.Feasible(good, 1, 5); err == nil {
+		t.Error("over-budget solution accepted")
+	}
+	if err := inst.Feasible(inst.Evaluate([]int{0, 2}), 5, 1); err == nil {
+		t.Error("over-distance solution accepted")
+	}
+	if err := inst.Feasible(Solution{Order: []int{0, 0}}, 5, 5); err == nil {
+		t.Error("repeated query accepted")
+	}
+	if err := inst.Feasible(Solution{Order: []int{7}}, 5, 5); err == nil {
+		t.Error("out-of-range query accepted")
+	}
+}
+
+func TestRecallAndDeviation(t *testing.T) {
+	ref := Solution{Order: []int{1, 2, 3, 4}, TotalInterest: 10}
+	cand := Solution{Order: []int{4, 9, 2}, TotalInterest: 8}
+	if got := Recall(ref, cand); got != 0.5 {
+		t.Errorf("Recall = %v, want 0.5", got)
+	}
+	if got := Deviation(ref, cand); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("Deviation = %v, want 0.2", got)
+	}
+	if got := Recall(Solution{}, cand); got != 0 {
+		t.Errorf("Recall vs empty ref = %v", got)
+	}
+}
+
+func TestGreedyRespectsBudgetAndDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		inst := RandomInstance(60, rng)
+		epsT, epsD := 8.0, 1.5
+		s := Greedy(inst, epsT, epsD)
+		if err := inst.Feasible(s, epsT, epsD); err != nil {
+			t.Fatalf("greedy infeasible: %v", err)
+		}
+		if len(s.Order) == 0 {
+			t.Fatal("greedy found nothing on a generous instance")
+		}
+	}
+}
+
+func TestGreedyPicksHighInterestWhenUnconstrained(t *testing.T) {
+	inst := lineInstance([]float64{0.9, 0.1, 0.8, 0.2}, []float64{0, 0, 0, 0})
+	s := Greedy(inst, 2, 100)
+	if len(s.Order) != 2 {
+		t.Fatalf("picked %d queries, want 2", len(s.Order))
+	}
+	picked := map[int]bool{s.Order[0]: true, s.Order[1]: true}
+	if !picked[0] || !picked[2] {
+		t.Errorf("greedy picked %v, want {0, 2}", s.Order)
+	}
+}
+
+func TestGreedyHonorsDistanceBound(t *testing.T) {
+	// Two interesting queries far apart; a cluster of close mediocre ones.
+	inst := lineInstance(
+		[]float64{0.99, 0.98, 0.5, 0.5, 0.5},
+		[]float64{0, 100, 50, 50.1, 50.2},
+	)
+	s := Greedy(inst, 3, 1.0)
+	if err := inst.Feasible(s, 3, 1.0); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+	// It cannot hold both far queries under ε_d = 1.
+	both := 0
+	for _, q := range s.Order {
+		if q == 0 || q == 1 {
+			both++
+		}
+	}
+	if both == 2 {
+		t.Error("greedy kept two queries 100 apart under distance bound 1")
+	}
+}
+
+func TestTopKIgnoresDistance(t *testing.T) {
+	inst := lineInstance(
+		[]float64{0.99, 0.98, 0.5, 0.5},
+		[]float64{0, 100, 50, 50.1},
+	)
+	s := TopK(inst, 2)
+	picked := map[int]bool{}
+	for _, q := range s.Order {
+		picked[q] = true
+	}
+	if !picked[0] || !picked[1] {
+		t.Errorf("TopK picked %v, want the two most interesting", s.Order)
+	}
+}
+
+func TestBestInsertionPositions(t *testing.T) {
+	inst := lineInstance([]float64{1, 1, 1}, []float64{0, 10, 5})
+	// seq = [0, 1] (dist 10); inserting 2 (pos 5) in the middle keeps 10.
+	pos, d := bestInsertion(inst, []int{0, 1}, 10, 2)
+	if pos != 1 || d != 10 {
+		t.Errorf("insertion pos=%d dist=%v, want middle with dist 10", pos, d)
+	}
+	// Inserting 1 into [0] must append or prepend with dist 10.
+	pos, d = bestInsertion(inst, []int{0}, 0, 1)
+	if d != 10 {
+		t.Errorf("single insertion dist = %v", d)
+	}
+	_ = pos
+}

@@ -1,0 +1,249 @@
+// Package userstudy simulates the human evaluation of §6.5 (Figure 10).
+// The paper recruited 9 volunteers to rate 6 generated notebooks on four
+// criteria from Bar El et al. [11]. A live panel is impossible here, so a
+// stochastic rater model stands in: each criterion's latent score is a
+// fixed function of *measurable notebook features* the paper argues raters
+// respond to (informativeness ← significance and coverage; comprehensibility
+// ← conciseness and coherence; human equivalence ← diversity, which the
+// paper blames for its own low scores), plus per-rater bias and noise.
+// The model is documented here and in DESIGN.md as a substitution; the
+// resulting ranking is reported as-is and compared with the paper's
+// qualitative findings in EXPERIMENTS.md.
+package userstudy
+
+import (
+	"math"
+	"math/rand"
+
+	"comparenb/internal/metric"
+	"comparenb/internal/pipeline"
+	"comparenb/internal/stats"
+)
+
+// Criterion is one of the four rating criteria of [11] used in §6.5.
+type Criterion int
+
+const (
+	// Informativity: how well does the notebook capture dataset highlights?
+	Informativity Criterion = iota
+	// Comprehensibility: how easy is the notebook to follow?
+	Comprehensibility
+	// Expertise: how expert does the notebook composer appear?
+	Expertise
+	// HumanEquivalence: how closely does it resemble a human session?
+	HumanEquivalence
+)
+
+// AllCriteria lists the criteria in presentation order.
+var AllCriteria = []Criterion{Informativity, Comprehensibility, Expertise, HumanEquivalence}
+
+func (c Criterion) String() string {
+	switch c {
+	case Informativity:
+		return "informativity"
+	case Comprehensibility:
+		return "comprehensibility"
+	case Expertise:
+		return "expertise"
+	case HumanEquivalence:
+		return "human equivalence"
+	default:
+		return "criterion(?)"
+	}
+}
+
+// Features are the measurable notebook properties the rater model sees.
+type Features struct {
+	// MeanSig is the average significance of the insights evidenced by the
+	// notebook's queries.
+	MeanSig float64
+	// MeanCredRatio is the average credibility/|Qⁱ| of those insights.
+	MeanCredRatio float64
+	// Diversity is the mean pairwise weighted-Hamming distance between the
+	// notebook's queries (0 = clones, 1 = maximally spread).
+	Diversity float64
+	// MeanConciseness is the average conciseness score of the queries.
+	MeanConciseness float64
+	// Coverage is the fraction of the dataset's categorical attributes
+	// that appear in the notebook (as grouping or selection attribute).
+	Coverage float64
+	// NumQueries is the notebook length.
+	NumQueries int
+}
+
+// ExtractFeatures measures a generation result.
+func ExtractFeatures(res *pipeline.Result) Features {
+	seq := res.Sequence()
+	var f Features
+	f.NumQueries = len(seq)
+	if len(seq) == 0 {
+		return f
+	}
+	// Conciseness is measured with the default parameters even when the
+	// generating variant did not use conciseness in its interestingness
+	// (the sig-only Table-7 variants): the raters see the same notebooks
+	// regardless of how they were scored internally.
+	concParams := res.Config.Interest.Conciseness
+	if concParams == (metric.ConcisenessParams{}) {
+		concParams = metric.DefaultConciseness
+	}
+	attrs := map[int]bool{}
+	var sig, cred, conc float64
+	insights := 0
+	for _, sq := range seq {
+		attrs[sq.Query.GroupBy] = true
+		attrs[sq.Query.Attr] = true
+		conc += metric.Conciseness(sq.Theta, sq.Gamma, concParams)
+		for _, ins := range sq.Supported {
+			sig += ins.Sig
+			if ins.NumHypo > 0 {
+				cred += float64(ins.Credibility) / float64(ins.NumHypo)
+			}
+			insights++
+		}
+	}
+	if insights > 0 {
+		f.MeanSig = sig / float64(insights)
+		f.MeanCredRatio = cred / float64(insights)
+	}
+	f.MeanConciseness = conc / float64(len(seq))
+	f.Coverage = float64(len(attrs)) / float64(res.Relation.NumCatAttrs())
+	if len(seq) > 1 {
+		total, pairs := 0.0, 0
+		for i := range seq {
+			for j := i + 1; j < len(seq); j++ {
+				total += metric.Distance(seq[i].Query, seq[j].Query, res.Config.Weights)
+				pairs++
+			}
+		}
+		f.Diversity = total / float64(pairs)
+	}
+	return f
+}
+
+// latent computes the criterion's latent 1..7 score before rater noise.
+func latent(c Criterion, f Features) float64 {
+	// Each component is in [0, 1]; the weighted blend is mapped to 1..7.
+	blend := 0.0
+	switch c {
+	case Informativity:
+		blend = 0.45*f.MeanSig + 0.30*f.Coverage + 0.25*f.MeanCredRatio
+	case Comprehensibility:
+		blend = 0.40*f.MeanConciseness + 0.35*(1-f.Diversity) + 0.25*f.MeanSig
+	case Expertise:
+		blend = 0.40*f.MeanSig + 0.30*f.MeanConciseness + 0.30*f.MeanCredRatio
+	case HumanEquivalence:
+		// Humans mix focus with variety: peak at moderate diversity. The
+		// paper attributes its own low Human-equivalence scores to ε_d
+		// forcing very low diversity.
+		blend = 0.6*(1-math.Abs(f.Diversity-0.5)*2) + 0.4*f.Coverage
+	}
+	if blend < 0 {
+		blend = 0
+	}
+	return 1 + 6*blend
+}
+
+// Panel is a set of simulated raters.
+type Panel struct {
+	biases []float64
+	noise  float64
+	rng    *rand.Rand
+}
+
+// NewPanel creates n raters with small individual biases (N(0, 0.4)) and
+// per-rating noise sd 0.7, deterministic given the seed.
+func NewPanel(n int, seed int64) *Panel {
+	rng := rand.New(rand.NewSource(seed))
+	p := &Panel{noise: 0.7, rng: rng}
+	for i := 0; i < n; i++ {
+		p.biases = append(p.biases, rng.NormFloat64()*0.4)
+	}
+	return p
+}
+
+// NumRaters returns the panel size.
+func (p *Panel) NumRaters() int { return len(p.biases) }
+
+// Rate scores a notebook: one 1..7 rating per rater per criterion.
+func (p *Panel) Rate(f Features) map[Criterion][]float64 {
+	out := make(map[Criterion][]float64, len(AllCriteria))
+	for _, c := range AllCriteria {
+		scores := make([]float64, len(p.biases))
+		for r, bias := range p.biases {
+			v := latent(c, f) + bias + p.rng.NormFloat64()*p.noise
+			v = math.Round(v)
+			if v < 1 {
+				v = 1
+			}
+			if v > 7 {
+				v = 7
+			}
+			scores[r] = v
+		}
+		out[c] = scores
+	}
+	return out
+}
+
+// VariantScores holds the ratings of one generator variant.
+type VariantScores struct {
+	Name   string
+	Scores map[Criterion][]float64
+}
+
+// Mean returns the variant's mean score on the criterion.
+func (v VariantScores) Mean(c Criterion) float64 { return stats.Mean(v.Scores[c]) }
+
+// Compare runs the paper's t-test between two variants on a criterion,
+// answering "is the difference in evaluations significant?".
+func Compare(a, b VariantScores, c Criterion) stats.WelchResult {
+	return stats.WelchT(a.Scores[c], b.Scores[c])
+}
+
+// CronbachAlpha measures inter-rater reliability: ratings[subject][rater]
+// holds each rater's score for each subject (here: each notebook variant).
+// α = k/(k−1) · (1 − Σᵢ var(rater i) / var(subject totals)). Values near 1
+// mean the raters order the subjects consistently; NaN when fewer than two
+// raters or subjects, or when the totals do not vary.
+func CronbachAlpha(ratings [][]float64) float64 {
+	n := len(ratings)
+	if n < 2 {
+		return math.NaN()
+	}
+	k := len(ratings[0])
+	if k < 2 {
+		return math.NaN()
+	}
+	raterVarSum := 0.0
+	for r := 0; r < k; r++ {
+		col := make([]float64, n)
+		for s := 0; s < n; s++ {
+			col[s] = ratings[s][r]
+		}
+		raterVarSum += stats.Variance(col)
+	}
+	totals := make([]float64, n)
+	for s := 0; s < n; s++ {
+		totals[s] = stats.Sum(ratings[s])
+	}
+	tv := stats.Variance(totals)
+	if tv == 0 || math.IsNaN(tv) {
+		return math.NaN()
+	}
+	return float64(k) / float64(k-1) * (1 - raterVarSum/tv)
+}
+
+// AlphaByCriterion computes Cronbach's α per criterion across a set of
+// rated variants.
+func AlphaByCriterion(variants []VariantScores) map[Criterion]float64 {
+	out := make(map[Criterion]float64, len(AllCriteria))
+	for _, c := range AllCriteria {
+		var ratings [][]float64
+		for _, v := range variants {
+			ratings = append(ratings, v.Scores[c])
+		}
+		out[c] = CronbachAlpha(ratings)
+	}
+	return out
+}

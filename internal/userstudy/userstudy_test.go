@@ -1,0 +1,188 @@
+package userstudy
+
+import (
+	"testing"
+
+	"comparenb/internal/datagen"
+	"comparenb/internal/pipeline"
+)
+
+func generateResult(t *testing.T) *pipeline.Result {
+	t.Helper()
+	ds, err := datagen.Tiny(3, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pipeline.NewConfig()
+	cfg.Perms = 200
+	cfg.Seed = 2
+	cfg.EpsT = 6
+	cfg.EpsD = 2
+	cfg.Threads = 2
+	res, err := pipeline.Generate(ds.Rel, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solution.Order) == 0 {
+		t.Fatal("empty notebook; cannot study")
+	}
+	return res
+}
+
+func TestExtractFeaturesRanges(t *testing.T) {
+	res := generateResult(t)
+	f := ExtractFeatures(res)
+	if f.NumQueries != len(res.Solution.Order) {
+		t.Errorf("NumQueries = %d, want %d", f.NumQueries, len(res.Solution.Order))
+	}
+	checks := map[string]float64{
+		"MeanSig":         f.MeanSig,
+		"MeanCredRatio":   f.MeanCredRatio,
+		"Diversity":       f.Diversity,
+		"MeanConciseness": f.MeanConciseness,
+		"Coverage":        f.Coverage,
+	}
+	for name, v := range checks {
+		if v < 0 || v > 1 {
+			t.Errorf("%s = %v outside [0,1]", name, v)
+		}
+	}
+	if f.MeanSig < 0.9 {
+		t.Errorf("MeanSig = %v; selected insights should be highly significant", f.MeanSig)
+	}
+	if f.Coverage == 0 {
+		t.Error("Coverage = 0 with a non-empty notebook")
+	}
+}
+
+func TestExtractFeaturesEmpty(t *testing.T) {
+	res := generateResult(t)
+	res.Solution.Order = nil
+	f := ExtractFeatures(res)
+	if f.NumQueries != 0 || f.MeanSig != 0 || f.Diversity != 0 {
+		t.Errorf("empty notebook features = %+v", f)
+	}
+}
+
+func TestPanelDeterministicAndBounded(t *testing.T) {
+	f := Features{MeanSig: 0.97, MeanCredRatio: 0.5, Diversity: 0.3, MeanConciseness: 0.6, Coverage: 0.8, NumQueries: 10}
+	a := NewPanel(9, 42).Rate(f)
+	b := NewPanel(9, 42).Rate(f)
+	for _, c := range AllCriteria {
+		if len(a[c]) != 9 {
+			t.Fatalf("%v: %d ratings, want 9", c, len(a[c]))
+		}
+		for r := range a[c] {
+			if a[c][r] != b[c][r] {
+				t.Errorf("%v rater %d: %v vs %v (not deterministic)", c, r, a[c][r], b[c][r])
+			}
+			if a[c][r] < 1 || a[c][r] > 7 {
+				t.Errorf("%v rating %v outside 1..7", c, a[c][r])
+			}
+		}
+	}
+}
+
+func TestLatentMonotoneInSignificance(t *testing.T) {
+	low := Features{MeanSig: 0.2, Coverage: 0.5, MeanCredRatio: 0.5, MeanConciseness: 0.5, Diversity: 0.5}
+	high := low
+	high.MeanSig = 0.99
+	for _, c := range []Criterion{Informativity, Expertise, Comprehensibility} {
+		if latent(c, high) <= latent(c, low) {
+			t.Errorf("%v not monotone in significance", c)
+		}
+	}
+}
+
+func TestLatentHumanEquivalencePeaksAtModerateDiversity(t *testing.T) {
+	mk := func(d float64) Features {
+		return Features{Diversity: d, Coverage: 0.5}
+	}
+	mid := latent(HumanEquivalence, mk(0.5))
+	if latent(HumanEquivalence, mk(0.0)) >= mid || latent(HumanEquivalence, mk(1.0)) >= mid {
+		t.Error("human equivalence should peak at moderate diversity")
+	}
+}
+
+func TestCompareDetectsClearGap(t *testing.T) {
+	panel := NewPanel(9, 7)
+	good := VariantScores{Name: "good", Scores: panel.Rate(Features{
+		MeanSig: 0.99, MeanCredRatio: 0.8, Diversity: 0.5, MeanConciseness: 0.9, Coverage: 1})}
+	bad := VariantScores{Name: "bad", Scores: panel.Rate(Features{
+		MeanSig: 0.1, MeanCredRatio: 0.1, Diversity: 0.0, MeanConciseness: 0.1, Coverage: 0.2})}
+	res := Compare(good, bad, Informativity)
+	if res.P > 0.01 {
+		t.Errorf("clear quality gap not significant: p=%v", res.P)
+	}
+	if good.Mean(Informativity) <= bad.Mean(Informativity) {
+		t.Error("good variant should outscore bad")
+	}
+}
+
+func TestCompareSameFeaturesUsuallyInsignificant(t *testing.T) {
+	panel := NewPanel(9, 11)
+	f := Features{MeanSig: 0.9, MeanCredRatio: 0.5, Diversity: 0.4, MeanConciseness: 0.6, Coverage: 0.7}
+	a := VariantScores{Name: "a", Scores: panel.Rate(f)}
+	b := VariantScores{Name: "b", Scores: panel.Rate(f)}
+	res := Compare(a, b, Expertise)
+	if res.P < 0.01 {
+		t.Errorf("identical variants significantly different: p=%v", res.P)
+	}
+}
+
+func TestCriterionNames(t *testing.T) {
+	want := []string{"informativity", "comprehensibility", "expertise", "human equivalence"}
+	for i, c := range AllCriteria {
+		if c.String() != want[i] {
+			t.Errorf("criterion %d = %q, want %q", i, c, want[i])
+		}
+	}
+}
+
+func TestCronbachAlpha(t *testing.T) {
+	// Perfect agreement across 3 raters and 4 subjects → α = 1.
+	perfect := [][]float64{{1, 1, 1}, {3, 3, 3}, {5, 5, 5}, {7, 7, 7}}
+	if got := CronbachAlpha(perfect); got < 0.999 {
+		t.Errorf("perfect agreement α = %v, want 1", got)
+	}
+	// Raters with consistent ordering but offsets still agree highly.
+	shifted := [][]float64{{1, 2, 3}, {3, 4, 5}, {5, 6, 7}}
+	if got := CronbachAlpha(shifted); got < 0.999 {
+		t.Errorf("shifted agreement α = %v, want ≈ 1", got)
+	}
+	// Opposed raters → low (possibly negative) α.
+	opposed := [][]float64{{1, 7}, {7, 1}, {2, 6}, {6, 2}}
+	if got := CronbachAlpha(opposed); got > 0 {
+		t.Errorf("opposed raters α = %v, want ≤ 0", got)
+	}
+	// Degenerate inputs.
+	if !isNaN(CronbachAlpha([][]float64{{1, 2}})) {
+		t.Error("single subject should give NaN")
+	}
+	if !isNaN(CronbachAlpha([][]float64{{1}, {2}})) {
+		t.Error("single rater should give NaN")
+	}
+}
+
+func isNaN(v float64) bool { return v != v }
+
+func TestAlphaByCriterion(t *testing.T) {
+	panel := NewPanel(9, 19)
+	variants := []VariantScores{
+		{Name: "good", Scores: panel.Rate(Features{MeanSig: 0.99, Coverage: 1, MeanConciseness: 0.9, Diversity: 0.5, MeanCredRatio: 0.5})},
+		{Name: "ok", Scores: panel.Rate(Features{MeanSig: 0.6, Coverage: 0.5, MeanConciseness: 0.5, Diversity: 0.4, MeanCredRatio: 0.4})},
+		{Name: "bad", Scores: panel.Rate(Features{MeanSig: 0.1, Coverage: 0.2, MeanConciseness: 0.1, Diversity: 0.0, MeanCredRatio: 0.1})},
+	}
+	alphas := AlphaByCriterion(variants)
+	for _, c := range AllCriteria {
+		a := alphas[c]
+		if isNaN(a) {
+			t.Errorf("%v: α is NaN", c)
+			continue
+		}
+		// With clearly separated latent quality, raters must agree well.
+		if a < 0.6 {
+			t.Errorf("%v: α = %v, want strong agreement on separated variants", c, a)
+		}
+	}
+}
