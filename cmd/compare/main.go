@@ -36,11 +36,13 @@ func main() {
 		explain = flag.Bool("explain", false, "also print the operator tree")
 	)
 	flag.Parse()
-	for name, v := range map[string]string{
-		"-in": *in, "-group": *group, "-by": *by, "-val": *val, "-val2": *val2, "-measure": *measure,
+	// Deliberately a slice, not a map: missing-flag errors must come out in
+	// a stable order (the maporder analyzer would flag the map version).
+	for _, req := range []struct{ name, v string }{
+		{"-in", *in}, {"-group", *group}, {"-by", *by}, {"-val", *val}, {"-val2", *val2}, {"-measure", *measure},
 	} {
-		if v == "" {
-			fmt.Fprintf(os.Stderr, "compare: %s is required\n", name)
+		if req.v == "" {
+			fmt.Fprintf(os.Stderr, "compare: %s is required\n", req.name)
 			flag.Usage()
 			os.Exit(2)
 		}

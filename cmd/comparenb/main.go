@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -123,15 +124,7 @@ func main() {
 	}
 
 	if *report != "" {
-		f, err := os.Create(*report)
-		if err != nil {
-			fatal(err)
-		}
-		if err := res.Report().WriteJSON(f); err != nil {
-			f.Close()
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		if err := writeFile(*report, res.Report().WriteJSON); err != nil {
 			fatal(err)
 		}
 	}
@@ -142,35 +135,35 @@ func main() {
 			fatal(err)
 		}
 	case strings.HasSuffix(*out, ".ipynb"):
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		if err := nb.WriteIPYNB(f); err != nil {
+		if err := writeFile(*out, nb.WriteIPYNB); err != nil {
 			fatal(err)
 		}
 	case strings.HasSuffix(*out, ".md"):
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		if err := nb.WriteMarkdown(f); err != nil {
+		if err := writeFile(*out, nb.WriteMarkdown); err != nil {
 			fatal(err)
 		}
 	case strings.HasSuffix(*out, ".html"):
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		if err := nb.WriteHTML(f); err != nil {
+		if err := writeFile(*out, nb.WriteHTML); err != nil {
 			fatal(err)
 		}
 	default:
 		fatal(fmt.Errorf("output must end in .ipynb, .md or .html, got %q", *out))
 	}
+}
+
+// writeFile creates path, streams write into it and closes it, reporting
+// the first failure — including the Close error, which is where a full
+// disk or a flushed write error actually surfaces.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		_ = f.Close() // best-effort: the write error is the one to report
+		return err
+	}
+	return f.Close()
 }
 
 func splitList(s string) []string {

@@ -32,7 +32,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer os.RemoveAll(dir)
+	defer func() { _ = os.RemoveAll(dir) }() // best-effort temp cleanup
 	csvPath := filepath.Join(dir, "vaccine.csv")
 	f, err := os.Create(csvPath)
 	if err != nil {
@@ -41,7 +41,9 @@ func main() {
 	if err := gen.Rel.WriteCSV(f); err != nil {
 		log.Fatal(err)
 	}
-	f.Close()
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
 
 	// From here on: exactly what a library user does with a foreign CSV.
 	ds, err := comparenb.LoadCSV(csvPath, comparenb.CSVOptions{})
@@ -72,8 +74,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer of.Close()
 	if err := nb.WriteIPYNB(of); err != nil {
+		log.Fatal(err)
+	}
+	if err := of.Close(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("wrote", out)

@@ -1,0 +1,200 @@
+// Package analysis is a self-contained static-analysis framework for this
+// module, built only on the standard library's go/parser, go/ast, go/types
+// and go/token. It exists because the pipeline's contract — the same seeded
+// dataset must yield the same notebook, byte for byte — is exactly the kind
+// of property the Go runtime conspires against (randomised map iteration)
+// and ordinary tests rarely catch. The analyzers here encode the project's
+// determinism, numeric-hygiene and error-discipline rules; they run both as
+// the cmd/comparenb-vet CLI and inside go test ./... via selfcheck_test.go,
+// so every future PR is checked automatically.
+//
+// The design follows the shape of golang.org/x/tools/go/analysis (an
+// Analyzer with a Run function over a Pass) without importing it: go.mod
+// stays dependency-free.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: an analyzer name, a resolved source position
+// and a human-readable message.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check. Run inspects the package in the Pass and
+// reports findings through Pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //nolint comments.
+	Name string
+	// Doc is a one-line description (shown by comparenb-vet -list).
+	Doc string
+	// Run performs the check.
+	Run func(*Pass)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed non-test files, comments included.
+	Files []*ast.File
+	// Pkg and Info are the go/types results for the package.
+	Pkg  *types.Package
+	Info *types.Info
+	// Path is the package import path ("comparenb/internal/engine", …).
+	Path string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of an expression, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// Run applies each analyzer to the package and returns the surviving
+// diagnostics: findings on lines carrying a matching //nolint:<name>
+// comment (on the same line or alone on the line above) are suppressed.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Path:     pkg.Path,
+			diags:    &diags,
+		}
+		a.Run(pass)
+	}
+	diags = suppress(pkg, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// suppress drops diagnostics covered by //nolint comments.
+//
+// Syntax: `//nolint:name1,name2` or `//nolint:name // reason`. The comment
+// suppresses matching analyzers on the line it sits on; a comment that is
+// the whole line suppresses the line below it, so call sites can keep the
+// justification above the code. A bare `//nolint` (no names) is
+// deliberately NOT honoured: suppressions must name what they silence.
+func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
+	// (file, line, analyzer) → suppressed.
+	sup := map[string]map[int]map[string]bool{}
+	for _, f := range pkg.Files {
+		tf := pkg.Fset.File(f.Pos())
+		if tf == nil {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names := nolintNames(c.Text)
+				if len(names) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := []int{pos.Line}
+				if pos.Column == 1 || onOwnLine(pkg.Fset, f, c) {
+					lines = append(lines, pos.Line+1)
+				}
+				m := sup[pos.Filename]
+				if m == nil {
+					m = map[int]map[string]bool{}
+					sup[pos.Filename] = m
+				}
+				for _, ln := range lines {
+					if m[ln] == nil {
+						m[ln] = map[string]bool{}
+					}
+					for _, n := range names {
+						m[ln][n] = true
+					}
+				}
+			}
+		}
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		if sup[d.Pos.Filename][d.Pos.Line][d.Analyzer] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// nolintNames parses a comment's //nolint:a,b directive into analyzer
+// names, ignoring any trailing "// reason" explanation.
+func nolintNames(text string) []string {
+	const prefix = "//nolint:"
+	if !strings.HasPrefix(text, prefix) {
+		return nil
+	}
+	rest := strings.TrimPrefix(text, prefix)
+	if i := strings.Index(rest, "//"); i >= 0 {
+		rest = rest[:i]
+	}
+	var names []string
+	for _, n := range strings.Split(rest, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// onOwnLine reports whether the comment is the first token on its line,
+// i.e. nothing but whitespace precedes it (so it documents the next line).
+func onOwnLine(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	pos := fset.Position(c.Pos())
+	// If any declaration or statement token of the file shares the line and
+	// starts before the comment, the comment trails code.
+	trailing := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || trailing {
+			return false
+		}
+		np := fset.Position(n.Pos())
+		if np.Line == pos.Line && np.Column < pos.Column {
+			trailing = true
+		}
+		return !trailing
+	})
+	return !trailing
+}

@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheck flags call statements that silently drop an error result,
+// including `defer f.Close()` and `go f()`. A dropped error in the
+// pipeline means a truncated notebook or a half-written report that looks
+// like success. Either propagate the error, handle it, or discard it
+// explicitly (`_ = f.Close()`); use //nolint:errcheck with a reason when
+// ignoring really is correct.
+//
+// Calls that cannot meaningfully fail are exempt: fmt printing to
+// stdout/stderr (a CLI has nowhere to report that failure anyway) and any
+// write into a strings.Builder or bytes.Buffer, whose Write methods are
+// documented to always return a nil error.
+var ErrCheck = &Analyzer{
+	Name: "errcheck",
+	Doc:  "flags dropped error return values",
+	Run:  runErrCheck,
+}
+
+func runErrCheck(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = n.Call
+			case *ast.GoStmt:
+				call = n.Call
+			}
+			if call == nil || !returnsError(p, call) || errExempt(p, call) {
+				return true
+			}
+			p.Reportf(call.Pos(), "%s drops its error result; handle it or discard explicitly with _ =", callName(call))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's last result is of type error.
+func returnsError(p *Pass, call *ast.CallExpr) bool {
+	t := p.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		if tup.Len() == 0 {
+			return false
+		}
+		t = tup.At(tup.Len() - 1).Type()
+	}
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// errExempt reports whether the dropped error is conventionally ignorable.
+func errExempt(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	// fmt.Print* always writes to stdout; fmt.Fprint* is exempt only for
+	// stderr/stdout and infallible in-memory writers.
+	if pkgName(p, sel.X) == "fmt" {
+		switch name {
+		case "Print", "Printf", "Println":
+			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			return len(call.Args) > 0 && infallibleWriter(p, call.Args[0])
+		}
+		return false
+	}
+	// Methods on strings.Builder / bytes.Buffer never return a non-nil
+	// error.
+	if recv := p.TypeOf(sel.X); recv != nil && isInfallibleBufferType(recv) {
+		return true
+	}
+	return false
+}
+
+// infallibleWriter reports whether the writer expression is os.Stdout,
+// os.Stderr, a *strings.Builder or a *bytes.Buffer.
+func infallibleWriter(p *Pass, e ast.Expr) bool {
+	if sel, ok := e.(*ast.SelectorExpr); ok && pkgName(p, sel.X) == "os" {
+		if sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr" {
+			return true
+		}
+	}
+	if t := p.TypeOf(e); t != nil && isInfallibleBufferType(t) {
+		return true
+	}
+	return false
+}
+
+// isInfallibleBufferType reports whether t is (a pointer to)
+// strings.Builder or bytes.Buffer.
+func isInfallibleBufferType(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (pkg == "strings" && name == "Builder") || (pkg == "bytes" && name == "Buffer")
+}
+
+// callName renders the called function for the diagnostic message.
+func callName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id := rootIdent(fun.X); id != nil {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

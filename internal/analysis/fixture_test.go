@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedLoader amortises stdlib type-checking across the fixture tests and
+// the selfcheck: the source importer re-checks each stdlib package from
+// source, which is the one expensive step, so every test in the package
+// shares one memoised loader.
+var (
+	loaderOnce sync.Once
+	loaderVal  *Loader
+	loaderErr  error
+)
+
+func sharedLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() { loaderVal, loaderErr = NewLoader(".") })
+	if loaderErr != nil {
+		t.Fatalf("loader: %v", loaderErr)
+	}
+	return loaderVal
+}
+
+// TestFixtures runs each analyzer over its testdata/src/<name> package and
+// checks the diagnostics against `// want "substring"` comments: every
+// want line must produce a matching diagnostic, and every diagnostic must
+// land on a want line. Suppressed lines (//nolint) double as tests of the
+// suppression machinery — they carry no want comment and must stay silent.
+func TestFixtures(t *testing.T) {
+	for _, a := range All() {
+		t.Run(a.Name, func(t *testing.T) {
+			l := sharedLoader(t)
+			pkg, err := l.LoadDir(filepath.Join("testdata", "src", a.Name))
+			if err != nil {
+				t.Fatalf("loading fixture: %v", err)
+			}
+			wants := collectWants(pkg)
+			diags := Run(pkg, []*Analyzer{a})
+
+			matched := map[string]bool{}
+			for _, d := range diags {
+				key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+				want, ok := wants[key]
+				if !ok {
+					t.Errorf("unexpected diagnostic: %s", d)
+					continue
+				}
+				if !strings.Contains(d.Message, want) {
+					t.Errorf("diagnostic %q does not contain want %q", d, want)
+				}
+				matched[key] = true
+			}
+			for key, want := range wants {
+				if !matched[key] {
+					t.Errorf("missing diagnostic at %s (want %q)", key, want)
+				}
+			}
+		})
+	}
+}
+
+// collectWants extracts `// want "…"` expectations, keyed file:line.
+func collectWants(pkg *Package) map[string]string {
+	wants := map[string]string{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, `// want "`)
+				if !ok {
+					continue
+				}
+				end := strings.LastIndex(rest, `"`)
+				if end < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] = rest[:end]
+			}
+		}
+	}
+	return wants
+}
+
+// TestNolintParsing pins the suppression-comment grammar.
+func TestNolintParsing(t *testing.T) {
+	cases := []struct {
+		text string
+		want []string
+	}{
+		{"//nolint:errcheck", []string{"errcheck"}},
+		{"//nolint:errcheck,maporder", []string{"errcheck", "maporder"}},
+		{"//nolint:floateq // exact tie-break", []string{"floateq"}},
+		{"//nolint: floateq , nopanic ", []string{"floateq", "nopanic"}},
+		{"//nolint", nil},    // bare nolint is not honoured
+		{"// nolint:x", nil}, // must be a directive, no space
+		{"// regular comment", nil},
+	}
+	for _, c := range cases {
+		got := nolintNames(c.text)
+		if len(got) != len(c.want) {
+			t.Errorf("nolintNames(%q) = %v, want %v", c.text, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("nolintNames(%q) = %v, want %v", c.text, got, c.want)
+			}
+		}
+	}
+}
+
+// TestByName pins the registry lookup used by the CLI's -checks flag.
+func TestByName(t *testing.T) {
+	if got := ByName([]string{"maporder", "floateq"}); len(got) != 2 {
+		t.Fatalf("ByName known names: got %d analyzers, want 2", len(got))
+	}
+	if got := ByName([]string{"maporder", "nosuch"}); got != nil {
+		t.Fatalf("ByName with unknown name should be nil, got %v", got)
+	}
+}
+
+// TestDiagnosticString pins the file:line:col rendering format.
+func TestDiagnosticString(t *testing.T) {
+	l := sharedLoader(t)
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", "floateq"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkg, []*Analyzer{FloatEq})
+	if len(diags) == 0 {
+		t.Fatal("expected diagnostics in floateq fixture")
+	}
+	s := diags[0].String()
+	if !strings.Contains(s, "floateq.go:") || !strings.Contains(s, ": floateq: ") {
+		t.Errorf("unexpected diagnostic format: %q", s)
+	}
+}
+
+// TestLoaderSkipsTests confirms _test.go files are never analysed: the
+// rules target production code only.
+func TestLoaderSkipsTests(t *testing.T) {
+	l := sharedLoader(t)
+	pkg, err := l.LoadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			t.Errorf("loader picked up test file %s", name)
+		}
+	}
+	if _, ok := pkg.Types.Scope().Lookup("TestFixtures").(interface{}); ok {
+		t.Error("test declarations leaked into the type-checked package")
+	}
+}
+
+// TestWantCommentsPresent guards the fixtures themselves: a fixture
+// without any want comment would make its analyzer test vacuous.
+func TestWantCommentsPresent(t *testing.T) {
+	l := sharedLoader(t)
+	for _, a := range All() {
+		pkg, err := l.LoadDir(filepath.Join("testdata", "src", a.Name))
+		if err != nil {
+			t.Fatalf("%s fixture: %v", a.Name, err)
+		}
+		if len(collectWants(pkg)) == 0 {
+			t.Errorf("%s fixture has no want comments", a.Name)
+		}
+		// Each fixture must also exercise suppression.
+		hasNolint := false
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if len(nolintNames(c.Text)) > 0 {
+						hasNolint = true
+					}
+				}
+			}
+		}
+		if !hasNolint {
+			t.Errorf("%s fixture has no //nolint case", a.Name)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between float-typed operands. Exact float
+// equality is almost always a latent bug in statistical code: two
+// mathematically equal quantities computed along different paths differ in
+// the last ulp, and NaN breaks == entirely. Use the helpers in
+// internal/stats (ApproxEqual / NearZero) or justify the exact comparison
+// with //nolint:floateq — a deterministic tie-break on identical inputs is
+// the classic legitimate case.
+//
+// Comparisons where both operands are constants are allowed (the compiler
+// evaluates those exactly).
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flags == / != between float-typed expressions",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, yt := p.Info.Types[be.X], p.Info.Types[be.Y]
+			if !isFloat(xt.Type) || !isFloat(yt.Type) {
+				return true
+			}
+			if xt.Value != nil && yt.Value != nil {
+				return true // constant folding is exact
+			}
+			p.Reportf(be.OpPos, "float %s comparison; use an epsilon helper (stats.ApproxEqual / stats.NearZero) or justify with //nolint:floateq", be.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,275 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `for … range m` over a map whose body produces
+// order-sensitive output: appending to a slice declared outside the loop,
+// writing to an io.Writer / strings.Builder / fmt stream, building a string
+// with +=, or sending on a channel. Go randomises map iteration order on
+// purpose, so any of these makes the result differ from run to run — fatal
+// for a pipeline whose contract is byte-identical notebooks per seed.
+//
+// The one blessed idiom is exempt: collecting the keys (or values) into a
+// slice that a later statement in the same block passes to sort.* — that
+// is exactly how nondeterminism is supposed to be laundered:
+//
+//	var keys []string
+//	for k := range m {
+//	    keys = append(keys, k) // ok: sorted below
+//	}
+//	sort.Strings(keys)
+//
+// Commutative uses (summing counts, writing into another map, finding a
+// max) are not flagged.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flags range over a map that emits order-sensitive output without sorting",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			// Examine every statement list so a range statement can be
+			// checked against its following siblings (the sort exemption).
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				mapOrderStmts(p, n.List)
+			case *ast.CaseClause:
+				mapOrderStmts(p, n.Body)
+			case *ast.CommClause:
+				mapOrderStmts(p, n.Body)
+			}
+			return true
+		})
+	}
+}
+
+// mapOrderStmts checks each range-over-map statement in one statement
+// list, with access to the statements after it for the sort exemption.
+func mapOrderStmts(p *Pass, stmts []ast.Stmt) {
+	for i, s := range stmts {
+		rng, ok := s.(*ast.RangeStmt)
+		if !ok || !isMapType(p.TypeOf(rng.X)) {
+			continue
+		}
+		sinks := mapOrderSinks(p, rng)
+		for _, sink := range sinks {
+			if sink.target != nil && sortedLater(p, sink.target, stmts[i+1:]) {
+				continue
+			}
+			p.Reportf(sink.pos, "%s inside range over map %s makes iteration order observable; sort the keys first", sink.what, exprString(rng.X))
+		}
+	}
+}
+
+// mapSink is one order-sensitive operation found in a range body.
+type mapSink struct {
+	pos  token.Pos
+	what string
+	// target is the appended-to variable, when the sink is an append —
+	// used for the sorted-later exemption.
+	target types.Object
+}
+
+// mapOrderSinks walks a range-over-map body and collects order-sensitive
+// operations.
+func mapOrderSinks(p *Pass, rng *ast.RangeStmt) []mapSink {
+	var sinks []mapSink
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// Nested ranges are checked by their own enclosing block walk.
+			if n != rng && isMapType(p.TypeOf(n.X)) {
+				return false
+			}
+		case *ast.SendStmt:
+			sinks = append(sinks, mapSink{pos: n.Pos(), what: "channel send"})
+		case *ast.AssignStmt:
+			sinks = append(sinks, assignSinks(p, rng, n)...)
+		case *ast.CallExpr:
+			if what, ok := writerCall(p, n); ok {
+				sinks = append(sinks, mapSink{pos: n.Pos(), what: what})
+			}
+		}
+		return true
+	})
+	return sinks
+}
+
+// assignSinks reports order-sensitive assignments: append to a slice
+// declared outside the loop, and += string building on an outer variable.
+func assignSinks(p *Pass, rng *ast.RangeStmt, as *ast.AssignStmt) []mapSink {
+	var sinks []mapSink
+	if as.Tok == token.ADD_ASSIGN && len(as.Lhs) == 1 {
+		if obj := outerObject(p, rng, as.Lhs[0]); obj != nil && isStringType(p.TypeOf(as.Lhs[0])) {
+			sinks = append(sinks, mapSink{pos: as.Pos(), what: "string concatenation"})
+		}
+		return sinks
+	}
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(p, call) || i >= len(as.Lhs) {
+			continue
+		}
+		obj := outerObject(p, rng, as.Lhs[i])
+		if obj == nil {
+			continue
+		}
+		sinks = append(sinks, mapSink{pos: as.Pos(), what: "append to slice " + obj.Name(), target: obj})
+	}
+	return sinks
+}
+
+// writerCall reports whether the call writes to an output stream: fmt
+// printing, io.WriteString, or a Write*/Encode method.
+func writerCall(p *Pass, call *ast.CallExpr) (string, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		if pkgName(p, fun.X) == "fmt" {
+			switch name {
+			case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+				return "fmt." + name + " call", true
+			}
+			return "", false
+		}
+		if pkgName(p, fun.X) == "io" && name == "WriteString" {
+			return "io.WriteString call", true
+		}
+		switch name {
+		case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+			return name + " call", true
+		}
+	}
+	return "", false
+}
+
+// sortedLater reports whether a statement after the range passes the
+// append target to a sort.* call (sort.Strings(keys), sort.Slice(keys, …),
+// sort.Sort(byX(keys)), …).
+func sortedLater(p *Pass, target types.Object, rest []ast.Stmt) bool {
+	for _, s := range rest {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || pkgName(p, sel.X) != "sort" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if usesObject(p, arg, target) {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// usesObject reports whether the expression references obj.
+func usesObject(p *Pass, e ast.Expr, obj types.Object) bool {
+	used := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// outerObject resolves an assignable expression to its root object when
+// that object is declared outside the range statement; nil otherwise.
+func outerObject(p *Pass, rng *ast.RangeStmt, e ast.Expr) types.Object {
+	id := rootIdent(e)
+	if id == nil {
+		return nil
+	}
+	obj := p.Info.ObjectOf(id)
+	if obj == nil {
+		return nil
+	}
+	if obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End() {
+		return nil
+	}
+	return obj
+}
+
+// rootIdent unwraps selectors/indexes to the base identifier (x in
+// x.f[i]).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// pkgName returns the package name when e is a package qualifier ident.
+func pkgName(p *Pass, e ast.Expr) string {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := p.Info.ObjectOf(id).(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// isBuiltinAppend reports whether the call is the append builtin.
+func isBuiltinAppend(p *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := p.Info.ObjectOf(id).(*types.Builtin)
+	return isBuiltin
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// exprString renders a short description of the ranged expression.
+func exprString(e ast.Expr) string {
+	if id := rootIdent(e); id != nil {
+		return id.Name
+	}
+	return "expression"
+}

@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoPanic flags panic calls in the library packages that back the serving
+// path (internal/engine, internal/tap, internal/pipeline): a panic there
+// takes down a whole generation run — or, once the system serves many
+// users, a whole process — where an error return would fail one query.
+//
+// Two escape hatches, both deliberate:
+//   - functions whose name starts with "must" or "Must" are guarded
+//     invariant helpers (the caller has already validated the input, and
+//     the name announces the contract);
+//   - //nolint:nopanic with a reason, for enum-exhaustiveness defaults and
+//     similar programmer-error traps.
+var NoPanic = &Analyzer{
+	Name: "nopanic",
+	Doc:  "flags panic in library packages (engine, tap, pipeline)",
+	Run:  runNoPanic,
+}
+
+// noPanicPaths are the package import-path suffixes the rule applies to.
+// "nopanic" matches the self-test fixture package.
+var noPanicPaths = []string{
+	"internal/engine",
+	"internal/tap",
+	"internal/pipeline",
+	"testdata/src/nopanic",
+}
+
+func runNoPanic(p *Pass) {
+	applies := false
+	for _, suffix := range noPanicPaths {
+		if p.Path == suffix || strings.HasSuffix(p.Path, "/"+suffix) {
+			applies = true
+			break
+		}
+	}
+	if !applies {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			name := fn.Name.Name
+			if strings.HasPrefix(name, "must") || strings.HasPrefix(name, "Must") {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if _, isBuiltin := p.Info.ObjectOf(id).(*types.Builtin); !isBuiltin {
+					return true
+				}
+				p.Reportf(call.Pos(), "panic in library package %s; return an error, move it into a must* helper, or justify with //nolint:nopanic", p.Path)
+				return true
+			})
+		}
+	}
+}

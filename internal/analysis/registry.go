@@ -1,0 +1,54 @@
+package analysis
+
+// All returns every analyzer in the suite, in stable order. Both the
+// comparenb-vet CLI and the selfcheck test run exactly this list, so the
+// command line and the test suite can never disagree about the rules.
+func All() []*Analyzer {
+	return []*Analyzer{
+		ErrCheck,
+		FloatEq,
+		MapOrder,
+		NoPanic,
+		SyncByValue,
+	}
+}
+
+// ByName returns the named analyzers, or an error listing for unknown
+// names (nil slice means "unknown name present").
+func ByName(names []string) []*Analyzer {
+	var out []*Analyzer
+	for _, n := range names {
+		found := false
+		for _, a := range All() {
+			if a.Name == n {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil
+		}
+	}
+	return out
+}
+
+// CheckModule loads every package of the module containing dir and runs
+// the analyzers over each, returning all surviving diagnostics sorted by
+// position. It is the single entry point shared by cmd/comparenb-vet and
+// selfcheck_test.go.
+func CheckModule(dir string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	l, err := NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		diags = append(diags, Run(pkg, analyzers)...)
+	}
+	return diags, nil
+}

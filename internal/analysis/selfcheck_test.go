@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSelfCheck runs every analyzer over the whole repository, exactly as
+// cmd/comparenb-vet does, and fails on any unsuppressed finding. Because
+// this runs inside go test ./..., the tier-1 gate enforces the project's
+// determinism, numeric-hygiene and error-discipline rules on every future
+// change: a new unsorted map iteration on an output path, a raw float ==,
+// a dropped error or a stray panic in the engine breaks the build.
+func TestSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("selfcheck type-checks the whole module; skipped in -short mode")
+	}
+	l := sharedLoader(t)
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 15 {
+		t.Fatalf("suspiciously few packages loaded (%d); loader walk is broken", len(pkgs))
+	}
+	// The analysis package itself and its fixtures must be in scope too —
+	// except fixtures, which are intentionally full of violations and are
+	// skipped by the testdata rule.
+	foundSelf := false
+	for _, pkg := range pkgs {
+		if pkg.Path == "comparenb/internal/analysis" {
+			foundSelf = true
+		}
+		if strings.Contains(pkg.Path, "testdata") {
+			t.Errorf("fixture package %s leaked into the module walk", pkg.Path)
+		}
+	}
+	if !foundSelf {
+		t.Error("internal/analysis not among loaded packages; the vet suite is not checking itself")
+	}
+
+	var failures []string
+	for _, pkg := range pkgs {
+		for _, d := range Run(pkg, All()) {
+			failures = append(failures, d.String())
+		}
+	}
+	if len(failures) > 0 {
+		t.Errorf("comparenb-vet found %d unsuppressed finding(s):\n%s",
+			len(failures), strings.Join(failures, "\n"))
+	}
+}

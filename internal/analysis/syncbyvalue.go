@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SyncByValue flags copies of sync primitives (sync.Mutex, RWMutex,
+// WaitGroup, Once, Cond, Pool, Map — or any struct/array containing one):
+// value parameters and receivers, value results, plain assignments from an
+// existing value, and range loops that copy such elements. A copied mutex
+// guards nothing, and a copied WaitGroup deadlocks — exactly the bugs that
+// surface only under load, so the rule lands before the parallelism work
+// does.
+//
+// Initialising a fresh value (`var mu sync.Mutex`, `x := sync.Mutex{}`) is
+// fine; it is copying a value that may already be in use that is flagged.
+var SyncByValue = &Analyzer{
+	Name: "syncbyvalue",
+	Doc:  "flags sync.Mutex/WaitGroup (etc.) copied by value",
+	Run:  runSyncByValue,
+}
+
+func runSyncByValue(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFieldList(p, n.Recv, "receiver")
+				if n.Type.Params != nil {
+					checkFieldList(p, n.Type.Params, "parameter")
+				}
+				if n.Type.Results != nil {
+					checkFieldList(p, n.Type.Results, "result")
+				}
+			case *ast.FuncLit:
+				if n.Type.Params != nil {
+					checkFieldList(p, n.Type.Params, "parameter")
+				}
+				if n.Type.Results != nil {
+					checkFieldList(p, n.Type.Results, "result")
+				}
+			case *ast.AssignStmt:
+				checkAssign(p, n)
+			case *ast.RangeStmt:
+				checkRangeCopy(p, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkFieldList flags by-value fields whose type contains a sync
+// primitive.
+func checkFieldList(p *Pass, fl *ast.FieldList, kind string) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		t := p.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			continue
+		}
+		if lock := containsSync(t, nil); lock != "" {
+			p.Reportf(field.Type.Pos(), "%s copies %s by value; use a pointer", kind, lock)
+		}
+	}
+}
+
+// checkAssign flags x := y / x = y where y is an existing value (not a
+// fresh composite literal or address) containing a sync primitive.
+func checkAssign(p *Pass, as *ast.AssignStmt) {
+	if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+		return
+	}
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		// `_ = x` is a use, not a copy.
+		if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		if freshValue(rhs) {
+			continue
+		}
+		t := p.TypeOf(rhs)
+		if t == nil {
+			continue
+		}
+		if lock := containsSync(t, nil); lock != "" {
+			p.Reportf(as.Rhs[i].Pos(), "assignment copies %s by value; use a pointer", lock)
+		}
+	}
+}
+
+// checkRangeCopy flags `for _, v := range xs` where the element value
+// copies a sync primitive.
+func checkRangeCopy(p *Pass, rng *ast.RangeStmt) {
+	if rng.Value == nil {
+		return
+	}
+	t := p.TypeOf(rng.Value)
+	if t == nil {
+		return
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		return
+	}
+	if lock := containsSync(t, nil); lock != "" {
+		p.Reportf(rng.Value.Pos(), "range value copies %s per iteration; range over indexes or pointers", lock)
+	}
+}
+
+// freshValue reports whether the expression creates a brand-new value
+// (composite literal, address-of, call, conversion) rather than copying an
+// existing one. Calls are excused here because the callee's signature is
+// checked at its own declaration site.
+func freshValue(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit, *ast.CallExpr:
+		return true
+	case *ast.UnaryExpr:
+		return e.Op == token.AND
+	}
+	return false
+}
+
+// containsSync returns the name of the first sync primitive found inside
+// t ("sync.Mutex", …), or "".
+func containsSync(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Pool", "Map":
+				return "sync." + obj.Name()
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if lock := containsSync(u.Field(i).Type(), seen); lock != "" {
+				return lock
+			}
+		}
+	case *types.Array:
+		return containsSync(u.Elem(), seen)
+	}
+	return ""
+}

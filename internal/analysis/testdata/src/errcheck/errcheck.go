@@ -1,0 +1,79 @@
+// Package errcheck is the fixture for the errcheck analyzer.
+package errcheck
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fallible() error            { return nil }
+func falliblePair() (int, error) { return 0, nil }
+func infallible() int            { return 0 }
+
+// badDrop drops a plain error.
+func badDrop() {
+	fallible() // want "fallible drops its error"
+}
+
+// badDropPair drops the error of a multi-result call.
+func badDropPair() {
+	falliblePair() // want "falliblePair drops its error"
+}
+
+// badDefer drops an error inside defer.
+func badDefer(f *os.File) {
+	defer f.Close() // want "f.Close drops its error"
+}
+
+// badGo drops an error on a goroutine.
+func badGo() {
+	go fallible() // want "fallible drops its error"
+}
+
+// goodExplicit discards explicitly.
+func goodExplicit() {
+	_ = fallible()
+}
+
+// goodHandled handles it.
+func goodHandled() error {
+	if err := fallible(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// goodNoError calls something that cannot fail.
+func goodNoError() {
+	infallible()
+}
+
+// goodPrint: fmt printing to stdout/stderr is conventional in a CLI.
+func goodPrint() {
+	fmt.Println("hello")
+	fmt.Fprintf(os.Stderr, "oops\n")
+	fmt.Fprintln(os.Stdout, "ok")
+}
+
+// goodBuilders: strings.Builder and bytes.Buffer writes never fail.
+func goodBuilders() string {
+	var sb strings.Builder
+	var buf bytes.Buffer
+	fmt.Fprintf(&sb, "x=%d\n", 1)
+	sb.WriteString("y")
+	buf.WriteString("z")
+	return sb.String() + buf.String()
+}
+
+// badFprintFile: writing to a real file can fail.
+func badFprintFile(f *os.File) {
+	fmt.Fprintf(f, "data\n") // want "fmt.Fprintf drops its error"
+}
+
+// suppressed documents why ignoring is fine.
+func suppressed(f *os.File) {
+	//nolint:errcheck // best-effort cleanup on the error path
+	f.Close()
+}

@@ -1,0 +1,40 @@
+// Package floateq is the fixture for the floateq analyzer.
+package floateq
+
+// badEq compares computed floats exactly.
+func badEq(a, b float64) bool {
+	return a == b // want "float == comparison"
+}
+
+// badNeq flags != too.
+func badNeq(a, b float32) bool {
+	return a != b // want "float != comparison"
+}
+
+// badZero flags comparison against a constant (one side computed).
+func badZero(v float64) bool {
+	return v == 0 // want "float == comparison"
+}
+
+// goodConst compares two constants: evaluated exactly by the compiler.
+func goodConst() bool {
+	const a = 0.1
+	const b = 0.2
+	return a+b == 0.3
+}
+
+// goodInts is not a float comparison.
+func goodInts(a, b int) bool {
+	return a == b
+}
+
+// goodOrdered relational operators are fine.
+func goodOrdered(a, b float64) bool {
+	return a < b || a > b
+}
+
+// suppressed is an exact tie-break, justified.
+func suppressed(a, b float64) bool {
+	//nolint:floateq // deterministic tie-break on identical inputs
+	return a == b
+}

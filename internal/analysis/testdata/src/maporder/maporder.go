@@ -1,0 +1,126 @@
+// Package maporder is the fixture for the maporder analyzer. Lines marked
+// `// want "…"` must produce a diagnostic containing the quoted substring;
+// all other lines must stay clean.
+package maporder
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// badAppend collects map keys without sorting them afterwards.
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to slice keys"
+	}
+	return keys
+}
+
+// goodCollectThenSort is the blessed idiom: append, then sort in the same
+// block.
+func goodCollectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// goodSortSlice also counts: sort.Slice over the collected values.
+func goodSortSlice(m map[string]float64) []float64 {
+	var vals []float64
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// badPrint writes output while iterating.
+func badPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want "fmt.Printf call"
+	}
+}
+
+// badFprint writes to a stream while iterating.
+func badFprint(m map[string]int) {
+	for k := range m {
+		fmt.Fprintln(os.Stdout, k) // want "fmt.Fprintln call"
+	}
+}
+
+// badBuilder builds a string via a Builder while iterating.
+func badBuilder(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m {
+		sb.WriteString(k) // want "WriteString call"
+	}
+	return sb.String()
+}
+
+// badConcat builds a string with += while iterating.
+func badConcat(m map[string]int) string {
+	out := ""
+	for k := range m {
+		out += k // want "string concatenation"
+	}
+	return out
+}
+
+// badSend leaks iteration order through a channel.
+func badSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want "channel send"
+	}
+}
+
+// goodCommutative sums values: order-independent, not flagged.
+func goodCommutative(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// goodMapToMap writes into another map: still unordered, not flagged.
+func goodMapToMap(m map[string]int) map[int]string {
+	out := map[int]string{}
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// goodLocalAppend appends to a slice declared inside the loop body.
+func goodLocalAppend(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// suppressedSameLine demonstrates same-line suppression.
+func suppressedSameLine(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) //nolint:maporder // order re-established by caller
+	}
+	return keys
+}
+
+// suppressedLineAbove demonstrates suppression from the line above.
+func suppressedLineAbove(m map[string]int) {
+	for k := range m {
+		//nolint:maporder // debug helper, order genuinely irrelevant
+		fmt.Println(k)
+	}
+}

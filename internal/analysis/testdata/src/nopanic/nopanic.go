@@ -1,0 +1,59 @@
+// Package nopanic is the fixture for the nopanic analyzer (its package
+// path ends in testdata/src/nopanic, which the analyzer treats as a
+// library package).
+package nopanic
+
+import "fmt"
+
+// badPanic panics in a library function.
+func badPanic(agg int) string {
+	switch agg {
+	case 0:
+		return "sum"
+	default:
+		panic("bad agg") // want "panic in library package"
+	}
+}
+
+// badPanicf panics with a formatted message.
+func badPanicf(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("negative: %d", n)) // want "panic in library package"
+	}
+}
+
+// mustPositive is a guarded invariant helper: the must prefix announces
+// the contract, so panicking here is allowed.
+func mustPositive(n int) int {
+	if n <= 0 {
+		panic("mustPositive: non-positive input")
+	}
+	return n
+}
+
+// MustParse is the exported spelling of the same convention.
+func MustParse(s string) int {
+	if s == "" {
+		panic("MustParse: empty input")
+	}
+	return len(s)
+}
+
+// goodError returns an error instead.
+func goodError(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("negative: %d", n)
+	}
+	return n, nil
+}
+
+// suppressed justifies an enum-exhaustiveness trap.
+func suppressed(kind int) string {
+	switch kind {
+	case 0:
+		return "a"
+	default:
+		//nolint:nopanic // exhaustive switch over internal enum; new values are a programming error
+		panic("unknown kind")
+	}
+}

@@ -1,0 +1,88 @@
+// Package syncbyvalue is the fixture for the syncbyvalue analyzer.
+package syncbyvalue
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type nested struct {
+	inner guarded
+}
+
+// badParam takes a mutex-bearing struct by value.
+func badParam(g guarded) int { // want "parameter copies sync.Mutex"
+	return g.n
+}
+
+// badMutexParam takes a bare mutex by value.
+func badMutexParam(mu sync.Mutex) { // want "parameter copies sync.Mutex"
+	_ = mu
+}
+
+// badReceiver has a value receiver on a lock-bearing type.
+func (g guarded) badReceiver() int { // want "receiver copies sync.Mutex"
+	return g.n
+}
+
+// badResult returns a WaitGroup by value.
+func badResult() sync.WaitGroup { // want "result copies sync.WaitGroup"
+	var wg sync.WaitGroup
+	return wg
+}
+
+// badAssign copies an existing value.
+func badAssign(g *guarded) {
+	cp := *g // want "assignment copies sync.Mutex"
+	_ = cp
+}
+
+// badNested finds locks buried in struct fields.
+func badNested(n nested) { // want "parameter copies sync.Mutex"
+	_ = n
+}
+
+// badRange copies elements per iteration.
+func badRange(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want "range value copies sync.Mutex"
+		total += g.n
+	}
+	return total
+}
+
+// goodPointer passes by pointer everywhere.
+func goodPointer(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// goodPointerReceiver is the correct receiver form.
+func (g *guarded) goodPointerReceiver() int {
+	return g.n
+}
+
+// goodFresh initialises new values; nothing pre-existing is copied.
+func goodFresh() {
+	var mu sync.Mutex
+	mu2 := sync.Mutex{}
+	_ = mu
+	_ = mu2
+}
+
+// goodRangeIndex iterates by index.
+func goodRangeIndex(gs []guarded) int {
+	total := 0
+	for i := range gs {
+		total += gs[i].n
+	}
+	return total
+}
+
+// suppressed documents a deliberate copy of a never-used zero value.
+func suppressed(g guarded) { //nolint:syncbyvalue // fixture: copy of a documented-cold value
+	_ = g
+}

@@ -97,6 +97,7 @@ func Greedy(universe []Pair, candidates []Candidate) ([]int, error) {
 				continue
 			}
 			ratio := c.Weight / float64(gain)
+			//nolint:floateq // deterministic tie-break: candidates are scanned in fixed index order, so exact equality picks a stable winner
 			if best == -1 || ratio < bestRatio || (ratio == bestRatio && gain > bestGain) {
 				best, bestRatio, bestGain = ci, ratio, gain
 			}

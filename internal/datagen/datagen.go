@@ -85,13 +85,14 @@ func Generate(spec Spec) (*Dataset, error) {
 	if spec.Measures < 1 || spec.Rows < 1 {
 		return nil, fmt.Errorf("datagen: need ≥ 1 measure and ≥ 1 row")
 	}
-	if spec.BaseSD == 0 {
+	// 0 is each knob's explicit "unset" sentinel, not a computed value.
+	if spec.BaseSD == 0 { //nolint:floateq // unset-sentinel check
 		spec.BaseSD = 20
 	}
-	if spec.BaseMean == 0 {
+	if spec.BaseMean == 0 { //nolint:floateq // unset-sentinel check
 		spec.BaseMean = 100
 	}
-	if spec.VarScale == 0 {
+	if spec.VarScale == 0 { //nolint:floateq // unset-sentinel check
 		spec.VarScale = 4
 	}
 	rng := rand.New(rand.NewSource(spec.Seed))
@@ -248,6 +249,7 @@ func Generate(spec Spec) (*Dataset, error) {
 			}
 		}
 		for pv := range totalW {
+			//nolint:floateq // densities are non-negative, so the sum is exactly 0 iff no child value maps here
 			if totalW[pv] == 0 {
 				continue
 			}

@@ -61,6 +61,7 @@ func (c *Cube) Value(g, m int, agg Agg) float64 {
 	case Count:
 		return float64(c.counts[g])
 	default:
+		//nolint:nopanic // exhaustive switch over the Agg enum; a new value is a programming error every test hits immediately
 		panic(fmt.Sprintf("engine: bad agg %d", int(agg)))
 	}
 }
@@ -85,11 +86,7 @@ func BuildCube(rel *table.Relation, attrs []int) *Cube {
 func buildCubeRows(rel *table.Relation, attrs []int, rows []int) *Cube {
 	sorted := append([]int(nil), attrs...)
 	sort.Ints(sorted)
-	for i := 1; i < len(sorted); i++ {
-		if sorted[i] == sorted[i-1] {
-			panic(fmt.Sprintf("engine: duplicate attribute %d in group-by set", sorted[i]))
-		}
-	}
+	mustUniqueAttrs(sorted)
 	c := &Cube{rel: rel, attrs: sorted}
 	m := rel.NumMeasures()
 	c.sums = make([][]float64, m)
@@ -215,17 +212,7 @@ func (c *Cube) Rollup(attrs []int) *Cube {
 	sort.Ints(sorted)
 	pos := make([]int, len(sorted))
 	for i, want := range sorted {
-		p := -1
-		for k, have := range c.attrs {
-			if have == want {
-				p = k
-				break
-			}
-		}
-		if p < 0 {
-			panic(fmt.Sprintf("engine: Rollup attribute %d not in cube attrs %v", want, c.attrs))
-		}
-		pos[i] = p
+		pos[i] = mustAttrPos(c.attrs, want)
 	}
 
 	out := &Cube{rel: c.rel, attrs: sorted, SourceRows: c.SourceRows}
@@ -294,4 +281,30 @@ func (c *Cube) Rollup(attrs []int) *Cube {
 		}
 	}
 	return out
+}
+
+// mustUniqueAttrs panics when a sorted group-by attribute set contains a
+// duplicate. It is a guarded invariant helper (see the nopanic rule in
+// internal/analysis): attribute sets reaching the cube builder come from
+// cover.Pair values and candidate enumerations, which are duplicate-free
+// by construction, so a duplicate here is a caller bug worth crashing on.
+func mustUniqueAttrs(sorted []int) {
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			panic(fmt.Sprintf("engine: duplicate attribute %d in group-by set", sorted[i]))
+		}
+	}
+}
+
+// mustAttrPos returns the index of want within attrs, panicking when it is
+// absent. Guarded invariant helper: Rollup's documented contract is that
+// the target attributes are a subset of the cube's, and every call site
+// derives them from the cube's own attribute set.
+func mustAttrPos(attrs []int, want int) int {
+	for k, have := range attrs {
+		if have == want {
+			return k
+		}
+	}
+	panic(fmt.Sprintf("engine: Rollup attribute %d not in cube attrs %v", want, attrs))
 }

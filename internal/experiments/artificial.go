@@ -183,6 +183,7 @@ func (r ArtificialResult) String() string {
 		r.Config.EpsT, r.Config.EpsD, r.Config.Timeout, r.Config.Instances)
 	fmt.Fprintf(&sb, "%8s %12s %12s %12s %12s %10s\n", "#Queries", "avg", "min", "max", "stdev", "%Timeouts")
 	for _, row := range r.Table4 {
+		//nolint:floateq // 100 arises only as count/count*100, which is exact in float64
 		if row.PctTimeouts == 100 {
 			fmt.Fprintf(&sb, "%8d %12s %12s %12s %12s %10.1f\n", row.N, "-", "> timeout", "> timeout", "-", row.PctTimeouts)
 			continue

@@ -200,6 +200,7 @@ func (c Config) Validate() error {
 		return fmt.Errorf("pipeline: EpsD must be non-negative, got %v", c.EpsD)
 	case c.SampleFrac < 0 || c.SampleFrac > 1:
 		return fmt.Errorf("pipeline: SampleFrac must be in [0, 1], got %v", c.SampleFrac)
+	//nolint:floateq // 0 is the explicit "unset" sentinel for SampleFrac, not a computed value
 	case c.Sampling != sampling.None && c.SampleFrac == 0:
 		return fmt.Errorf("pipeline: %v sampling with SampleFrac 0 would test nothing", c.Sampling)
 	case c.FDMaxError < 0 || c.FDMaxError >= 1:

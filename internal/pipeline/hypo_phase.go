@@ -140,9 +140,16 @@ func evalHypotheses(rel *table.Relation, cfg Config, fds *engine.FDSet, sig []in
 	// Optionally calibrate conciseness on the observed candidates before
 	// scoring (Config.AutoConciseness).
 	if cfg.AutoConciseness && cfg.Interest.UseConciseness {
-		samples := make([]metric.ThetaGamma, 0, len(accum))
-		for _, acc := range accum {
-			samples = append(samples, metric.ThetaGamma{Theta: acc.theta, Gamma: acc.gamma})
+		// Iterate accum in sorted query order so calibration sees the same
+		// sample sequence every run (map order is randomised).
+		qs := make([]insight.Query, 0, len(accum))
+		for q := range accum {
+			qs = append(qs, q)
+		}
+		sort.Slice(qs, func(a, b int) bool { return lessQuery(qs[a], qs[b]) })
+		samples := make([]metric.ThetaGamma, 0, len(qs))
+		for _, q := range qs {
+			samples = append(samples, metric.ThetaGamma{Theta: accum[q].theta, Gamma: accum[q].gamma})
 		}
 		cfg.Interest.Conciseness = metric.CalibrateConciseness(samples)
 		cfg.logf("pipeline: calibrated conciseness α=%.4f δ=%.1f from %d candidates",
@@ -169,8 +176,10 @@ func evalHypotheses(rel *table.Relation, cfg Config, fds *engine.FDSet, sig []in
 		}
 		k := dedupKey{attr: q.Attr, val: q.Val, val2: q.Val2, meas: q.Meas, agg: q.Agg}
 		cur, ok := best[k]
+		// Exact float equality is the point here: the tie-break must pick
+		// the same winner regardless of map iteration order.
 		if !ok || sq.Interest > cur.Interest ||
-			(sq.Interest == cur.Interest && q.GroupBy < cur.Query.GroupBy) {
+			(sq.Interest == cur.Interest && q.GroupBy < cur.Query.GroupBy) { //nolint:floateq // deterministic tie-break
 			best[k] = sq
 		}
 	}

@@ -231,7 +231,7 @@ func orient(xs, ys []float64, val, val2 int32, typ insight.Type) (int32, int32, 
 	case insight.MedianGreater:
 		sx, sy = stats.Median(xs), stats.Median(ys)
 	}
-	if math.IsNaN(sx) || math.IsNaN(sy) || sx == sy {
+	if math.IsNaN(sx) || math.IsNaN(sy) || stats.ApproxEqual(sx, sy, stats.Tol) {
 		return 0, 0, 0, false
 	}
 	var effect float64

@@ -1,0 +1,27 @@
+package stats
+
+import "math"
+
+// Tol is the default tolerance for float comparisons in the statistical
+// code: loose enough to absorb accumulated rounding across the sums and
+// divisions a test statistic goes through, tight enough that genuinely
+// different statistics never collide.
+const Tol = 1e-12
+
+// NearZero reports whether x is within Tol of zero. Use it instead of
+// `x == 0` when x is a computed quantity (a variance, a standard error, a
+// weight sum) that is mathematically zero in the degenerate case but may
+// carry rounding noise.
+func NearZero(x float64) bool { return math.Abs(x) <= Tol }
+
+// ApproxEqual reports whether a and b agree within tol: absolutely for
+// values near zero, relatively otherwise. NaN is equal to nothing;
+// infinities are equal only to themselves via the relative branch's
+// overflow (callers comparing infinities should handle them first).
+func ApproxEqual(a, b, tol float64) bool {
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	return diff <= tol*math.Max(math.Abs(a), math.Abs(b))
+}

@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNearZero(t *testing.T) {
+	cases := []struct {
+		x    float64
+		want bool
+	}{
+		{0, true},
+		{1e-13, true},
+		{-1e-13, true},
+		{1e-11, false},
+		{1, false},
+		{math.NaN(), false},
+		{math.Inf(1), false},
+	}
+	for _, c := range cases {
+		if got := NearZero(c.x); got != c.want {
+			t.Errorf("NearZero(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 1e-12, true},
+		{0, 0, 1e-12, true},
+		{0.1 + 0.2, 0.3, 1e-12, true}, // the classic ulp mismatch
+		{1, 1 + 1e-9, 1e-12, false},
+		{1e18, 1e18 + 1, 1e-12, true}, // relative branch
+		{1, 2, 1e-12, false},
+		{math.NaN(), 1, 1e-12, false},
+		{math.NaN(), math.NaN(), 1e-12, false},
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("ApproxEqual(%v, %v, %v) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
+
+// TestWelchDegenerateNearZero checks the epsilon guards: two constant
+// samples whose means were computed along different paths still hit the
+// degenerate branch.
+func TestWelchDegenerateNearZero(t *testing.T) {
+	x := []float64{5, 5, 5}
+	y := []float64{5, 5, 5}
+	res := WelchT(x, y)
+	if res.P != 1 || res.T != 0 {
+		t.Errorf("equal constant samples: got T=%v P=%v, want T=0 P=1", res.T, res.P)
+	}
+	y2 := []float64{7, 7, 7}
+	res2 := WelchT(x, y2)
+	if res2.P != 0 || !math.IsInf(res2.T, -1) {
+		t.Errorf("different constant samples: got T=%v P=%v, want T=-Inf P=0", res2.T, res2.P)
+	}
+}

@@ -12,8 +12,8 @@ type WelchResult struct {
 // WelchT runs Welch's unequal-variance t-test on two samples; the user
 // study analysis (§6.5) uses it to decide whether two notebook variants'
 // ratings differ significantly. Degenerate inputs (fewer than two values,
-// or two zero-variance samples) give P = 1 when the means agree and P = 0
-// when they provably differ.
+// or two zero-variance samples) give P = 1 when the means agree within
+// tolerance and P = 0 when they provably differ.
 func WelchT(x, y []float64) WelchResult {
 	nx, ny := float64(len(x)), float64(len(y))
 	if nx < 2 || ny < 2 {
@@ -22,8 +22,8 @@ func WelchT(x, y []float64) WelchResult {
 	mx, my := Mean(x), Mean(y)
 	vx, vy := Variance(x), Variance(y)
 	se2 := vx/nx + vy/ny
-	if se2 == 0 {
-		if mx == my {
+	if NearZero(se2) {
+		if ApproxEqual(mx, my, Tol) {
 			return WelchResult{T: 0, DF: nx + ny - 2, P: 1}
 		}
 		return WelchResult{T: math.Inf(sign(mx - my)), DF: nx + ny - 2, P: 0}
@@ -50,8 +50,8 @@ func PairedT(x, y []float64) WelchResult {
 	md := Mean(d)
 	vd := Variance(d)
 	n := float64(len(d))
-	if vd == 0 {
-		if md == 0 {
+	if NearZero(vd) {
+		if NearZero(md) {
 			return WelchResult{T: 0, DF: n - 1, P: 1}
 		}
 		return WelchResult{T: math.Inf(sign(md)), DF: n - 1, P: 0}

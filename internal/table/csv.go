@@ -47,7 +47,7 @@ func FromCSVFile(path string, opts CSVOptions) (*Relation, *CSVReport, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only file: Close cannot lose data
 	if opts.Name == "" {
 		base := filepath.Base(path)
 		opts.Name = strings.TrimSuffix(base, filepath.Ext(base))

@@ -194,6 +194,7 @@ func (s *exactSearch) fractionalBound(idx int, budget float64) float64 {
 		c := s.inst.Cost[q]
 		if first < 0 {
 			first = c
+			//nolint:floateq // fast-path detection only: inexactly-equal costs just take the general sorted path, which is always correct
 		} else if c != first {
 			uniform = false
 		}

@@ -154,6 +154,7 @@ func Recall(reference, candidate Solution) float64 {
 // Deviation is the relative objective gap (z_ref − z_cand) / z_ref used in
 // Table 5 (in percent when multiplied by 100).
 func Deviation(reference, candidate Solution) float64 {
+	//nolint:floateq // interests are non-negative, so the sum is exactly 0 iff the reference solution is empty
 	if reference.TotalInterest == 0 {
 		return 0
 	}

@@ -228,7 +228,7 @@ func CronbachAlpha(ratings [][]float64) float64 {
 		totals[s] = stats.Sum(ratings[s])
 	}
 	tv := stats.Variance(totals)
-	if tv == 0 || math.IsNaN(tv) {
+	if stats.NearZero(tv) || math.IsNaN(tv) {
 		return math.NaN()
 	}
 	return float64(k) / float64(k-1) * (1 - raterVarSum/tv)

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Pre-merge gate for comparenb. Every step must pass; the script stops at
+# the first failure. Run from anywhere inside the repo.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> comparenb-vet ./..."
+go run ./cmd/comparenb-vet ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "OK: all checks passed"
