@@ -9,8 +9,8 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
+	"runtime"
 
 	"comparenb"
 	"comparenb/internal/engine"
@@ -114,17 +114,18 @@ func main() {
 	}
 }
 
-// significance runs the raw-data permutation test of Table 1.
+// significance runs the raw-data permutation test of Table 1, with the
+// seeded block streams so the p-value depends only on the seed.
 func significance(rel *table.Relation, attrB int, c1, c2 int32, meas int, typ insight.Type, perms int, seed int64) float64 {
 	xs := engine.FilterMeasure(rel, attrB, c1, meas)
 	ys := engine.FilterMeasure(rel, attrB, c2, meas)
 	if len(xs) < 2 || len(ys) < 2 {
 		return 1
 	}
-	rng := rand.New(rand.NewSource(seed))
-	pp := stats.NewPairPerm(len(xs), len(ys), perms, rng)
+	threads := runtime.GOMAXPROCS(0)
+	pp := stats.NewPairPermSeeded(len(xs), len(ys), perms, seed, threads)
 	pooled := append(append(make([]float64, 0, len(xs)+len(ys)), xs...), ys...)
-	_, p := pp.PValue(pooled, typ.TestStat())
+	_, p := pp.PValueThreads(pooled, typ.TestStat(), threads)
 	return p
 }
 

@@ -32,6 +32,8 @@ func main() {
 		sampling    = flag.String("sampling", "none", "test sampling: none | random | unbalanced")
 		frac        = flag.Float64("sample-frac", 0.2, "sampling fraction when -sampling is set")
 		useWSC      = flag.Bool("wsc", true, "merge group-by sets (Algorithm 2)")
+		threads     = flag.Int("threads", 0, "worker threads for the parallel phases (0 = GOMAXPROCS); output is identical at any setting")
+		cacheBudget = flag.Int64("cache-budget", 64<<20, "cube-cache bound in bytes (0 = unbounded)")
 		cats        = flag.String("categorical", "", "comma-separated columns to force categorical")
 		nums        = flag.String("numeric", "", "comma-separated columns to force numeric")
 		drop        = flag.String("drop", "", "comma-separated columns to ignore")
@@ -74,6 +76,8 @@ func main() {
 	cfg.Alpha = *alpha
 	cfg.Seed = *seed
 	cfg.UseWSC = *useWSC
+	cfg.Threads = *threads
+	cfg.CubeCacheBudget = *cacheBudget
 	cfg.IncludeHypotheses = *hypotheses
 	if *median {
 		cfg.InsightTypes = comparenb.ExtendedInsightTypes
@@ -118,6 +122,8 @@ func main() {
 			"tested %d insights, %d significant (%d pruned as deducible); |Q|=%d; notebook=%d queries\n",
 			res.Counts.InsightsEnumerated, res.Counts.SignificantInsights,
 			res.Counts.PrunedTransitive, res.Counts.QueriesGenerated, len(res.Solution.Order))
+		fmt.Fprintf(os.Stderr, "cube cache: %d hits, %d rollups, %d misses, %d evictions\n",
+			res.Counts.CacheHits, res.Counts.CacheRollups, res.Counts.CacheMisses, res.Counts.CacheEvictions)
 		fmt.Fprintf(os.Stderr, "timings: stats=%v hypo=%v tap=%v total=%v\n",
 			res.Timings.StatTests.Round(time.Millisecond), res.Timings.HypoEval.Round(time.Millisecond),
 			res.Timings.TAP.Round(time.Millisecond), res.Timings.Total.Round(time.Millisecond))

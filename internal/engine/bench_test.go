@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -73,5 +74,57 @@ func BenchmarkComparisonPlan(b *testing.B) {
 		if _, err := plan.Run(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkBuildCubeReference is the naive map-based builder the sharded
+// kernel is measured against: same fixed seed and attribute set as
+// BenchmarkBuildCube2Attrs, so scripts/bench.sh can report the kernel's
+// speedup over it.
+func BenchmarkBuildCubeReference(b *testing.B) {
+	rel := benchRelation(b, 50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		referenceBuildCube(rel, []int{0, 3})
+	}
+}
+
+// BenchmarkBuildCubeParallel exercises the sharded build at several worker
+// widths (50000 rows = 4 shards). threads=1 is the zero-goroutine serial
+// path; the other widths produce bit-identical cubes.
+func BenchmarkBuildCubeParallel(b *testing.B) {
+	rel := benchRelation(b, 50000)
+	for _, threads := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				BuildCubeParallel(rel, []int{0, 3}, threads)
+			}
+		})
+	}
+}
+
+func BenchmarkCubeCacheExactHit(b *testing.B) {
+	rel := benchRelation(b, 50000)
+	cc := NewCubeCache(0)
+	cc.GetOrBuild(rel, []int{0, 3}, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cc.GetOrBuild(rel, []int{0, 3}, 1)
+	}
+}
+
+// BenchmarkCubeCacheRollupHit measures answering a pair group-by by rolling
+// up a cached 4-attribute superset instead of rescanning the relation.
+func BenchmarkCubeCacheRollupHit(b *testing.B) {
+	rel := benchRelation(b, 50000)
+	cc := NewCubeCache(0)
+	cc.GetOrBuild(rel, []int{0, 1, 2, 3}, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fresh := NewCubeCache(0)
+		fresh.Add(cc.Get(rel, []int{0, 1, 2, 3}))
+		b.StartTimer()
+		fresh.GetOrBuild(rel, []int{0, 3}, 1)
 	}
 }

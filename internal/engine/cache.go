@@ -1,0 +1,273 @@
+package engine
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"comparenb/internal/table"
+)
+
+// CacheStats is a snapshot of CubeCache counters. Hits are exact-key
+// matches, RollupHits answered a subset group-by by rolling up a cached
+// superset cube, Misses fell through to a base-relation build, Evictions
+// counts entries removed by Trim. Bytes/Entries describe current contents.
+type CacheStats struct {
+	Hits       int64 `json:"hits"`
+	RollupHits int64 `json:"rollup_hits"`
+	Misses     int64 `json:"misses"`
+	Evictions  int64 `json:"evictions"`
+	Bytes      int64 `json:"bytes"`
+	Entries    int   `json:"entries"`
+}
+
+// cacheKey identifies a cube: the relation identity plus the canonical
+// (sorted) attribute set.
+type cacheKey struct {
+	rel   *table.Relation
+	attrs string
+}
+
+type cacheEntry struct {
+	cube  *Cube
+	attrs []int // sorted
+	bytes int64
+}
+
+// CubeCache is a size-bounded, rollup-aware store of partial aggregates
+// keyed by (relation, attribute set). It lets Algorithm 2's set cover, the
+// hypothesis phase and the notebook's verification queries share cubes
+// instead of rescanning the base relation: an exact key is returned as-is,
+// and a subset group-by is answered by rolling up the cheapest cached
+// superset (count/sum/min/max are distributive, so roll-up is exact).
+//
+// Concurrency and determinism: every method is safe for concurrent use,
+// but eviction only happens in Trim, never inside Get/Add. Pipelines call
+// Trim at single-threaded phase boundaries; combined with a victim rule
+// that is a pure function of the entry set (not of arrival order), the
+// cache contents at every decision point are independent of goroutine
+// scheduling, which is what keeps notebooks byte-identical across thread
+// counts (see docs/PERFORMANCE.md).
+type CubeCache struct {
+	mu      sync.Mutex
+	budget  int64 // bytes; <= 0 means unbounded
+	entries map[cacheKey]*cacheEntry
+	stats   CacheStats
+}
+
+// NewCubeCache returns a cache bounded to roughly `budget` bytes of cube
+// footprint (MemoryFootprint units). budget <= 0 means unbounded.
+func NewCubeCache(budget int64) *CubeCache {
+	return &CubeCache{budget: budget, entries: make(map[cacheKey]*cacheEntry)}
+}
+
+// attrsKey canonicalises a sorted attribute set as a string map key.
+func attrsKey(sorted []int) string {
+	var sb strings.Builder
+	for i, a := range sorted {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(a))
+	}
+	return sb.String()
+}
+
+func sortedAttrs(attrs []int) []int {
+	sorted := append([]int(nil), attrs...)
+	sort.Ints(sorted)
+	return sorted
+}
+
+// Get returns the cached cube for exactly this attribute set, or nil.
+// An exact match counts as a hit; a miss is only counted by the *OrBuild
+// variants, which know whether a build actually happened.
+func (cc *CubeCache) Get(rel *table.Relation, attrs []int) *Cube {
+	sorted := sortedAttrs(attrs)
+	key := cacheKey{rel: rel, attrs: attrsKey(sorted)}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if e, ok := cc.entries[key]; ok {
+		cc.stats.Hits++
+		return e.cube
+	}
+	return nil
+}
+
+// GetOrBuild returns a cube over attrs, in order of preference: the exact
+// cached cube, a roll-up of the cheapest cached strict superset, or a fresh
+// sharded build from the relation (threads as in BuildCubeParallel). The
+// result is inserted into the cache. The superset choice — fewest groups,
+// then fewest attributes, then smallest key string — is a deterministic
+// function of the cache contents.
+func (cc *CubeCache) GetOrBuild(rel *table.Relation, attrs []int, threads int) *Cube {
+	sorted := sortedAttrs(attrs)
+	key := cacheKey{rel: rel, attrs: attrsKey(sorted)}
+
+	cc.mu.Lock()
+	if e, ok := cc.entries[key]; ok {
+		cc.stats.Hits++
+		cc.mu.Unlock()
+		return e.cube
+	}
+	super := cc.bestSupersetLocked(rel, sorted)
+	cc.mu.Unlock()
+
+	// Build outside the lock: cube builds are the expensive part and may
+	// themselves run multi-threaded.
+	var cube *Cube
+	if super != nil {
+		cube = super.Rollup(sorted)
+	} else {
+		cube = BuildCubeParallel(rel, sorted, threads)
+	}
+
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if e, ok := cc.entries[key]; ok {
+		// A racing goroutine inserted the same key first. Both values were
+		// produced by the same deterministic recipe, so keep the first.
+		cc.stats.Hits++
+		return e.cube
+	}
+	if super != nil {
+		cc.stats.RollupHits++
+	} else {
+		cc.stats.Misses++
+	}
+	cc.insertLocked(key, cube, sorted)
+	return cube
+}
+
+// BuildThrough returns the exact cached cube or builds one from the base
+// relation, never answering via roll-up. Algorithm 2 uses it for the base
+// cubes of the chosen cover, whose bit-exact provenance must be "built from
+// the relation" regardless of what else the cache holds.
+func (cc *CubeCache) BuildThrough(rel *table.Relation, attrs []int, threads int) *Cube {
+	sorted := sortedAttrs(attrs)
+	key := cacheKey{rel: rel, attrs: attrsKey(sorted)}
+	cc.mu.Lock()
+	if e, ok := cc.entries[key]; ok {
+		cc.stats.Hits++
+		cc.mu.Unlock()
+		return e.cube
+	}
+	cc.mu.Unlock()
+
+	cube := BuildCubeParallel(rel, sorted, threads)
+
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if e, ok := cc.entries[key]; ok {
+		cc.stats.Hits++
+		return e.cube
+	}
+	cc.stats.Misses++
+	cc.insertLocked(key, cube, sorted)
+	return cube
+}
+
+// Add inserts a cube built elsewhere. It never evicts (see Trim).
+func (cc *CubeCache) Add(cube *Cube) {
+	sorted := sortedAttrs(cube.attrs)
+	key := cacheKey{rel: cube.rel, attrs: attrsKey(sorted)}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if _, ok := cc.entries[key]; ok {
+		return
+	}
+	cc.insertLocked(key, cube, sorted)
+}
+
+func (cc *CubeCache) insertLocked(key cacheKey, cube *Cube, sorted []int) {
+	e := &cacheEntry{cube: cube, attrs: sorted, bytes: cube.MemoryFootprint()}
+	cc.entries[key] = e
+	cc.stats.Bytes += e.bytes
+	cc.stats.Entries = len(cc.entries)
+}
+
+// bestSupersetLocked picks the cached strict superset of sorted (same
+// relation) that is cheapest to roll up: fewest groups, then fewest
+// attributes, then smallest attribute-key string. Returns nil when none.
+func (cc *CubeCache) bestSupersetLocked(rel *table.Relation, sorted []int) *Cube {
+	var best *cacheEntry
+	var bestKey string
+	for key, e := range cc.entries {
+		if key.rel != rel || len(e.attrs) <= len(sorted) || !isSubset(sorted, e.attrs) {
+			continue
+		}
+		if best == nil ||
+			e.cube.NumGroups() < best.cube.NumGroups() ||
+			(e.cube.NumGroups() == best.cube.NumGroups() && (len(e.attrs) < len(best.attrs) ||
+				(len(e.attrs) == len(best.attrs) && key.attrs < bestKey))) {
+			best = e
+			bestKey = key.attrs
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return best.cube
+}
+
+// isSubset reports whether every element of sub (sorted) occurs in sup
+// (sorted).
+func isSubset(sub, sup []int) bool {
+	j := 0
+	for _, want := range sub {
+		for j < len(sup) && sup[j] < want {
+			j++
+		}
+		if j >= len(sup) || sup[j] != want {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// Trim evicts entries until the total footprint fits the budget. Victims
+// are chosen largest-footprint-first (ties broken by key string), a pure
+// function of the entry set, so the surviving contents do not depend on
+// the order entries were inserted in. Call it from a single-threaded phase
+// boundary; it is the only method that removes entries.
+func (cc *CubeCache) Trim() {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.budget <= 0 || cc.stats.Bytes <= cc.budget {
+		return
+	}
+	type victim struct {
+		key   cacheKey
+		bytes int64
+	}
+	// Collect keys, then sort: the iteration feeds a deterministic sort,
+	// so map order cannot leak into which entries survive.
+	var all []victim
+	for key, e := range cc.entries {
+		all = append(all, victim{key: key, bytes: e.bytes})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].bytes != all[j].bytes {
+			return all[i].bytes > all[j].bytes
+		}
+		return all[i].key.attrs < all[j].key.attrs
+	})
+	for _, v := range all {
+		if cc.stats.Bytes <= cc.budget {
+			break
+		}
+		delete(cc.entries, v.key)
+		cc.stats.Bytes -= v.bytes
+		cc.stats.Evictions++
+	}
+	cc.stats.Entries = len(cc.entries)
+}
+
+// Stats returns a snapshot of the counters.
+func (cc *CubeCache) Stats() CacheStats {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.stats
+}

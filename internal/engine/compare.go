@@ -34,12 +34,13 @@ func CompareFromCube(c *Cube, attrA, attrB int, val, val2 int32, meas int, agg A
 	}
 	left := make(map[int32]float64)
 	right := make(map[int32]float64)
-	for g := range c.keys {
-		b := c.keys[g][posB]
+	for g := 0; g < c.NumGroups(); g++ {
+		key := c.GroupKey(g)
+		b := key[posB]
 		if b != val && b != val2 {
 			continue
 		}
-		a := c.keys[g][posA]
+		a := key[posA]
 		v := c.Value(g, meas, agg)
 		if b == val {
 			left[a] = v

@@ -1,0 +1,221 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"comparenb/internal/table"
+)
+
+// refGroup / referenceBuildCube is an independent, deliberately naive cube
+// builder used as ground truth for the sharded kernel: one full sequential
+// scan, string-keyed map, first-occurrence group order. Sums accumulate in
+// row order, so they may differ from the sharded build's merged partials in
+// the last ulps — equivalence checks use a relative tolerance for sums and
+// exact equality for everything else.
+type refGroup struct {
+	key   []int32
+	count int64
+	sums  []float64
+	mins  []float64
+	maxs  []float64
+}
+
+func referenceBuildCube(rel *table.Relation, attrs []int) []*refGroup {
+	cols := make([][]int32, len(attrs))
+	for i, a := range attrs {
+		cols[i] = rel.CatCol(a)
+	}
+	meas := make([][]float64, rel.NumMeasures())
+	for j := range meas {
+		meas[j] = rel.MeasCol(j)
+	}
+	index := map[string]*refGroup{}
+	var order []*refGroup
+	buf := make([]byte, 4*len(attrs))
+	for row := 0; row < rel.NumRows(); row++ {
+		for k := range cols {
+			c := cols[k][row]
+			buf[4*k] = byte(c)
+			buf[4*k+1] = byte(c >> 8)
+			buf[4*k+2] = byte(c >> 16)
+			buf[4*k+3] = byte(c >> 24)
+		}
+		g := index[string(buf)]
+		if g == nil {
+			key := make([]int32, len(attrs))
+			for k := range cols {
+				key[k] = cols[k][row]
+			}
+			g = &refGroup{
+				key:  key,
+				sums: make([]float64, len(meas)),
+				mins: make([]float64, len(meas)),
+				maxs: make([]float64, len(meas)),
+			}
+			for j := range meas {
+				g.mins[j] = math.NaN()
+				g.maxs[j] = math.NaN()
+			}
+			index[string(buf)] = g
+			order = append(order, g)
+		}
+		g.count++
+		for j := range meas {
+			v := meas[j][row]
+			if math.IsNaN(v) {
+				continue
+			}
+			g.sums[j] += v
+			if math.IsNaN(g.mins[j]) || v < g.mins[j] {
+				g.mins[j] = v
+			}
+			if math.IsNaN(g.maxs[j]) || v > g.maxs[j] {
+				g.maxs[j] = v
+			}
+		}
+	}
+	return order
+}
+
+// requireCubesBitIdentical fails unless the two cubes are bit-for-bit the
+// same: keys, counts, and every float compared through Float64bits (so NaN
+// patterns and signed zeros count too).
+func requireCubesBitIdentical(t *testing.T, label string, a, b *Cube) {
+	t.Helper()
+	if a.NumGroups() != b.NumGroups() {
+		t.Fatalf("%s: groups %d vs %d", label, a.NumGroups(), b.NumGroups())
+	}
+	if a.SourceRows != b.SourceRows {
+		t.Fatalf("%s: SourceRows %d vs %d", label, a.SourceRows, b.SourceRows)
+	}
+	for g := 0; g < a.NumGroups(); g++ {
+		ka, kb := a.GroupKey(g), b.GroupKey(g)
+		for k := range ka {
+			if ka[k] != kb[k] {
+				t.Fatalf("%s: group %d key %v vs %v", label, g, ka, kb)
+			}
+		}
+		if a.Count(g) != b.Count(g) {
+			t.Fatalf("%s: group %d count %d vs %d", label, g, a.Count(g), b.Count(g))
+		}
+		for m := 0; m < a.rel.NumMeasures(); m++ {
+			for _, agg := range []Agg{Sum, Min, Max} {
+				va, vb := a.Value(g, m, agg), b.Value(g, m, agg)
+				if math.Float64bits(va) != math.Float64bits(vb) {
+					t.Fatalf("%s: group %d %s(m%d) = %v (bits %x) vs %v (bits %x)",
+						label, g, agg, m, va, math.Float64bits(va), vb, math.Float64bits(vb))
+				}
+			}
+		}
+	}
+}
+
+// TestBuildCubeParallelBitIdentical pins the tentpole contract: the sharded
+// build produces byte-identical cubes at every thread count, on relations
+// large enough to span several shards (so the merge path actually runs).
+func TestBuildCubeParallelBitIdentical(t *testing.T) {
+	rows := 3*buildShardRows + 123 // 4 shards, last one partial
+	rel := randomRelation(3, []int{7, 13, 5}, 2, rows, 42)
+	for _, attrs := range [][]int{{0}, {0, 1}, {0, 1, 2}} {
+		serial := BuildCube(rel, attrs)
+		for _, threads := range []int{2, 3, 4, 8} {
+			par := BuildCubeParallel(rel, attrs, threads)
+			requireCubesBitIdentical(t, "attrs/threads", serial, par)
+		}
+	}
+}
+
+// TestBuildCubeParallelSingleShard checks the zero-goroutine fast path: a
+// relation that fits one shard takes the merge-free route at any width.
+func TestBuildCubeParallelSingleShard(t *testing.T) {
+	rel := randomRelation(2, []int{4, 6}, 1, 500, 9)
+	serial := BuildCube(rel, []int{0, 1})
+	par := BuildCubeParallel(rel, []int{0, 1}, 8)
+	requireCubesBitIdentical(t, "single shard", serial, par)
+}
+
+// TestBuildCubeMatchesReference is the property test against the naive
+// ground-truth builder, over several seeded random relations that cross
+// shard boundaries: group order, keys, counts and min/max must be exact;
+// sums within relative tolerance (shard merge reassociates the FP adds).
+func TestBuildCubeMatchesReference(t *testing.T) {
+	for _, tc := range []struct {
+		seed int64
+		rows int
+		doms []int
+	}{
+		{seed: 1, rows: buildShardRows + 17, doms: []int{3, 5}},
+		{seed: 2, rows: 2*buildShardRows + 1, doms: []int{10, 2}},
+		{seed: 3, rows: 2 * buildShardRows, doms: []int{6, 4}},
+	} {
+		rel := randomRelation(len(tc.doms), tc.doms, 2, tc.rows, tc.seed)
+		attrs := []int{0, 1}
+		want := referenceBuildCube(rel, attrs)
+		got := BuildCube(rel, attrs)
+		if got.NumGroups() != len(want) {
+			t.Fatalf("seed %d: groups %d, reference %d", tc.seed, got.NumGroups(), len(want))
+		}
+		for g := 0; g < got.NumGroups(); g++ {
+			ref := want[g]
+			key := got.GroupKey(g)
+			for k := range key {
+				if key[k] != ref.key[k] {
+					t.Fatalf("seed %d: group %d key %v, reference %v (first-occurrence order broken)",
+						tc.seed, g, key, ref.key)
+				}
+			}
+			if got.Count(g) != ref.count {
+				t.Fatalf("seed %d: group %d count %d, reference %d", tc.seed, g, got.Count(g), ref.count)
+			}
+			for m := 0; m < rel.NumMeasures(); m++ {
+				if s := got.Value(g, m, Sum); math.Abs(s-ref.sums[m]) > 1e-9*(1+math.Abs(ref.sums[m])) {
+					t.Errorf("seed %d: group %d Sum(m%d) = %v, reference %v", tc.seed, g, m, s, ref.sums[m])
+				}
+				if v := got.Value(g, m, Min); math.Float64bits(v) != math.Float64bits(ref.mins[m]) {
+					t.Errorf("seed %d: group %d Min(m%d) = %v, reference %v", tc.seed, g, m, v, ref.mins[m])
+				}
+				if v := got.Value(g, m, Max); math.Float64bits(v) != math.Float64bits(ref.maxs[m]) {
+					t.Errorf("seed %d: group %d Max(m%d) = %v, reference %v", tc.seed, g, m, v, ref.maxs[m])
+				}
+			}
+		}
+	}
+}
+
+// TestBuildCubeParallelNaN checks the merge handles all-NaN and mixed-NaN
+// groups across shard boundaries: the NaN min/max sentinel must survive a
+// merge with a shard that saw no finite value.
+func TestBuildCubeParallelNaN(t *testing.T) {
+	b := table.NewBuilder("nan", []string{"g"}, []string{"m"})
+	rows := buildShardRows + 100
+	for r := 0; r < rows; r++ {
+		val := math.NaN()
+		// Group "y" (odd rows) gets its single finite value in the second
+		// shard only.
+		if r == buildShardRows+51 {
+			val = 7
+		}
+		g := "x"
+		if r%2 == 1 {
+			g = "y"
+		}
+		b.AddRow([]string{g}, []float64{val})
+	}
+	rel := b.Build()
+	serial := BuildCube(rel, []int{0})
+	par := BuildCubeParallel(rel, []int{0}, 4)
+	requireCubesBitIdentical(t, "NaN merge", serial, par)
+	for g := 0; g < par.NumGroups(); g++ {
+		switch rel.Value(0, par.GroupKey(g)[0]) {
+		case "x":
+			if v := par.Value(g, 0, Min); !math.IsNaN(v) {
+				t.Errorf("Min(all-NaN group) = %v, want NaN", v)
+			}
+		case "y":
+			if v := par.Value(g, 0, Min); v != 7 {
+				t.Errorf("Min(y) = %v, want 7", v)
+			}
+		}
+	}
+}

@@ -128,6 +128,14 @@ type Config struct {
 	MaxCoverSize int
 	MemoryBudget int64
 
+	// CubeCacheBudget bounds the run's partial-aggregate cache (bytes of
+	// cube footprint, <= 0 = unbounded). The cache is shared by Algorithm
+	// 2's set cover, the hypothesis phase and the notebook's verification
+	// queries: exact attribute sets are reused, subset group-bys are
+	// answered by rolling up a cached superset instead of rescanning the
+	// base relation. See docs/PERFORMANCE.md for keying and eviction.
+	CubeCacheBudget int64
+
 	// AutoConciseness calibrates the conciseness parameters α, δ from the
 	// observed (θ, γ) of the candidate queries instead of using
 	// Interest.Conciseness — automating the paper's "empirically tuned"
@@ -217,21 +225,22 @@ func (c Config) Validate() error {
 // solver, a 10-query notebook.
 func NewConfig() Config {
 	return Config{
-		Name:         "default",
-		Sampling:     sampling.None,
-		SampleFrac:   1,
-		Perms:        200,
-		Alpha:        0.05,
-		MinSideRows:  2,
-		Interest:     metric.DefaultInterest,
-		Weights:      metric.DefaultWeights,
-		Threads:      runtime.GOMAXPROCS(0),
-		UseWSC:       false,
-		MaxCoverSize: 4,
-		EpsT:         10,
-		EpsD:         1.5,
-		Solver:       SolverHeuristic,
-		ExactTimeout: time.Hour,
+		Name:            "default",
+		Sampling:        sampling.None,
+		SampleFrac:      1,
+		Perms:           200,
+		Alpha:           0.05,
+		MinSideRows:     2,
+		Interest:        metric.DefaultInterest,
+		Weights:         metric.DefaultWeights,
+		Threads:         runtime.GOMAXPROCS(0),
+		UseWSC:          false,
+		MaxCoverSize:    4,
+		CubeCacheBudget: 64 << 20,
+		EpsT:            10,
+		EpsD:            1.5,
+		Solver:          SolverHeuristic,
+		ExactTimeout:    time.Hour,
 	}
 }
 
@@ -333,6 +342,12 @@ type Counts struct {
 	SignificantInsights int // after BH at level Alpha
 	PrunedTransitive    int // removed by §3.3 transitivity
 	SupportChecks       int // hypothesis-query evaluations
-	CubesBuilt          int
+	CubesBuilt          int // cubes aggregated from the base relation (cache misses)
 	QueriesGenerated    int // |Q| after Algorithm 1's dedup
+
+	// Cube-cache counters, snapshotted at the end of the hypothesis phase.
+	CacheHits      int
+	CacheRollups   int // subset group-bys answered via Rollup of a cached superset
+	CacheMisses    int
+	CacheEvictions int
 }

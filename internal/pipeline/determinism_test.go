@@ -33,6 +33,7 @@ func renderAll(t *testing.T, cfg Config) (ipynb, md, html, report []byte) {
 	}
 	rep := res.Report()
 	rep.Timings = ReportTimings{} // wall-clock timings legitimately differ
+	rep.Config.Threads = 0        // recorded worker width, not content
 	if err := rep.WriteJSON(&bufReport); err != nil {
 		t.Fatal(err)
 	}
@@ -74,8 +75,9 @@ func TestPipelineDeterminism(t *testing.T) {
 }
 
 // TestPipelineDeterminismAcrossThreadCounts pins the stronger property the
-// per-job seeding (jobSeed) promises: the notebook does not depend on the
-// worker-pool width either.
+// per-job seeding (jobSeed), the sharded cube build and the block-seeded
+// permutation streams promise together: every output format is
+// byte-identical no matter how wide the worker pools run.
 func TestPipelineDeterminismAcrossThreadCounts(t *testing.T) {
 	cfg := NewConfig()
 	cfg.Perms = 150
@@ -84,10 +86,63 @@ func TestPipelineDeterminismAcrossThreadCounts(t *testing.T) {
 	cfg.EpsD = 1.5
 
 	cfg.Threads = 1
-	ipynb1, _, _, _ := renderAll(t, cfg)
-	cfg.Threads = 8
-	ipynb8, _, _, _ := renderAll(t, cfg)
-	if !bytes.Equal(ipynb1, ipynb8) {
-		t.Errorf("ipynb differs between Threads=1 and Threads=8 (%d vs %d bytes)", len(ipynb1), len(ipynb8))
+	ipynb1, md1, _, rep1 := renderAll(t, cfg)
+	for _, threads := range []int{2, 8} {
+		cfg.Threads = threads
+		ipynb, md, _, rep := renderAll(t, cfg)
+		if !bytes.Equal(ipynb1, ipynb) {
+			t.Errorf("ipynb differs between Threads=1 and Threads=%d (%d vs %d bytes)", threads, len(ipynb1), len(ipynb))
+		}
+		if !bytes.Equal(md1, md) {
+			t.Errorf("markdown differs between Threads=1 and Threads=%d (%d vs %d bytes)", threads, len(md1), len(md))
+		}
+		if !bytes.Equal(rep1, rep) {
+			t.Errorf("report differs between Threads=1 and Threads=%d (%d vs %d bytes)", threads, len(rep1), len(rep))
+		}
+	}
+}
+
+// TestPipelineCacheCounters checks the run's cube cache is actually doing
+// the sharing the design promises: a standard run records hits or rollups,
+// and an unbounded budget never evicts.
+func TestPipelineCacheCounters(t *testing.T) {
+	cfg := NewConfig()
+	cfg.Perms = 100
+	cfg.Seed = 7
+	cfg.EpsT = 5
+	cfg.UseWSC = true       // the sharing path under test
+	cfg.CubeCacheBudget = 0 // unbounded
+
+	ds, err := datagen.Tiny(7, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Generate(ds.Rel, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := res.CacheStats()
+	if cs.Misses == 0 {
+		t.Error("no cube was ever built from the base relation")
+	}
+	if cs.Hits+cs.RollupHits == 0 {
+		t.Error("cache recorded no reuse at all across the phases")
+	}
+	if cs.Evictions != 0 {
+		t.Errorf("unbounded cache evicted %d entries", cs.Evictions)
+	}
+	if res.Counts.CacheMisses != int(cs.Misses) || res.Counts.CubesBuilt != int(cs.Misses) {
+		t.Errorf("Counts (%d built / %d misses) disagree with cache stats (%d)",
+			res.Counts.CubesBuilt, res.Counts.CacheMisses, cs.Misses)
+	}
+	// BuildNotebook's verification tables answer from the same cache.
+	before := cs.Hits + cs.RollupHits
+	BuildNotebook(res)
+	after := res.CacheStats()
+	if after.Hits+after.RollupHits <= before {
+		t.Error("notebook verification queries did not touch the cache")
+	}
+	if after.Misses != cs.Misses {
+		t.Errorf("notebook rendering rebuilt cubes from the relation: misses %d -> %d", cs.Misses, after.Misses)
 	}
 }

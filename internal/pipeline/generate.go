@@ -30,6 +30,21 @@ type Result struct {
 
 	Timings Timings
 	Counts  Counts
+
+	// cache is the run's partial-aggregate store; BuildNotebook answers
+	// the verification queries from it instead of rescanning the base
+	// relation. Nil for zero-value Results built outside Generate.
+	cache *engine.CubeCache
+}
+
+// CacheStats returns the cube-cache counters, including any hits recorded
+// after Generate (notebook verification queries). Zero value when the
+// Result was not produced by Generate.
+func (r *Result) CacheStats() engine.CacheStats {
+	if r.cache == nil {
+		return engine.CacheStats{}
+	}
+	return r.cache.Stats()
 }
 
 // Sequence returns the selected queries in notebook order.
@@ -80,17 +95,28 @@ func Generate(rel *table.Relation, cfg Config) (*Result, error) {
 		cfg.logf("pipeline: transitivity pruned %d deducible insights", before-len(sig))
 	}
 
-	// Phase (ii): hypothesis-query evaluation on in-memory aggregates.
+	// Phase (ii): hypothesis-query evaluation on in-memory aggregates,
+	// shared through the run's cube cache.
 	t0 = time.Now()
-	queries, final, counts := evalHypotheses(rel, cfg, fds, sig)
+	res.cache = engine.NewCubeCache(cfg.CubeCacheBudget)
+	queries, final, counts := evalHypotheses(rel, cfg, fds, sig, res.cache)
+	// Trim at the phase boundary (single-threaded): eviction decisions are
+	// a pure function of the deterministic entry set, never of scheduling.
+	res.cache.Trim()
+	cs := res.cache.Stats()
 	res.Queries = queries
 	res.Insights = final
-	res.Counts.CubesBuilt = counts.CubesBuilt
+	res.Counts.CubesBuilt = int(cs.Misses)
 	res.Counts.SupportChecks = counts.SupportChecks
 	res.Counts.QueriesGenerated = counts.QueriesGenerated
+	res.Counts.CacheHits = int(cs.Hits)
+	res.Counts.CacheRollups = int(cs.RollupHits)
+	res.Counts.CacheMisses = int(cs.Misses)
+	res.Counts.CacheEvictions = int(cs.Evictions)
 	res.Timings.HypoEval = time.Since(t0)
-	cfg.logf("pipeline: %d cubes, %d support checks, |Q| = %d, in %v",
-		counts.CubesBuilt, counts.SupportChecks, counts.QueriesGenerated, res.Timings.HypoEval)
+	cfg.logf("pipeline: %d cubes built, cache %d hits / %d rollups / %d misses / %d evictions (%d B cached), %d support checks, |Q| = %d, in %v",
+		res.Counts.CubesBuilt, cs.Hits, cs.RollupHits, cs.Misses, cs.Evictions, cs.Bytes,
+		counts.SupportChecks, counts.QueriesGenerated, res.Timings.HypoEval)
 
 	// TAP.
 	t0 = time.Now()
@@ -161,8 +187,9 @@ func BuildNotebook(res *Result) *notebook.Notebook {
 			Agg:     sq.Query.Agg,
 		}))
 		// Like the paper's Figure 2, show the comparison result next to
-		// the query (truncated for wide group-bys).
-		nb.AddMarkdown(ResultTable(rel, sq.Query, 15))
+		// the query (truncated for wide group-bys). The run's cube cache
+		// answers this without rescanning the base relation.
+		nb.AddMarkdown(res.resultTable(sq.Query, 15))
 		if res.Config.IncludeHypotheses {
 			for _, ins := range sq.Supported {
 				nb.AddMarkdown(fmt.Sprintf("Hypothesis query (%s):", ins.Type))
@@ -173,10 +200,27 @@ func BuildNotebook(res *Result) *notebook.Notebook {
 	return nb
 }
 
-// ResultTable executes the comparison query and renders its result as a
-// Markdown table, keeping at most maxRows rows (0 = all).
+// resultTable renders the comparison query's result from the run's cube
+// cache: an exact or rolled-up pair cube answers it in O(groups); only a
+// Result without a cache falls back to the two-scan plan.
+func (r *Result) resultTable(q insight.Query, maxRows int) string {
+	if r.cache == nil {
+		return ResultTable(r.Relation, q, maxRows)
+	}
+	pc := r.cache.GetOrBuild(r.Relation, []int{q.GroupBy, q.Attr}, r.Config.threads())
+	res := engine.CompareFromCube(pc, q.GroupBy, q.Attr, q.Val, q.Val2, q.Meas, q.Agg)
+	return renderResultTable(r.Relation, q, res, maxRows)
+}
+
+// ResultTable executes the comparison query with the literal two-scan plan
+// and renders its result as a Markdown table, keeping at most maxRows rows
+// (0 = all).
 func ResultTable(rel *table.Relation, q insight.Query, maxRows int) string {
 	res := engine.CompareDirect(rel, q.GroupBy, q.Attr, q.Val, q.Val2, q.Meas, q.Agg)
+	return renderResultTable(rel, q, res, maxRows)
+}
+
+func renderResultTable(rel *table.Relation, q insight.Query, res *engine.ComparisonResult, maxRows int) string {
 	left := rel.Value(q.Attr, q.Val)
 	right := rel.Value(q.Attr, q.Val2)
 	var sb strings.Builder

@@ -39,7 +39,7 @@ type hypoOutcome struct {
 // when cfg.UseWSC), computes credibility, scores interest, and applies the
 // same-insights dedup. Support is always checked on the full relation —
 // sampling only ever accelerates the statistical tests.
-func evalHypotheses(rel *table.Relation, cfg Config, fds *engine.FDSet, sig []insight.Insight) ([]ScoredQuery, []insight.Insight, Counts) {
+func evalHypotheses(rel *table.Relation, cfg Config, fds *engine.FDSet, sig []insight.Insight, cache *engine.CubeCache) ([]ScoredQuery, []insight.Insight, Counts) {
 	var counts Counts
 	n := rel.NumCatAttrs()
 
@@ -71,8 +71,7 @@ func evalHypotheses(rel *table.Relation, cfg Config, fds *engine.FDSet, sig []in
 		return needed[i].B < needed[j].B
 	})
 
-	pairCubes, built := buildPairCubes(rel, cfg, needed)
-	counts.CubesBuilt = built
+	pairCubes := buildPairCubes(rel, cfg, needed, cache)
 
 	// Evaluate every (insight, grouping attribute) combination.
 	type job struct {
@@ -217,9 +216,9 @@ func lessQuery(a, b insight.Query) bool {
 func evalOne(rel *table.Relation, pc *engine.Cube, attrA int, ins insight.Insight) hypoOutcome {
 	var out hypoOutcome
 	// θ: tuples with B ∈ {val, val'} — from the pair cube's counts.
-	attrs := pc.Attrs()
+	// AttrAt avoids Attrs()'s defensive clone on this hot path.
 	posB := 0
-	if attrs[1] == ins.Attr {
+	if pc.AttrAt(1) == ins.Attr {
 		posB = 1
 	}
 	for g := 0; g < pc.NumGroups(); g++ {
@@ -240,24 +239,26 @@ func evalOne(rel *table.Relation, pc *engine.Cube, attrA int, ins insight.Insigh
 	return out
 }
 
-// buildPairCubes materialises a cube for every needed {A, B} pair, either
-// directly (§5.2.1 bounding) or by rolling up the group-by sets chosen by
-// Algorithm 2's weighted set cover (§5.2.2). It returns the pair cubes and
-// the number of base cubes built from the relation.
-func buildPairCubes(rel *table.Relation, cfg Config, needed []cover.Pair) (map[cover.Pair]*engine.Cube, int) {
+// buildPairCubes materialises a cube for every needed {A, B} pair through
+// the run's cube cache, either directly (§5.2.1 bounding) or by rolling up
+// the group-by sets chosen by Algorithm 2's weighted set cover (§5.2.2).
+// The cache's counters record how many cubes were aggregated from the base
+// relation (misses) versus answered by reuse or roll-up.
+func buildPairCubes(rel *table.Relation, cfg Config, needed []cover.Pair, cache *engine.CubeCache) map[cover.Pair]*engine.Cube {
 	out := make(map[cover.Pair]*engine.Cube, len(needed))
 	if len(needed) == 0 {
-		return out, 0
+		return out
 	}
 	if !cfg.UseWSC {
+		inner := innerThreads(cfg.threads(), len(needed))
 		cubes := make([]*engine.Cube, len(needed))
 		parallelFor(cfg.threads(), len(needed), func(i int) {
-			cubes[i] = engine.BuildCube(rel, []int{needed[i].A, needed[i].B})
+			cubes[i] = cache.GetOrBuild(rel, []int{needed[i].A, needed[i].B}, inner)
 		})
 		for i, p := range needed {
 			out[p] = cubes[i]
 		}
-		return out, len(needed)
+		return out
 	}
 
 	// Algorithm 2: estimate candidate sizes, solve the weighted cover.
@@ -281,44 +282,26 @@ func buildPairCubes(rel *table.Relation, cfg Config, needed []cover.Pair) (map[c
 	if fallback {
 		cfgNoWSC := cfg
 		cfgNoWSC.UseWSC = false
-		return buildPairCubes(rel, cfgNoWSC, needed)
+		return buildPairCubes(rel, cfgNoWSC, needed, cache)
 	}
 
-	base := make([]*engine.Cube, len(chosen))
+	// Base cubes of the cover always aggregate the relation directly
+	// (BuildThrough never answers via roll-up), so their provenance does
+	// not depend on what else the cache holds.
+	inner := innerThreads(cfg.threads(), len(chosen))
 	parallelFor(cfg.threads(), len(chosen), func(i int) {
-		base[i] = engine.BuildCube(rel, cands[chosen[i]].Attrs)
+		cache.BuildThrough(rel, cands[chosen[i]].Attrs, inner)
 	})
-	// Roll up each needed pair from the first chosen set covering it.
-	coveredBy := make([]int, len(needed))
-	for pi, p := range needed {
-		coveredBy[pi] = -1
-		for ci := range chosen {
-			if containsBoth(cands[chosen[ci]].Attrs, p) {
-				coveredBy[pi] = ci
-				break
-			}
-		}
-	}
+	// Every needed pair now rolls up from a cached base cube; GetOrBuild
+	// picks the cheapest covering superset deterministically. cover.Greedy
+	// guarantees coverage, so no pair falls back to a base-relation build.
 	rolled := make([]*engine.Cube, len(needed))
 	parallelFor(cfg.threads(), len(needed), func(pi int) {
 		p := needed[pi]
-		rolled[pi] = base[coveredBy[pi]].Rollup([]int{p.A, p.B})
+		rolled[pi] = cache.GetOrBuild(rel, []int{p.A, p.B}, 1)
 	})
 	for pi, p := range needed {
 		out[p] = rolled[pi]
 	}
-	return out, len(chosen)
-}
-
-func containsBoth(attrs []int, p cover.Pair) bool {
-	okA, okB := false, false
-	for _, a := range attrs {
-		if a == p.A {
-			okA = true
-		}
-		if a == p.B {
-			okB = true
-		}
-	}
-	return okA && okB
+	return out
 }

@@ -36,7 +36,9 @@ type ReportConfig struct {
 	Solver     string  `json:"solver"`
 	UseWSC     bool    `json:"use_wsc"`
 	Threads    int     `json:"threads"`
-	Seed       int64   `json:"seed"`
+	// CacheBudget is the cube-cache bound in bytes (<= 0 = unbounded).
+	CacheBudget int64 `json:"cube_cache_budget"`
+	Seed        int64 `json:"seed"`
 }
 
 // ReportTimings is Timings in milliseconds for JSON friendliness.
@@ -82,18 +84,19 @@ func (r *Result) Report() Report {
 		Dataset: rel.Name(),
 		Rows:    rel.NumRows(),
 		Config: ReportConfig{
-			Name:       r.Config.Name,
-			Sampling:   r.Config.Sampling.String(),
-			SampleFrac: r.Config.SampleFrac,
-			Perms:      r.Config.Perms,
-			Alpha:      r.Config.Alpha,
-			BHScope:    r.Config.BHScope.String(),
-			EpsT:       r.Config.EpsT,
-			EpsD:       r.Config.EpsD,
-			Solver:     r.Config.Solver.String(),
-			UseWSC:     r.Config.UseWSC,
-			Threads:    r.Config.threads(),
-			Seed:       r.Config.Seed,
+			Name:        r.Config.Name,
+			Sampling:    r.Config.Sampling.String(),
+			SampleFrac:  r.Config.SampleFrac,
+			Perms:       r.Config.Perms,
+			Alpha:       r.Config.Alpha,
+			BHScope:     r.Config.BHScope.String(),
+			EpsT:        r.Config.EpsT,
+			EpsD:        r.Config.EpsD,
+			Solver:      r.Config.Solver.String(),
+			UseWSC:      r.Config.UseWSC,
+			Threads:     r.Config.threads(),
+			CacheBudget: r.Config.CubeCacheBudget,
+			Seed:        r.Config.Seed,
 		},
 		Counts:        r.Counts,
 		Timings:       toReportTimings(r.Timings),

@@ -60,11 +60,11 @@ func runStatTests(rel *table.Relation, cfg Config) (significant []insight.Insigh
 
 	outcomes := make([][]statOutcome, len(jobs))
 	testedPer := make([]int, len(jobs))
+	inner := innerThreads(cfg.threads(), len(jobs))
 	parallelFor(cfg.threads(), len(jobs), func(ji int) {
 		job := jobs[ji]
 		trel := testRels[job.attr]
-		rng := rand.New(rand.NewSource(jobSeed(cfg.Seed, ji)))
-		outcomes[ji], testedPer[ji] = testPair(trel, job.attr, job.val, job.val2, cfg, rng)
+		outcomes[ji], testedPer[ji] = testPair(trel, job.attr, job.val, job.val2, cfg, jobSeed(cfg.Seed, ji), inner)
 	})
 
 	var all []statOutcome
@@ -161,8 +161,11 @@ func enumeratePairs(rel *table.Relation, a int, maxPairs int) [][2]int32 {
 // testPair runs the permutation tests for every measure and insight type
 // on one (attribute, val, val') pair, sharing the label permutations
 // across measures whenever the pooled sides have identical sizes (they
-// differ only when NaN cells were filtered).
-func testPair(rel *table.Relation, attr int, val, val2 int32, cfg Config, rng *rand.Rand) ([]statOutcome, int) {
+// differ only when NaN cells were filtered). Permutations come from
+// seeded block streams (seed derived from `seed` and the measure index),
+// and the nperm resamples are split across `threads` workers — both are
+// bit-identical for every thread count.
+func testPair(rel *table.Relation, attr int, val, val2 int32, cfg Config, seed int64, threads int) ([]statOutcome, int) {
 	col := rel.CatCol(attr)
 	var xRows, yRows []int
 	for i, c := range col {
@@ -196,7 +199,7 @@ func testPair(rel *table.Relation, attr int, val, val2 int32, cfg Config, rng *r
 		if sharedSides == [2]int{len(xs), len(ys)} {
 			pp = sharedPerm
 		} else {
-			pp = stats.NewPairPerm(len(xs), len(ys), cfg.Perms, rng)
+			pp = stats.NewPairPermSeeded(len(xs), len(ys), cfg.Perms, jobSeed(seed, m), threads)
 			sharedPerm, sharedSides = pp, [2]int{len(xs), len(ys)}
 		}
 
@@ -206,7 +209,7 @@ func testPair(rel *table.Relation, attr int, val, val2 int32, cfg Config, rng *r
 				continue
 			}
 			tested++
-			_, p := pp.PValue(pooled, typ.TestStat())
+			_, p := pp.PValueThreads(pooled, typ.TestStat(), threads)
 			out = append(out, statOutcome{
 				key:    insight.Key{Meas: m, Attr: attr, Val: v, Val2: v2, Type: typ},
 				p:      p,

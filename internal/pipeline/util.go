@@ -37,6 +37,23 @@ func parallelFor(threads, n int, fn func(i int)) {
 	wg.Wait()
 }
 
+// innerThreads splits a thread budget between an outer job pool of `jobs`
+// jobs and the parallel kernels each job may call: when there are fewer
+// jobs than threads the spare width goes to the kernels, otherwise the
+// kernels run serially. Inner width never changes results — the sharded
+// cube build and the permutation kernels are bit-identical at any thread
+// count — so this is purely a utilisation knob.
+func innerThreads(threads, jobs int) int {
+	if jobs <= 0 {
+		return threads
+	}
+	inner := threads / jobs
+	if inner < 1 {
+		inner = 1
+	}
+	return inner
+}
+
 // jobSeed derives a deterministic per-job RNG seed so results do not
 // depend on goroutine scheduling.
 func jobSeed(base int64, job int) int64 {

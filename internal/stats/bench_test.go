@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 )
@@ -61,5 +62,27 @@ func BenchmarkMedianQuickselect(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Median(xs)
+	}
+}
+
+// BenchmarkPermSeededGen measures drawing the block-seeded permutation set
+// (the NewPairPermSeeded path the pipeline uses).
+func BenchmarkPermSeededGen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		NewPairPermSeeded(1000, 1000, 200, 1, 1)
+	}
+}
+
+// BenchmarkPermTestMeanParallel evaluates the same seeded permutation set
+// at several worker widths; the p-value is bit-identical at every width.
+func BenchmarkPermTestMeanParallel(b *testing.B) {
+	pooled := benchPool(2000, 2)
+	pp := NewPairPermSeeded(1000, 1000, 200, 1, 1)
+	for _, threads := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pp.PValueThreads(pooled, MeanDiff, threads)
+			}
+		})
 	}
 }

@@ -48,24 +48,106 @@ type PairPerm struct {
 	xIdx   [][]int32 // per permutation: the pooled indexes labelled X
 }
 
-// NewPairPerm draws nperm independent permutations of the pooled labels.
+// permBlock is the resample-block width of the seeded generator: block b
+// of NewPairPermSeeded covers permutations [b*permBlock, (b+1)*permBlock)
+// and is drawn from its own RNG stream seeded by (seed, b). Because the
+// block layout depends only on nperm, the permutations — and therefore
+// every p-value computed from them — are bit-identical no matter how many
+// workers generate or evaluate the blocks.
+const permBlock = 64
+
+// NewPairPerm draws nperm independent permutations of the pooled labels
+// from a single sequential RNG stream. Prefer NewPairPermSeeded, whose
+// block streams decouple the draw from any particular execution order;
+// this constructor remains for callers that already hold an *rand.Rand.
 func NewPairPerm(nx, ny, nperm int, rng *rand.Rand) *PairPerm {
-	n := nx + ny
 	p := &PairPerm{nx: nx, ny: ny, xIdx: make([][]int32, nperm)}
+	scratch := identityScratch(nx + ny)
+	for k := 0; k < nperm; k++ {
+		p.xIdx[k] = drawPerm(scratch, nx, rng)
+	}
+	return p
+}
+
+// NewPairPermSeeded draws nperm permutations in blocks of permBlock, block
+// b from an RNG stream seeded with mix(seed, b), generating blocks on up
+// to `threads` workers. The output is a pure function of
+// (nx, ny, nperm, seed): thread count and scheduling cannot change a bit
+// of it — the property the pipeline's determinism-across-threads contract
+// rests on.
+func NewPairPermSeeded(nx, ny, nperm int, seed int64, threads int) *PairPerm {
+	p := &PairPerm{nx: nx, ny: ny, xIdx: make([][]int32, nperm)}
+	nblocks := (nperm + permBlock - 1) / permBlock
+	genBlock := func(b int) {
+		rng := rand.New(rand.NewSource(mixSeed(seed, int64(b))))
+		scratch := identityScratch(nx + ny)
+		lo := b * permBlock
+		hi := lo + permBlock
+		if hi > nperm {
+			hi = nperm
+		}
+		for k := lo; k < hi; k++ {
+			p.xIdx[k] = drawPerm(scratch, nx, rng)
+		}
+	}
+	forEachBlock(threads, nblocks, genBlock)
+	return p
+}
+
+// drawPerm labels side X by a partial Fisher–Yates over scratch: only the
+// first nx draws are needed to label side X uniformly. scratch keeps its
+// shuffled state between calls within one stream; the draw stays uniform
+// because any starting arrangement of the pool is measure-preserving.
+func drawPerm(scratch []int32, nx int, rng *rand.Rand) []int32 {
+	n := len(scratch)
+	for i := 0; i < nx && i < n-1; i++ {
+		j := i + rng.Intn(n-i)
+		scratch[i], scratch[j] = scratch[j], scratch[i]
+	}
+	return append([]int32(nil), scratch[:nx]...)
+}
+
+func identityScratch(n int) []int32 {
 	scratch := make([]int32, n)
 	for i := range scratch {
 		scratch[i] = int32(i)
 	}
-	for k := 0; k < nperm; k++ {
-		// Partial Fisher–Yates: only the first nx draws are needed to
-		// label side X uniformly.
-		for i := 0; i < nx && i < n-1; i++ {
-			j := i + rng.Intn(n-i)
-			scratch[i], scratch[j] = scratch[j], scratch[i]
-		}
-		p.xIdx[k] = append([]int32(nil), scratch[:nx]...)
+	return scratch
+}
+
+// mixSeed derives a well-spread per-block seed (splitmix64 finalizer).
+func mixSeed(base, block int64) int64 {
+	z := uint64(base) + uint64(block+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z & 0x7FFFFFFFFFFFFFFF)
+}
+
+// forEachBlock runs fn(0..n-1) on up to `threads` goroutines, serially
+// (zero goroutines) when threads <= 1 or there is a single block.
+func forEachBlock(threads, n int, fn func(b int)) {
+	if threads > n {
+		threads = n
 	}
-	return p
+	if threads <= 1 {
+		for b := 0; b < n; b++ {
+			fn(b)
+		}
+		return
+	}
+	done := make(chan struct{}, threads)
+	for w := 0; w < threads; w++ {
+		go func(w int) {
+			for b := w; b < n; b += threads {
+				fn(b)
+			}
+			done <- struct{}{}
+		}(w)
+	}
+	for w := 0; w < threads; w++ {
+		<-done
+	}
 }
 
 // NumPerms returns the number of stored permutations.
@@ -81,6 +163,14 @@ func (p *PairPerm) NumPerms() int { return len(p.xIdx) }
 // been filtered by the caller; if the pool is too small for the statistic
 // the p-value is 1 (nothing can be concluded).
 func (p *PairPerm) PValue(pooled []float64, stat TestStat) (obs, pvalue float64) {
+	return p.PValueThreads(pooled, stat, 1)
+}
+
+// PValueThreads is PValue with the nperm resamples split across up to
+// `threads` workers. Each permutation's statistic is computed
+// independently and the exceedance count is an integer sum, so the
+// p-value is bit-identical for every thread count.
+func (p *PairPerm) PValueThreads(pooled []float64, stat TestStat, threads int) (obs, pvalue float64) {
 	if len(pooled) != p.nx+p.ny {
 		panic("stats: pooled length does not match PairPerm sides")
 	}
@@ -92,22 +182,71 @@ func (p *PairPerm) PValue(pooled []float64, stat TestStat) (obs, pvalue float64)
 		total += v
 		totalSq += v * v
 	}
-	obs = p.statistic(pooled, nil, stat, total, totalSq)
+	obs = p.statistic(pooled, nil, stat, total, totalSq, newPermScratch(p, stat))
 	if math.IsNaN(obs) {
 		return obs, 1
 	}
-	ge := 0
-	for _, idx := range p.xIdx {
-		if p.statistic(pooled, idx, stat, total, totalSq) >= obs {
-			ge++
-		}
+	nperm := len(p.xIdx)
+	if threads > nperm {
+		threads = nperm
 	}
-	return obs, float64(1+ge) / float64(1+len(p.xIdx))
+	if threads <= 1 {
+		scratch := newPermScratch(p, stat)
+		ge := 0
+		for _, idx := range p.xIdx {
+			if p.statistic(pooled, idx, stat, total, totalSq, scratch) >= obs {
+				ge++
+			}
+		}
+		return obs, float64(1+ge) / float64(1+nperm)
+	}
+	counts := make([]int, threads)
+	done := make(chan struct{}, threads)
+	for w := 0; w < threads; w++ {
+		go func(w int) {
+			scratch := newPermScratch(p, stat)
+			ge := 0
+			for k := w; k < nperm; k += threads {
+				if p.statistic(pooled, p.xIdx[k], stat, total, totalSq, scratch) >= obs {
+					ge++
+				}
+			}
+			counts[w] = ge
+			done <- struct{}{}
+		}(w)
+	}
+	for w := 0; w < threads; w++ {
+		<-done
+	}
+	ge := 0
+	for _, c := range counts {
+		ge += c
+	}
+	return obs, float64(1+ge) / float64(1+nperm)
+}
+
+// permScratch holds the per-worker buffers of the median statistic, so the
+// hot loop allocates nothing per permutation.
+type permScratch struct {
+	xs, ys []float64
+	inX    []bool
+}
+
+func newPermScratch(p *PairPerm, stat TestStat) *permScratch {
+	if stat != MedianDiff {
+		return nil
+	}
+	return &permScratch{
+		xs:  make([]float64, p.nx),
+		ys:  make([]float64, 0, p.ny),
+		inX: make([]bool, p.nx+p.ny),
+	}
 }
 
 // statistic computes the chosen statistic with side X being the pooled
-// positions in xIdx (or the first nx positions when xIdx is nil).
-func (p *PairPerm) statistic(pooled []float64, xIdx []int32, stat TestStat, total, totalSq float64) float64 {
+// positions in xIdx (or the first nx positions when xIdx is nil). scratch
+// is required for MedianDiff and ignored otherwise.
+func (p *PairPerm) statistic(pooled []float64, xIdx []int32, stat TestStat, total, totalSq float64, scratch *permScratch) float64 {
 	nx, ny := float64(p.nx), float64(p.ny)
 	switch stat {
 	case MeanDiff:
@@ -142,13 +281,16 @@ func (p *PairPerm) statistic(pooled []float64, xIdx []int32, stat TestStat, tota
 		vy := (totalSq-qx)/ny - my*my
 		return math.Abs(vx - vy)
 	case MedianDiff:
-		xs := make([]float64, p.nx)
-		ys := make([]float64, 0, p.ny)
+		xs := scratch.xs
+		ys := scratch.ys[:0]
 		if xIdx == nil {
 			copy(xs, pooled[:p.nx])
 			ys = append(ys, pooled[p.nx:]...)
 		} else {
-			inX := make([]bool, len(pooled))
+			inX := scratch.inX
+			for i := range inX {
+				inX[i] = false
+			}
 			for k, i := range xIdx {
 				xs[k] = pooled[i]
 				inX[i] = true
@@ -159,6 +301,7 @@ func (p *PairPerm) statistic(pooled []float64, xIdx []int32, stat TestStat, tota
 				}
 			}
 		}
+		scratch.ys = ys
 		return math.Abs(Median(xs) - Median(ys))
 	default:
 		panic("stats: unknown test statistic")

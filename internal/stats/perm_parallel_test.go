@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSeededPermsThreadInvariant pins the block-stream contract: the drawn
+// permutations are a pure function of (nx, ny, nperm, seed) — generating
+// the blocks on more workers cannot change a single index.
+func TestSeededPermsThreadInvariant(t *testing.T) {
+	const nx, ny = 37, 53
+	for _, nperm := range []int{1, permBlock - 1, permBlock, permBlock + 1, 4*permBlock + 7} {
+		base := NewPairPermSeeded(nx, ny, nperm, 99, 1)
+		for _, threads := range []int{2, 4, 8} {
+			par := NewPairPermSeeded(nx, ny, nperm, 99, threads)
+			for k := range base.xIdx {
+				for i := range base.xIdx[k] {
+					if base.xIdx[k][i] != par.xIdx[k][i] {
+						t.Fatalf("nperm=%d threads=%d: perm %d index %d differs", nperm, threads, k, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSeededPermsDifferAcrossSeeds(t *testing.T) {
+	a := NewPairPermSeeded(20, 20, 50, 1, 1)
+	b := NewPairPermSeeded(20, 20, 50, 2, 1)
+	same := true
+	for k := range a.xIdx {
+		for i := range a.xIdx[k] {
+			if a.xIdx[k][i] != b.xIdx[k][i] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("seeds 1 and 2 drew identical permutation sets")
+	}
+}
+
+// TestPValueThreadsBitIdentical checks the evaluation half: splitting the
+// resamples across workers leaves the p-value bit-identical for every
+// statistic (the exceedance count is an integer sum).
+func TestPValueThreadsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const nx, ny = 80, 120
+	pooled := make([]float64, nx+ny)
+	for i := range pooled {
+		pooled[i] = rng.NormFloat64()
+		if i < nx {
+			pooled[i] += 0.3 // a real effect, so p is non-trivial
+		}
+	}
+	p := NewPairPermSeeded(nx, ny, 500, 11, 1)
+	for _, stat := range []TestStat{MeanDiff, VarDiff, MedianDiff} {
+		obs1, p1 := p.PValueThreads(pooled, stat, 1)
+		for _, threads := range []int{2, 4, 8} {
+			obs, pv := p.PValueThreads(pooled, stat, threads)
+			if math.Float64bits(obs) != math.Float64bits(obs1) || math.Float64bits(pv) != math.Float64bits(p1) {
+				t.Errorf("%s threads=%d: (obs, p) = (%v, %v), serial (%v, %v)", stat, threads, obs, pv, obs1, p1)
+			}
+		}
+		if p1 <= 0 || p1 > 1 {
+			t.Errorf("%s: p = %v out of (0, 1]", stat, p1)
+		}
+	}
+}
+
+// TestSeededMatchesSequentialFirstBlock sanity-checks the generator against
+// the single-stream constructor: block 0 uses the stream seeded with
+// mixSeed(seed, 0), so its permutations must match NewPairPerm drawn from
+// that same source.
+func TestSeededMatchesSequentialFirstBlock(t *testing.T) {
+	const nx, ny, seed = 15, 25, 77
+	seeded := NewPairPermSeeded(nx, ny, permBlock, seed, 1)
+	seq := NewPairPerm(nx, ny, permBlock, rand.New(rand.NewSource(mixSeed(seed, 0))))
+	for k := range seeded.xIdx {
+		for i := range seeded.xIdx[k] {
+			if seeded.xIdx[k][i] != seq.xIdx[k][i] {
+				t.Fatalf("perm %d index %d: seeded %d, sequential %d", k, i, seeded.xIdx[k][i], seq.xIdx[k][i])
+			}
+		}
+	}
+}

@@ -1,0 +1,74 @@
+#!/bin/sh
+# Benchmark harness for comparenb. Runs every benchmark (table/figure
+# reproductions and the kernel microbenchmarks) with -benchmem at the fixed
+# seeds baked into the _test.go files, and writes the machine-readable
+# baseline BENCH_PR2.json: one record per benchmark plus derived speedups —
+# the sharded cube build versus the naive reference builder, and the
+# parallel kernels versus their threads=1 runs.
+#
+#   scripts/bench.sh              # full run (default -benchtime=1s)
+#   BENCHTIME=100ms scripts/bench.sh   # quicker, noisier
+#   OUT=/tmp/b.json scripts/bench.sh   # write elsewhere
+#
+# Stdlib toolchain only: go test + awk.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+OUT="${OUT:-BENCH_PR2.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "==> go test -run '^\$' -bench . -benchmem -benchtime=$BENCHTIME ./..."
+go test -run '^$' -bench . -benchmem -benchtime="$BENCHTIME" ./... | tee "$RAW"
+
+echo "==> writing $OUT"
+awk '
+/^Benchmark/ {
+    # Benchmark lines: Name-GOMAXPROCS  N  ns/op  [B/op  allocs/op]
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns[name] = $3
+    bop[name] = ""; aop[name] = ""
+    for (i = 4; i < NF; i++) {
+        if ($(i + 1) == "B/op") bop[name] = $i
+        if ($(i + 1) == "allocs/op") aop[name] = $i
+    }
+    order[n_bench++] = name
+}
+END {
+    printf "{\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", benchtime
+    for (i = 0; i < n_bench; i++) {
+        name = order[i]
+        printf "    {\"name\": \"%s\", \"ns_op\": %s", name, ns[name]
+        if (bop[name] != "") printf ", \"b_op\": %s, \"allocs_op\": %s", bop[name], aop[name]
+        printf "}%s\n", (i < n_bench - 1 ? "," : "")
+    }
+    printf "  ],\n  \"speedups\": [\n"
+    n_sp = 0
+    # Sharded kernel vs the naive reference builder (same seed, same attrs).
+    if (("BenchmarkBuildCubeReference" in ns) && ("BenchmarkBuildCube2Attrs" in ns)) {
+        sp_name[n_sp] = "BuildCube2Attrs_vs_naive_reference"
+        sp_val[n_sp] = ns["BenchmarkBuildCubeReference"] / ns["BenchmarkBuildCube2Attrs"]
+        n_sp++
+    }
+    # Parallel kernels vs their own threads=1 runs (bit-identical output).
+    for (i = 0; i < n_bench; i++) {
+        name = order[i]
+        if (name !~ /threads=[0-9]+$/ || name ~ /threads=1$/) continue
+        base = name
+        sub(/threads=[0-9]+$/, "threads=1", base)
+        if (base in ns) {
+            sp_name[n_sp] = substr(name, 10) "_vs_threads=1"
+            sp_val[n_sp] = ns[base] / ns[name]
+            n_sp++
+        }
+    }
+    for (i = 0; i < n_sp; i++)
+        printf "    {\"name\": \"%s\", \"speedup\": %.3f}%s\n", sp_name[i], sp_val[i], (i < n_sp - 1 ? "," : "")
+    printf "  ]\n}\n"
+}
+' benchtime="$BENCHTIME" "$RAW" > "$OUT"
+
+echo "OK: wrote $OUT"

@@ -25,4 +25,7 @@ go run ./cmd/comparenb-vet ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> bench smoke (every benchmark once)"
+go test -run '^$' -bench . -benchtime=1x ./... > /dev/null
+
 echo "OK: all checks passed"
