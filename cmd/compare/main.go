@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +33,7 @@ func main() {
 		aggName = flag.String("agg", "sum", "aggregate: sum | avg | min | max | count")
 		perms   = flag.Int("perms", 500, "permutations for the significance tests")
 		seed    = flag.Int64("seed", 1, "RNG seed")
+		timeout = flag.Duration("timeout", 0, "abort the significance tests after this long (0 = no limit)")
 		cats    = flag.String("categorical", "", "comma-separated columns to force categorical")
 		explain = flag.Bool("explain", false, "also print the operator tree")
 	)
@@ -93,10 +95,19 @@ func main() {
 
 	// Support + significance for both paper insight types.
 	res := engine.CompareDirect(rel, attrA, attrB, c1, c2, meas, agg)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	fmt.Println("\n-- insights:")
 	for _, typ := range insight.AllTypes {
 		supports := insight.Supports(res, typ)
-		p := significance(rel, attrB, c1, c2, meas, typ, *perms, *seed)
+		p, err := significance(ctx, rel, attrB, c1, c2, meas, typ, *perms, *seed)
+		if err != nil {
+			fatal(fmt.Errorf("significance test for %s: %w", typ, err))
+		}
 		verdict := "not supported by this comparison"
 		if supports {
 			verdict = "SUPPORTED by this comparison"
@@ -115,18 +126,22 @@ func main() {
 }
 
 // significance runs the raw-data permutation test of Table 1, with the
-// seeded block streams so the p-value depends only on the seed.
-func significance(rel *table.Relation, attrB int, c1, c2 int32, meas int, typ insight.Type, perms int, seed int64) float64 {
+// seeded block streams so the p-value depends only on the seed. A
+// cancelled or expired ctx aborts the test and returns its error.
+func significance(ctx context.Context, rel *table.Relation, attrB int, c1, c2 int32, meas int, typ insight.Type, perms int, seed int64) (float64, error) {
 	xs := engine.FilterMeasure(rel, attrB, c1, meas)
 	ys := engine.FilterMeasure(rel, attrB, c2, meas)
 	if len(xs) < 2 || len(ys) < 2 {
-		return 1
+		return 1, nil
 	}
 	threads := runtime.GOMAXPROCS(0)
-	pp := stats.NewPairPermSeeded(len(xs), len(ys), perms, seed, threads)
+	pp, err := stats.NewPairPermSeededCtx(ctx, len(xs), len(ys), perms, seed, threads)
+	if err != nil {
+		return 1, err
+	}
 	pooled := append(append(make([]float64, 0, len(xs)+len(ys)), xs...), ys...)
-	_, p := pp.PValueThreads(pooled, typ.TestStat(), threads)
-	return p
+	_, p, err := pp.PValueThreadsCtx(ctx, pooled, typ.TestStat(), threads)
+	return p, err
 }
 
 func splitComma(s string) []string {

@@ -9,11 +9,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"comparenb"
@@ -34,6 +38,7 @@ func main() {
 		useWSC      = flag.Bool("wsc", true, "merge group-by sets (Algorithm 2)")
 		threads     = flag.Int("threads", 0, "worker threads for the parallel phases (0 = GOMAXPROCS); output is identical at any setting")
 		cacheBudget = flag.Int64("cache-budget", 64<<20, "cube-cache bound in bytes (0 = unbounded)")
+		timeBudget  = flag.Duration("time-budget", 0, "soft wall-clock budget, e.g. 30s: the analysis runs to completion and the exact TAP solver degrades to its anytime ladder when the budget expires (0 = unbudgeted)")
 		cats        = flag.String("categorical", "", "comma-separated columns to force categorical")
 		nums        = flag.String("numeric", "", "comma-separated columns to force numeric")
 		drop        = flag.String("drop", "", "comma-separated columns to ignore")
@@ -78,6 +83,7 @@ func main() {
 	cfg.UseWSC = *useWSC
 	cfg.Threads = *threads
 	cfg.CubeCacheBudget = *cacheBudget
+	cfg.TimeBudget = *timeBudget
 	cfg.IncludeHypotheses = *hypotheses
 	if *median {
 		cfg.InsightTypes = comparenb.ExtendedInsightTypes
@@ -113,9 +119,20 @@ func main() {
 		fatal(fmt.Errorf("unknown sampling %q", *sampling))
 	}
 
-	nb, res, err := comparenb.GenerateNotebook(ds, cfg)
+	// Ctrl-C / SIGTERM cancel the run at the next phase-safe checkpoint:
+	// the hard stop, as opposed to -time-budget's graceful degradation.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	nb, res, err := comparenb.GenerateNotebookContext(ctx, ds, cfg)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fatal(fmt.Errorf("interrupted; no notebook written"))
+		}
 		fatal(err)
+	}
+	if *verbose && res.TAP.Degraded {
+		fmt.Fprintf(os.Stderr, "time budget %v expired during the exact search: degraded to %s (optimality gap ≤ %.2f%%)\n",
+			*timeBudget, res.TAP.Solver, 100*res.TAP.Gap)
 	}
 	if *verbose {
 		fmt.Fprintf(os.Stderr,

@@ -35,6 +35,7 @@
 package comparenb
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -79,6 +80,9 @@ type (
 	Timings = pipeline.Timings
 	// Counts summarises the run.
 	Counts = pipeline.Counts
+	// TAPOutcome records which solver rung produced the notebook sequence
+	// and whether the time budget forced a degradation.
+	TAPOutcome = pipeline.TAPOutcome
 
 	// Insight is a significant comparison insight (M, B, val, val', type).
 	Insight = insight.Insight
@@ -204,10 +208,20 @@ func ProfileDataset(ds *Dataset) *Profile { return profile.New(ds.Rel) }
 
 // Generate runs the full pipeline over the dataset.
 func Generate(ds *Dataset, cfg Config) (*Result, error) {
+	return GenerateContext(context.Background(), ds, cfg)
+}
+
+// GenerateContext is Generate with cooperative cancellation: cancelling
+// ctx abandons the run at the next phase-safe checkpoint and returns
+// ctx's error with no partial result. This is the hard stop; the soft,
+// always-produce-a-notebook deadline is Config.TimeBudget, which lets
+// the analysis finish and degrades the TAP solver instead of failing
+// (see Result.TAP for what actually answered).
+func GenerateContext(ctx context.Context, ds *Dataset, cfg Config) (*Result, error) {
 	if ds == nil || ds.Rel == nil {
 		return nil, fmt.Errorf("comparenb: nil dataset")
 	}
-	return pipeline.Generate(ds.Rel, cfg)
+	return pipeline.GenerateContext(ctx, ds.Rel, cfg)
 }
 
 // BuildNotebook renders a generation result as a comparison notebook.
@@ -215,7 +229,13 @@ func BuildNotebook(res *Result) *Notebook { return pipeline.BuildNotebook(res) }
 
 // GenerateNotebook is the one-call convenience: Generate + BuildNotebook.
 func GenerateNotebook(ds *Dataset, cfg Config) (*Notebook, *Result, error) {
-	res, err := Generate(ds, cfg)
+	return GenerateNotebookContext(context.Background(), ds, cfg)
+}
+
+// GenerateNotebookContext is GenerateNotebook with cooperative
+// cancellation (see GenerateContext).
+func GenerateNotebookContext(ctx context.Context, ds *Dataset, cfg Config) (*Notebook, *Result, error) {
+	res, err := GenerateContext(ctx, ds, cfg)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -2,10 +2,13 @@ package comparenb
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // covidCSV mirrors the paper's Figure 2 running example.
@@ -209,5 +212,38 @@ func TestSolverHeuristicPlusEndToEnd(t *testing.T) {
 	rep := res.Report()
 	if rep.Config.Solver != "heuristic+2opt" {
 		t.Errorf("report solver = %q", rep.Config.Solver)
+	}
+}
+
+func TestGenerateContextCancellation(t *testing.T) {
+	ds := loadBigger(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := GenerateContext(ctx, ds, NewConfig()); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, _, err := GenerateNotebookContext(ctx, ds, NewConfig()); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled ctx (notebook): err = %v, want context.Canceled", err)
+	}
+}
+
+func TestGenerateTimeBudgetDegradation(t *testing.T) {
+	ds := loadBigger(t)
+	cfg := NewConfig()
+	cfg.Perms = 200
+	cfg.Seed = 5
+	cfg.EpsT = 4
+	cfg.Solver = SolverExact
+	cfg.TimeBudget = time.Nanosecond
+	nb, res, err := GenerateNotebookContext(context.Background(), ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var outcome TAPOutcome = res.TAP
+	if !outcome.Degraded || outcome.Solver == "" {
+		t.Errorf("nanosecond budget: outcome = %+v, want a named degraded rung", outcome)
+	}
+	if nb.NumQueries() == 0 {
+		t.Error("degraded run produced an empty notebook")
 	}
 }

@@ -27,9 +27,13 @@ func TestSelfCheck(t *testing.T) {
 	// except fixtures, which are intentionally full of violations and are
 	// skipped by the testdata rule.
 	foundSelf := false
+	foundFaultInject := false
 	for _, pkg := range pkgs {
 		if pkg.Path == "comparenb/internal/analysis" {
 			foundSelf = true
+		}
+		if pkg.Path == "comparenb/internal/faultinject" {
+			foundFaultInject = true
 		}
 		if strings.Contains(pkg.Path, "testdata") {
 			t.Errorf("fixture package %s leaked into the module walk", pkg.Path)
@@ -37,6 +41,9 @@ func TestSelfCheck(t *testing.T) {
 	}
 	if !foundSelf {
 		t.Error("internal/analysis not among loaded packages; the vet suite is not checking itself")
+	}
+	if !foundFaultInject {
+		t.Error("internal/faultinject not among loaded packages; the robustness hooks are unchecked")
 	}
 
 	var failures []string

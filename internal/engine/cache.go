@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"sort"
 	"strconv"
 	"strings"
@@ -102,41 +103,8 @@ func (cc *CubeCache) Get(rel *table.Relation, attrs []int) *Cube {
 // then fewest attributes, then smallest key string — is a deterministic
 // function of the cache contents.
 func (cc *CubeCache) GetOrBuild(rel *table.Relation, attrs []int, threads int) *Cube {
-	sorted := sortedAttrs(attrs)
-	key := cacheKey{rel: rel, attrs: attrsKey(sorted)}
-
-	cc.mu.Lock()
-	if e, ok := cc.entries[key]; ok {
-		cc.stats.Hits++
-		cc.mu.Unlock()
-		return e.cube
-	}
-	super := cc.bestSupersetLocked(rel, sorted)
-	cc.mu.Unlock()
-
-	// Build outside the lock: cube builds are the expensive part and may
-	// themselves run multi-threaded.
-	var cube *Cube
-	if super != nil {
-		cube = super.Rollup(sorted)
-	} else {
-		cube = BuildCubeParallel(rel, sorted, threads)
-	}
-
-	cc.mu.Lock()
-	defer cc.mu.Unlock()
-	if e, ok := cc.entries[key]; ok {
-		// A racing goroutine inserted the same key first. Both values were
-		// produced by the same deterministic recipe, so keep the first.
-		cc.stats.Hits++
-		return e.cube
-	}
-	if super != nil {
-		cc.stats.RollupHits++
-	} else {
-		cc.stats.Misses++
-	}
-	cc.insertLocked(key, cube, sorted)
+	// The background context never cancels, so the error is impossible.
+	cube, _ := cc.GetOrBuildCtx(context.Background(), rel, attrs, threads)
 	return cube
 }
 
@@ -145,26 +113,8 @@ func (cc *CubeCache) GetOrBuild(rel *table.Relation, attrs []int, threads int) *
 // cubes of the chosen cover, whose bit-exact provenance must be "built from
 // the relation" regardless of what else the cache holds.
 func (cc *CubeCache) BuildThrough(rel *table.Relation, attrs []int, threads int) *Cube {
-	sorted := sortedAttrs(attrs)
-	key := cacheKey{rel: rel, attrs: attrsKey(sorted)}
-	cc.mu.Lock()
-	if e, ok := cc.entries[key]; ok {
-		cc.stats.Hits++
-		cc.mu.Unlock()
-		return e.cube
-	}
-	cc.mu.Unlock()
-
-	cube := BuildCubeParallel(rel, sorted, threads)
-
-	cc.mu.Lock()
-	defer cc.mu.Unlock()
-	if e, ok := cc.entries[key]; ok {
-		cc.stats.Hits++
-		return e.cube
-	}
-	cc.stats.Misses++
-	cc.insertLocked(key, cube, sorted)
+	// The background context never cancels, so the error is impossible.
+	cube, _ := cc.BuildThroughCtx(context.Background(), rel, attrs, threads)
 	return cube
 }
 

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -300,73 +301,9 @@ func BuildCube(rel *table.Relation, attrs []int) *Cube {
 // threads <= 1, which runs the same shards sequentially with zero
 // goroutines. Relations of at most one shard skip the merge entirely.
 func BuildCubeParallel(rel *table.Relation, attrs []int, threads int) *Cube {
-	sorted := append([]int(nil), attrs...)
-	sort.Ints(sorted)
-	mustUniqueAttrs(sorted)
-
-	cols := make([][]int32, len(sorted))
-	for i, a := range sorted {
-		cols[i] = rel.CatCol(a)
-	}
-	meas := make([][]float64, rel.NumMeasures())
-	for j := range meas {
-		meas[j] = rel.MeasCol(j)
-	}
-
-	n := rel.NumRows()
-	numShards := (n + buildShardRows - 1) / buildShardRows
-	if numShards <= 1 {
-		acc := newCubeAccum(rel, sorted, 0)
-		acc.scan(cols, meas, 0, n)
-		return acc.toCube(rel, sorted)
-	}
-
-	shards := make([]*cubeAccum, numShards)
-	buildShard := func(s int) {
-		lo := s * buildShardRows
-		hi := lo + buildShardRows
-		if hi > n {
-			hi = n
-		}
-		acc := newCubeAccum(rel, sorted, 0)
-		acc.scan(cols, meas, lo, hi)
-		shards[s] = acc
-	}
-	forEachShard(threads, numShards, buildShard)
-
-	global := newCubeAccum(rel, sorted, len(shards[0].counts))
-	for _, s := range shards {
-		global.merge(s)
-	}
-	return global.toCube(rel, sorted)
-}
-
-// forEachShard runs fn(0..n-1), on up to `threads` goroutines when
-// threads > 1 and serially (zero goroutines) otherwise. Unlike the
-// pipeline's job pool it hands each worker a static interleaved slice of
-// the shard indexes, so no channel round-trip sits on the hot path.
-func forEachShard(threads, n int, fn func(s int)) {
-	if threads > n {
-		threads = n
-	}
-	if threads <= 1 {
-		for s := 0; s < n; s++ {
-			fn(s)
-		}
-		return
-	}
-	done := make(chan struct{}, threads)
-	for w := 0; w < threads; w++ {
-		go func(w int) {
-			for s := w; s < n; s += threads {
-				fn(s)
-			}
-			done <- struct{}{}
-		}(w)
-	}
-	for w := 0; w < threads; w++ {
-		<-done
-	}
+	// The background context never cancels, so the error is impossible.
+	cube, _ := BuildCubeParallelCtx(context.Background(), rel, attrs, threads)
+	return cube
 }
 
 // mixedRadix returns per-position multipliers so that composite keys over

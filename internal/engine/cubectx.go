@@ -1,0 +1,178 @@
+package engine
+
+import (
+	"context"
+	"sort"
+
+	"comparenb/internal/faultinject"
+	"comparenb/internal/table"
+)
+
+// BuildCubeParallelCtx is BuildCubeParallel with cooperative
+// cancellation: each shard worker polls ctx before starting a shard and
+// the build aborts with ctx's error once cancelled. A shard that has
+// started runs to completion, so the merge never sees a half-scanned
+// partial. When ctx is never cancelled the output is bit-identical to
+// BuildCubeParallel's for every thread count — the checkpoints read,
+// never perturb, the fixed shard layout and merge order.
+func BuildCubeParallelCtx(ctx context.Context, rel *table.Relation, attrs []int, threads int) (*Cube, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sorted := append([]int(nil), attrs...)
+	sort.Ints(sorted)
+	mustUniqueAttrs(sorted)
+
+	cols := make([][]int32, len(sorted))
+	for i, a := range sorted {
+		cols[i] = rel.CatCol(a)
+	}
+	meas := make([][]float64, rel.NumMeasures())
+	for j := range meas {
+		meas[j] = rel.MeasCol(j)
+	}
+
+	n := rel.NumRows()
+	numShards := (n + buildShardRows - 1) / buildShardRows
+	if numShards <= 1 {
+		faultinject.Fire(faultinject.EngineCubeShard)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		acc := newCubeAccum(rel, sorted, 0)
+		acc.scan(cols, meas, 0, n)
+		return acc.toCube(rel, sorted), nil
+	}
+
+	shards := make([]*cubeAccum, numShards)
+	buildShard := func(s int) {
+		lo := s * buildShardRows
+		hi := lo + buildShardRows
+		if hi > n {
+			hi = n
+		}
+		acc := newCubeAccum(rel, sorted, 0)
+		acc.scan(cols, meas, lo, hi)
+		shards[s] = acc
+	}
+	if err := forEachShardCtx(ctx, threads, numShards, buildShard); err != nil {
+		return nil, err
+	}
+
+	global := newCubeAccum(rel, sorted, len(shards[0].counts))
+	for _, s := range shards {
+		global.merge(s)
+	}
+	return global.toCube(rel, sorted), nil
+}
+
+// forEachShardCtx runs fn(0..n-1) on up to `threads` goroutines, firing
+// the EngineCubeShard fault-injection site and polling ctx before each
+// shard. Cancellation stops every worker at its next shard boundary.
+// Returns ctx's error, if any.
+func forEachShardCtx(ctx context.Context, threads, n int, fn func(s int)) error {
+	if threads > n {
+		threads = n
+	}
+	if threads <= 1 {
+		for s := 0; s < n; s++ {
+			faultinject.Fire(faultinject.EngineCubeShard)
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(s)
+		}
+		return ctx.Err()
+	}
+	done := make(chan struct{}, threads)
+	for w := 0; w < threads; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for s := w; s < n; s += threads {
+				faultinject.Fire(faultinject.EngineCubeShard)
+				if ctx.Err() != nil {
+					return
+				}
+				fn(s)
+			}
+		}(w)
+	}
+	for w := 0; w < threads; w++ {
+		<-done
+	}
+	return ctx.Err()
+}
+
+// GetOrBuildCtx is GetOrBuild with cooperative cancellation of the
+// underlying base-relation build. Cache lookups and roll-ups are cheap
+// and never interrupted; only a fresh sharded build observes ctx. A
+// cancelled build inserts nothing, so the cache never holds a partial
+// cube.
+func (cc *CubeCache) GetOrBuildCtx(ctx context.Context, rel *table.Relation, attrs []int, threads int) (*Cube, error) {
+	sorted := sortedAttrs(attrs)
+	key := cacheKey{rel: rel, attrs: attrsKey(sorted)}
+
+	cc.mu.Lock()
+	if e, ok := cc.entries[key]; ok {
+		cc.stats.Hits++
+		cc.mu.Unlock()
+		return e.cube, nil
+	}
+	super := cc.bestSupersetLocked(rel, sorted)
+	cc.mu.Unlock()
+
+	var cube *Cube
+	if super != nil {
+		cube = super.Rollup(sorted)
+	} else {
+		var err error
+		cube, err = BuildCubeParallelCtx(ctx, rel, sorted, threads)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if e, ok := cc.entries[key]; ok {
+		cc.stats.Hits++
+		return e.cube, nil
+	}
+	if super != nil {
+		cc.stats.RollupHits++
+	} else {
+		cc.stats.Misses++
+	}
+	cc.insertLocked(key, cube, sorted)
+	return cube, nil
+}
+
+// BuildThroughCtx is BuildThrough with cooperative cancellation of the
+// base-relation build; like GetOrBuildCtx it inserts nothing when the
+// build is cancelled.
+func (cc *CubeCache) BuildThroughCtx(ctx context.Context, rel *table.Relation, attrs []int, threads int) (*Cube, error) {
+	sorted := sortedAttrs(attrs)
+	key := cacheKey{rel: rel, attrs: attrsKey(sorted)}
+	cc.mu.Lock()
+	if e, ok := cc.entries[key]; ok {
+		cc.stats.Hits++
+		cc.mu.Unlock()
+		return e.cube, nil
+	}
+	cc.mu.Unlock()
+
+	cube, err := BuildCubeParallelCtx(ctx, rel, sorted, threads)
+	if err != nil {
+		return nil, err
+	}
+
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if e, ok := cc.entries[key]; ok {
+		cc.stats.Hits++
+		return e.cube, nil
+	}
+	cc.stats.Misses++
+	cc.insertLocked(key, cube, sorted)
+	return cube, nil
+}

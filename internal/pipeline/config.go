@@ -172,6 +172,19 @@ type Config struct {
 	Solver       SolverKind
 	ExactTimeout time.Duration
 
+	// TimeBudget is a soft wall-clock budget for the whole run (0 = none).
+	// The analysis phases run to completion; whatever remains of the budget
+	// when the TAP starts becomes the exact solver's deadline, and on
+	// expiry the anytime ladder degrades to a heuristic solution
+	// (Result.TAP records which rung answered and the optimality gap). The
+	// budget is the discipline the paper gets from CPLEX's time-limit
+	// parameter: a notebook always comes back, only its optimality
+	// certificate is sacrificed. A budget the run never exhausts changes
+	// nothing — outputs stay byte-identical to an unbudgeted run. Hard
+	// cancellation (abandon the run, produce nothing) is GenerateContext's
+	// ctx instead.
+	TimeBudget time.Duration
+
 	// IncludeHypotheses adds, after each notebook query, a code cell with
 	// the hypothesis query (Figure 3 form) for each insight the query
 	// evidences — so a skeptical reader can re-check support in SQL.
@@ -213,6 +226,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("pipeline: %v sampling with SampleFrac 0 would test nothing", c.Sampling)
 	case c.FDMaxError < 0 || c.FDMaxError >= 1:
 		return fmt.Errorf("pipeline: FDMaxError must be in [0, 1), got %v", c.FDMaxError)
+	case c.TimeBudget < 0:
+		return fmt.Errorf("pipeline: TimeBudget must be non-negative, got %v", c.TimeBudget)
 	case float64(1)/float64(c.Perms+1) > c.Alpha:
 		return fmt.Errorf("pipeline: Perms=%d cannot reach significance at Alpha=%v "+
 			"(the smallest possible permutation p-value is 1/(Perms+1) = %.4f); increase Perms",

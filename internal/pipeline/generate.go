@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -27,6 +28,11 @@ type Result struct {
 	Solution tap.Solution
 	// ExactStats is set when the exact solver ran.
 	ExactStats *tap.ExactStats
+	// TAP records how the solution was produced: which solver rung
+	// answered, whether the run's TimeBudget forced a degradation, and
+	// the certified optimality gap (exact runs only; heuristic solvers
+	// report no gap).
+	TAP TAPOutcome
 
 	Timings Timings
 	Counts  Counts
@@ -56,10 +62,40 @@ func (r *Result) Sequence() []ScoredQuery {
 	return out
 }
 
+// TAPOutcome records how the TAP solution was produced.
+type TAPOutcome struct {
+	// Solver names what actually answered: a SolverKind string for the
+	// heuristic solvers, or one of the tap.Anytime* rung names for exact
+	// runs ("exact", "exact-incumbent+2opt", "greedy+2opt").
+	Solver string
+	// Degraded is true when the time budget expired mid-search and a
+	// heuristic rung of the anytime ladder finished the job.
+	Degraded bool
+	// Gap is the certified relative optimality gap (0 when provably
+	// optimal or when a heuristic solver carries no certificate).
+	Gap float64
+	// TimedOut is true when any budget stopped the exact search.
+	TimedOut bool
+}
+
 // Generate runs the full pipeline of Figure 1 over the relation: tests →
 // significant insights → hypothesis-query evaluation → comparison-query
 // set Q → TAP → ordered notebook content.
 func Generate(rel *table.Relation, cfg Config) (*Result, error) {
+	return GenerateContext(context.Background(), rel, cfg)
+}
+
+// GenerateContext is Generate with cooperative cancellation: cancelling
+// ctx abandons the run at the next phase-safe checkpoint (a permutation
+// stride, a cube shard, a worker-pool job, a branch-and-bound tick) and
+// returns ctx's error with no partial Result. Cancellation is the hard
+// stop; the soft, always-produce-a-notebook discipline is
+// Config.TimeBudget. A ctx that is never cancelled changes nothing —
+// every checkpoint only reads it.
+func GenerateContext(ctx context.Context, rel *table.Relation, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if rel.NumCatAttrs() < 2 {
 		return nil, fmt.Errorf("pipeline: need at least 2 categorical attributes, have %d", rel.NumCatAttrs())
 	}
@@ -71,6 +107,10 @@ func Generate(rel *table.Relation, cfg Config) (*Result, error) {
 	}
 	res := &Result{Relation: rel, Config: cfg}
 	start := time.Now()
+	var deadline time.Time
+	if cfg.TimeBudget > 0 {
+		deadline = start.Add(cfg.TimeBudget)
+	}
 
 	// Pre-processing: functional dependencies (footnote 2).
 	t0 := time.Now()
@@ -80,7 +120,10 @@ func Generate(rel *table.Relation, cfg Config) (*Result, error) {
 
 	// Phase (i): statistical tests.
 	t0 = time.Now()
-	sig, tested := runStatTests(rel, cfg)
+	sig, tested, err := runStatTests(ctx, rel, cfg)
+	if err != nil {
+		return nil, err
+	}
 	res.Counts.InsightsEnumerated = tested
 	res.Counts.SignificantInsights = len(sig)
 	res.Timings.StatTests = time.Since(t0)
@@ -99,7 +142,10 @@ func Generate(rel *table.Relation, cfg Config) (*Result, error) {
 	// shared through the run's cube cache.
 	t0 = time.Now()
 	res.cache = engine.NewCubeCache(cfg.CubeCacheBudget)
-	queries, final, counts := evalHypotheses(rel, cfg, fds, sig, res.cache)
+	queries, final, counts, err := evalHypotheses(ctx, rel, cfg, fds, sig, res.cache)
+	if err != nil {
+		return nil, err
+	}
 	// Trim at the phase boundary (single-threaded): eviction decisions are
 	// a pure function of the deterministic entry set, never of scheduling.
 	res.cache.Trim()
@@ -118,14 +164,33 @@ func Generate(rel *table.Relation, cfg Config) (*Result, error) {
 		res.Counts.CubesBuilt, cs.Hits, cs.RollupHits, cs.Misses, cs.Evictions, cs.Bytes,
 		counts.SupportChecks, counts.QueriesGenerated, res.Timings.HypoEval)
 
-	// TAP.
+	// TAP. The analysis phases ran to completion; whatever is left of the
+	// time budget bounds the exact search, and the anytime ladder turns an
+	// expiry into a feasible heuristic solution instead of a failure.
 	t0 = time.Now()
 	inst := Instance(queries, cfg.Weights)
+	res.TAP.Solver = cfg.Solver.String()
 	switch cfg.Solver {
 	case SolverExact:
-		sol, stats := tap.SolveExact(inst, float64(cfg.EpsT), cfg.EpsD, tap.ExactOptions{Timeout: cfg.ExactTimeout})
-		res.Solution = sol
-		res.ExactStats = &stats
+		any := tap.SolveAnytime(ctx, inst, float64(cfg.EpsT), cfg.EpsD, tap.ExactOptions{
+			Timeout:  cfg.ExactTimeout,
+			Deadline: deadline,
+		})
+		if any.Solver == tap.AnytimeCancelled {
+			return nil, ctx.Err()
+		}
+		res.Solution = any.Solution
+		res.ExactStats = &any.Stats
+		res.TAP = TAPOutcome{
+			Solver:   any.Solver,
+			Degraded: any.Degraded,
+			Gap:      any.Gap,
+			TimedOut: any.Stats.TimedOut,
+		}
+		if any.Degraded {
+			cfg.logf("pipeline: TAP budget expired after %d nodes; degraded to %s (gap ≤ %.2f%%)",
+				any.Stats.Nodes, any.Solver, 100*any.Gap)
+		}
 	case SolverTopK:
 		res.Solution = tap.TopK(inst, float64(cfg.EpsT))
 	case SolverHeuristicPlus:
@@ -136,7 +201,7 @@ func Generate(rel *table.Relation, cfg Config) (*Result, error) {
 	res.Timings.TAP = time.Since(t0)
 	res.Timings.Total = time.Since(start)
 	cfg.logf("pipeline: %s TAP selected %d queries (interest %.3f) in %v",
-		cfg.Solver, len(res.Solution.Order), res.Solution.TotalInterest, res.Timings.TAP)
+		res.TAP.Solver, len(res.Solution.Order), res.Solution.TotalInterest, res.Timings.TAP)
 	return res, nil
 }
 

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
@@ -38,8 +39,10 @@ type hypoOutcome struct {
 // aggregates (bounded 2-group-bys, or Algorithm 2's merged group-by sets
 // when cfg.UseWSC), computes credibility, scores interest, and applies the
 // same-insights dedup. Support is always checked on the full relation —
-// sampling only ever accelerates the statistical tests.
-func evalHypotheses(rel *table.Relation, cfg Config, fds *engine.FDSet, sig []insight.Insight, cache *engine.CubeCache) ([]ScoredQuery, []insight.Insight, Counts) {
+// sampling only ever accelerates the statistical tests. Cancelling ctx
+// aborts the phase at the next cube or job checkpoint with ctx's error;
+// a live ctx never changes the result.
+func evalHypotheses(ctx context.Context, rel *table.Relation, cfg Config, fds *engine.FDSet, sig []insight.Insight, cache *engine.CubeCache) ([]ScoredQuery, []insight.Insight, Counts, error) {
 	var counts Counts
 	n := rel.NumCatAttrs()
 
@@ -71,7 +74,10 @@ func evalHypotheses(rel *table.Relation, cfg Config, fds *engine.FDSet, sig []in
 		return needed[i].B < needed[j].B
 	})
 
-	pairCubes := buildPairCubes(rel, cfg, needed, cache)
+	pairCubes, err := buildPairCubes(ctx, rel, cfg, needed, cache)
+	if err != nil {
+		return nil, nil, counts, err
+	}
 
 	// Evaluate every (insight, grouping attribute) combination.
 	type job struct {
@@ -85,12 +91,16 @@ func evalHypotheses(rel *table.Relation, cfg Config, fds *engine.FDSet, sig []in
 		}
 	}
 	results := make([]hypoOutcome, len(jobs))
-	parallelFor(cfg.threads(), len(jobs), func(ji int) {
+	err = parallelForCtx(ctx, cfg.threads(), len(jobs), func(ji int) error {
 		j := jobs[ji]
 		ins := sig[j.insIdx]
 		pc := pairCubes[cover.NewPair(j.attrA, ins.Attr)]
 		results[ji] = evalOne(rel, pc, j.attrA, ins)
+		return nil
 	})
+	if err != nil {
+		return nil, nil, counts, err
+	}
 	counts.SupportChecks = len(jobs) * len(engine.AllAggs)
 
 	// Credibility per insight (Def. 3.11): one hypothesis query per
@@ -188,7 +198,7 @@ func evalHypotheses(rel *table.Relation, cfg Config, fds *engine.FDSet, sig []in
 	}
 	sort.Slice(queries, func(a, b int) bool { return lessQuery(queries[a].Query, queries[b].Query) })
 	counts.QueriesGenerated = len(queries)
-	return queries, final, counts
+	return queries, final, counts, nil
 }
 
 func lessQuery(a, b insight.Query) bool {
@@ -244,21 +254,26 @@ func evalOne(rel *table.Relation, pc *engine.Cube, attrA int, ins insight.Insigh
 // the group-by sets chosen by Algorithm 2's weighted set cover (§5.2.2).
 // The cache's counters record how many cubes were aggregated from the base
 // relation (misses) versus answered by reuse or roll-up.
-func buildPairCubes(rel *table.Relation, cfg Config, needed []cover.Pair, cache *engine.CubeCache) map[cover.Pair]*engine.Cube {
+func buildPairCubes(ctx context.Context, rel *table.Relation, cfg Config, needed []cover.Pair, cache *engine.CubeCache) (map[cover.Pair]*engine.Cube, error) {
 	out := make(map[cover.Pair]*engine.Cube, len(needed))
 	if len(needed) == 0 {
-		return out
+		return out, nil
 	}
 	if !cfg.UseWSC {
 		inner := innerThreads(cfg.threads(), len(needed))
 		cubes := make([]*engine.Cube, len(needed))
-		parallelFor(cfg.threads(), len(needed), func(i int) {
-			cubes[i] = cache.GetOrBuild(rel, []int{needed[i].A, needed[i].B}, inner)
+		err := parallelForCtx(ctx, cfg.threads(), len(needed), func(i int) error {
+			var cerr error
+			cubes[i], cerr = cache.GetOrBuildCtx(ctx, rel, []int{needed[i].A, needed[i].B}, inner)
+			return cerr
 		})
+		if err != nil {
+			return nil, err
+		}
 		for i, p := range needed {
 			out[p] = cubes[i]
 		}
-		return out
+		return out, nil
 	}
 
 	// Algorithm 2: estimate candidate sizes, solve the weighted cover.
@@ -282,26 +297,35 @@ func buildPairCubes(rel *table.Relation, cfg Config, needed []cover.Pair, cache 
 	if fallback {
 		cfgNoWSC := cfg
 		cfgNoWSC.UseWSC = false
-		return buildPairCubes(rel, cfgNoWSC, needed, cache)
+		return buildPairCubes(ctx, rel, cfgNoWSC, needed, cache)
 	}
 
 	// Base cubes of the cover always aggregate the relation directly
 	// (BuildThrough never answers via roll-up), so their provenance does
 	// not depend on what else the cache holds.
 	inner := innerThreads(cfg.threads(), len(chosen))
-	parallelFor(cfg.threads(), len(chosen), func(i int) {
-		cache.BuildThrough(rel, cands[chosen[i]].Attrs, inner)
+	err = parallelForCtx(ctx, cfg.threads(), len(chosen), func(i int) error {
+		_, berr := cache.BuildThroughCtx(ctx, rel, cands[chosen[i]].Attrs, inner)
+		return berr
 	})
+	if err != nil {
+		return nil, err
+	}
 	// Every needed pair now rolls up from a cached base cube; GetOrBuild
 	// picks the cheapest covering superset deterministically. cover.Greedy
 	// guarantees coverage, so no pair falls back to a base-relation build.
 	rolled := make([]*engine.Cube, len(needed))
-	parallelFor(cfg.threads(), len(needed), func(pi int) {
+	err = parallelForCtx(ctx, cfg.threads(), len(needed), func(pi int) error {
 		p := needed[pi]
-		rolled[pi] = cache.GetOrBuild(rel, []int{p.A, p.B}, 1)
+		var gerr error
+		rolled[pi], gerr = cache.GetOrBuildCtx(ctx, rel, []int{p.A, p.B}, 1)
+		return gerr
 	})
+	if err != nil {
+		return nil, err
+	}
 	for pi, p := range needed {
 		out[p] = rolled[pi]
 	}
-	return out
+	return out, nil
 }

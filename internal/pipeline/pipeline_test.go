@@ -2,6 +2,8 @@ package pipeline
 
 import (
 	"bytes"
+	"context"
+	"fmt"
 	"reflect"
 	"strings"
 	"sync/atomic"
@@ -327,14 +329,59 @@ func TestTimingsPopulated(t *testing.T) {
 }
 
 func TestParallelForCoversAllJobs(t *testing.T) {
+	ctx := context.Background()
 	for _, threads := range []int{0, 1, 3, 16} {
 		var sum atomic.Int64
-		parallelFor(threads, 100, func(i int) { sum.Add(int64(i)) })
+		err := parallelForCtx(ctx, threads, 100, func(i int) error {
+			sum.Add(int64(i))
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("threads=%d: %v", threads, err)
+		}
 		if sum.Load() != 4950 {
 			t.Errorf("threads=%d: sum = %d, want 4950", threads, sum.Load())
 		}
 	}
-	parallelFor(4, 0, func(int) { t.Error("fn called for n=0") })
+	err := parallelForCtx(ctx, 4, 0, func(int) error {
+		t.Error("fn called for n=0")
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("n=0: %v", err)
+	}
+}
+
+func TestParallelForCtxReportsSmallestIndexError(t *testing.T) {
+	for _, threads := range []int{1, 4} {
+		err := parallelForCtx(context.Background(), threads, 50, func(i int) error {
+			if i%7 == 3 {
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "job 3 failed" {
+			t.Errorf("threads=%d: err = %v, want job 3 failed", threads, err)
+		}
+	}
+}
+
+func TestParallelForCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, threads := range []int{1, 4} {
+		called := atomic.Int64{}
+		err := parallelForCtx(ctx, threads, 20, func(i int) error {
+			called.Add(1)
+			return nil
+		})
+		if err != context.Canceled {
+			t.Errorf("threads=%d: err = %v, want context.Canceled", threads, err)
+		}
+		if called.Load() != 0 {
+			t.Errorf("threads=%d: %d jobs ran under a pre-cancelled ctx", threads, called.Load())
+		}
+	}
 }
 
 func TestJobSeedDistinct(t *testing.T) {

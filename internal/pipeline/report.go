@@ -21,6 +21,15 @@ type Report struct {
 	TotalInterest float64 `json:"total_interest"`
 	TotalDistance float64 `json:"total_distance"`
 	ExactOptimal  *bool   `json:"exact_optimal,omitempty"`
+	// Degradation record: present only when the time budget expired and
+	// the anytime ladder answered with a heuristic rung, so unbudgeted
+	// (and generously budgeted) runs serialise byte-identically to
+	// reports written before TimeBudget existed.
+	TAPSolver   string `json:"tap_solver,omitempty"`
+	TAPDegraded bool   `json:"tap_degraded,omitempty"`
+	// TAPGap is a pointer so a certified zero gap still serialises on
+	// degraded runs.
+	TAPGap *float64 `json:"tap_gap,omitempty"`
 }
 
 // ReportConfig is the subset of Config worth recording.
@@ -39,6 +48,9 @@ type ReportConfig struct {
 	// CacheBudget is the cube-cache bound in bytes (<= 0 = unbounded).
 	CacheBudget int64 `json:"cube_cache_budget"`
 	Seed        int64 `json:"seed"`
+	// TimeBudgetMillis is the soft wall-clock budget (omitted when the
+	// run was unbudgeted).
+	TimeBudgetMillis float64 `json:"time_budget_ms,omitempty"`
 }
 
 // ReportTimings is Timings in milliseconds for JSON friendliness.
@@ -103,9 +115,18 @@ func (r *Result) Report() Report {
 		TotalInterest: r.Solution.TotalInterest,
 		TotalDistance: r.Solution.TotalDist,
 	}
+	if r.Config.TimeBudget > 0 {
+		rep.Config.TimeBudgetMillis = float64(r.Config.TimeBudget) / float64(time.Millisecond)
+	}
 	if r.ExactStats != nil {
 		opt := r.ExactStats.Certified
 		rep.ExactOptimal = &opt
+	}
+	if r.TAP.Degraded {
+		rep.TAPSolver = r.TAP.Solver
+		rep.TAPDegraded = true
+		gap := r.TAP.Gap
+		rep.TAPGap = &gap
 	}
 	for _, ins := range r.Insights {
 		rep.Insights = append(rep.Insights, ReportInsight{

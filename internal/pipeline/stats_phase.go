@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -22,8 +23,10 @@ type statOutcome struct {
 // the §5.1 optimizations: per-attribute (optionally sampled) test
 // relations, shared permutations across measures, global BH correction.
 // It returns the significant insights (sig ≥ 1 − Alpha) and the number of
-// candidate insights actually tested.
-func runStatTests(rel *table.Relation, cfg Config) (significant []insight.Insight, tested int) {
+// candidate insights actually tested. Cancelling ctx aborts the phase at
+// the next test checkpoint with ctx's error; a live ctx never changes
+// the result.
+func runStatTests(ctx context.Context, rel *table.Relation, cfg Config) (significant []insight.Insight, tested int, err error) {
 	n := rel.NumCatAttrs()
 	// Pre-draw the test relation(s). Random sampling shares one sample;
 	// unbalanced sampling is per attribute (§5.1.2).
@@ -61,11 +64,16 @@ func runStatTests(rel *table.Relation, cfg Config) (significant []insight.Insigh
 	outcomes := make([][]statOutcome, len(jobs))
 	testedPer := make([]int, len(jobs))
 	inner := innerThreads(cfg.threads(), len(jobs))
-	parallelFor(cfg.threads(), len(jobs), func(ji int) {
+	err = parallelForCtx(ctx, cfg.threads(), len(jobs), func(ji int) error {
 		job := jobs[ji]
 		trel := testRels[job.attr]
-		outcomes[ji], testedPer[ji] = testPair(trel, job.attr, job.val, job.val2, cfg, jobSeed(cfg.Seed, ji), inner)
+		var jerr error
+		outcomes[ji], testedPer[ji], jerr = testPair(ctx, trel, job.attr, job.val, job.val2, cfg, jobSeed(cfg.Seed, ji), inner)
+		return jerr
 	})
+	if err != nil {
+		return nil, 0, err
+	}
 
 	var all []statOutcome
 	for ji := range outcomes {
@@ -109,7 +117,7 @@ func runStatTests(rel *table.Relation, cfg Config) (significant []insight.Insigh
 	}
 	// Deterministic order regardless of scheduling.
 	sort.Slice(significant, func(a, b int) bool { return lessKey(significant[a].Key(), significant[b].Key()) })
-	return significant, tested
+	return significant, tested, nil
 }
 
 func lessKey(a, b insight.Key) bool {
@@ -165,7 +173,7 @@ func enumeratePairs(rel *table.Relation, a int, maxPairs int) [][2]int32 {
 // seeded block streams (seed derived from `seed` and the measure index),
 // and the nperm resamples are split across `threads` workers — both are
 // bit-identical for every thread count.
-func testPair(rel *table.Relation, attr int, val, val2 int32, cfg Config, seed int64, threads int) ([]statOutcome, int) {
+func testPair(ctx context.Context, rel *table.Relation, attr int, val, val2 int32, cfg Config, seed int64, threads int) ([]statOutcome, int, error) {
 	col := rel.CatCol(attr)
 	var xRows, yRows []int
 	for i, c := range col {
@@ -177,7 +185,7 @@ func testPair(rel *table.Relation, attr int, val, val2 int32, cfg Config, seed i
 		}
 	}
 	if len(xRows) < cfg.MinSideRows || len(yRows) < cfg.MinSideRows {
-		return nil, 0
+		return nil, 0, nil
 	}
 
 	var out []statOutcome
@@ -199,7 +207,11 @@ func testPair(rel *table.Relation, attr int, val, val2 int32, cfg Config, seed i
 		if sharedSides == [2]int{len(xs), len(ys)} {
 			pp = sharedPerm
 		} else {
-			pp = stats.NewPairPermSeeded(len(xs), len(ys), cfg.Perms, jobSeed(seed, m), threads)
+			var err error
+			pp, err = stats.NewPairPermSeededCtx(ctx, len(xs), len(ys), cfg.Perms, jobSeed(seed, m), threads)
+			if err != nil {
+				return nil, 0, err
+			}
 			sharedPerm, sharedSides = pp, [2]int{len(xs), len(ys)}
 		}
 
@@ -209,7 +221,10 @@ func testPair(rel *table.Relation, attr int, val, val2 int32, cfg Config, seed i
 				continue
 			}
 			tested++
-			_, p := pp.PValueThreads(pooled, typ.TestStat(), threads)
+			_, p, err := pp.PValueThreadsCtx(ctx, pooled, typ.TestStat(), threads)
+			if err != nil {
+				return nil, 0, err
+			}
 			out = append(out, statOutcome{
 				key:    insight.Key{Meas: m, Attr: attr, Val: v, Val2: v2, Type: typ},
 				p:      p,
@@ -217,7 +232,7 @@ func testPair(rel *table.Relation, attr int, val, val2 int32, cfg Config, seed i
 			})
 		}
 	}
-	return out, tested
+	return out, tested, nil
 }
 
 // orient decides the insight direction from the observed statistics:

@@ -1,32 +1,53 @@
 package pipeline
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
-// parallelFor runs fn(0..n-1) on up to `threads` goroutines. It is the
-// worker pool behind the two parallel phases of Figure 8. fn must be safe
-// to call concurrently; job order is unspecified but the set is exactly
-// 0..n-1.
-func parallelFor(threads, n int, fn func(i int)) {
+// parallelForCtx runs fn(0..n-1) on up to `threads` goroutines. It is
+// the worker pool behind the two parallel phases of Figure 8. fn must be
+// safe to call concurrently; job order is unspecified but, absent
+// cancellation or error, the set is exactly 0..n-1.
+//
+// Cancellation is cooperative: every worker polls ctx before each job,
+// so a job that has started runs to completion and no phase output is
+// ever half-written, and a cancelled run returns ctx's error. When some
+// fn calls return errors with a live context, every job still runs and
+// the error with the smallest index is reported — deterministic
+// regardless of goroutine scheduling.
+func parallelForCtx(ctx context.Context, threads, n int, fn func(i int) error) error {
 	if n == 0 {
-		return
+		return ctx.Err()
 	}
 	if threads <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
 		}
-		return
+		return ctx.Err()
 	}
 	if threads > n {
 		threads = n
 	}
+	errs := make([]error, n)
 	var wg sync.WaitGroup
 	next := make(chan int)
 	wg.Add(threads)
 	for w := 0; w < threads; w++ {
 		go func() {
 			defer wg.Done()
+			// Keep draining `next` after cancellation so the sender never
+			// blocks; skipped jobs simply do not run.
 			for i := range next {
-				fn(i)
+				if ctx.Err() != nil {
+					continue
+				}
+				errs[i] = fn(i)
 			}
 		}()
 	}
@@ -35,6 +56,15 @@ func parallelFor(threads, n int, fn func(i int)) {
 	}
 	close(next)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // innerThreads splits a thread budget between an outer job pool of `jobs`

@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// naiveStatistic recomputes a permutation's statistic the obvious
+// O(nx+ny) way — materialise both sides, then call the descriptive
+// helpers — with none of the pooled-moment algebra the production path
+// uses. It is the differential reference for FuzzPValue.
+func naiveStatistic(p *PairPerm, pooled []float64, xIdx []int32, stat TestStat) float64 {
+	xs := make([]float64, 0, p.nx)
+	ys := make([]float64, 0, p.ny)
+	if xIdx == nil {
+		xs = append(xs, pooled[:p.nx]...)
+		ys = append(ys, pooled[p.nx:]...)
+	} else {
+		inX := make([]bool, len(pooled))
+		for _, i := range xIdx {
+			inX[i] = true
+			xs = append(xs, pooled[i])
+		}
+		for i, v := range pooled {
+			if !inX[i] {
+				ys = append(ys, v)
+			}
+		}
+	}
+	switch stat {
+	case MeanDiff:
+		return math.Abs(Mean(xs) - Mean(ys))
+	case VarDiff:
+		// Population variance, matching the pooled-moment formula
+		// E[v²] − E[v]² used by the production statistic.
+		popVar := func(v []float64) float64 {
+			m := Mean(v)
+			s := 0.0
+			for _, x := range v {
+				s += (x - m) * (x - m)
+			}
+			return s / float64(len(v))
+		}
+		return math.Abs(popVar(xs) - popVar(ys))
+	case MedianDiff:
+		return math.Abs(Median(xs) - Median(ys))
+	default:
+		panic("unknown stat")
+	}
+}
+
+// FuzzPValue cross-checks the optimised permutation test against the
+// naive reference on fuzzer-built pools. The production path derives the
+// Y side from pooled totals, so individual statistics are only equal up
+// to floating-point reordering; the assertion therefore brackets the
+// production exceedance count between the reference's strict and loose
+// counts instead of demanding bit equality. Thread counts 1 and 3 must
+// agree exactly — that IS bit-level.
+func FuzzPValue(f *testing.F) {
+	f.Add([]byte{4, 3, 0}, int64(1))
+	f.Add([]byte{2, 2, 1, 10, 20, 30, 250}, int64(42))
+	f.Add([]byte{8, 5, 2, 1, 1, 1, 1, 200, 200, 200, 200}, int64(7))
+	f.Fuzz(func(t *testing.T, data []byte, seed int64) {
+		if len(data) < 3 {
+			return
+		}
+		nx := 2 + int(data[0])%8
+		ny := 2 + int(data[1])%8
+		stat := TestStat(int(data[2]) % 3)
+		pooled := make([]float64, nx+ny)
+		body := data[3:]
+		for i := range pooled {
+			b := byte(i * 37)
+			if len(body) > 0 {
+				b = body[i%len(body)]
+			}
+			pooled[i] = float64(b) / 16.0
+		}
+		const nperm = 160
+		p := NewPairPermSeeded(nx, ny, nperm, seed, 2)
+
+		obs, pv := p.PValueThreads(pooled, stat, 1)
+		obs3, pv3 := p.PValueThreads(pooled, stat, 3)
+		//nolint:floateq // thread-count independence is an exact, bit-level contract
+		if obs != obs3 || pv != pv3 {
+			t.Fatalf("thread dependence: (%v,%v) threads=1 vs (%v,%v) threads=3", obs, pv, obs3, pv3)
+		}
+		if pv <= 0 || pv > 1 || math.IsNaN(pv) {
+			t.Fatalf("p-value out of (0,1]: %v", pv)
+		}
+
+		refObs := naiveStatistic(p, pooled, nil, stat)
+		if math.Abs(obs-refObs) > 1e-9*(1+math.Abs(refObs)) {
+			t.Fatalf("observed statistic: production %v vs naive %v", obs, refObs)
+		}
+		// Bracket the production count: strict (naive stat clearly above
+		// obs) ≤ production ≤ loose (naive stat not clearly below).
+		tol := 1e-9 * (1 + math.Abs(refObs))
+		strict, loose := 0, 0
+		for _, idx := range p.xIdx {
+			s := naiveStatistic(p, pooled, idx, stat)
+			if s >= refObs+tol {
+				strict++
+			}
+			if s >= refObs-tol {
+				loose++
+			}
+		}
+		got := int(math.Round(pv*float64(1+nperm))) - 1
+		if got < strict || got > loose {
+			t.Fatalf("exceedance count %d outside naive bracket [%d, %d] (stat=%v)", got, strict, loose, stat)
+		}
+	})
+}
+
+// FuzzTTest checks the t-test invariants on fuzzer-built samples:
+// p-values stay in [0,1], Welch is symmetric in its arguments bit for
+// bit, and a sample paired with itself is never significant.
+func FuzzTTest(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4}, []byte{5, 6, 7, 8})
+	f.Add([]byte{0, 0}, []byte{255, 255, 255})
+	f.Add([]byte{7}, []byte{})
+	f.Fuzz(func(t *testing.T, bx, by []byte) {
+		decode := func(bs []byte) []float64 {
+			out := make([]float64, len(bs))
+			for i, b := range bs {
+				out[i] = float64(int(b)-128) / 8.0
+			}
+			return out
+		}
+		x, y := decode(bx), decode(by)
+
+		w := WelchT(x, y)
+		if w.P < 0 || w.P > 1 || math.IsNaN(w.P) {
+			t.Fatalf("WelchT p-value out of range: %+v", w)
+		}
+		rev := WelchT(y, x)
+		//nolint:floateq // argument symmetry of Welch's t is exact: the statistic only negates
+		if w.P != rev.P {
+			t.Fatalf("WelchT asymmetric: p=%v vs reversed p=%v", w.P, rev.P)
+		}
+		if !math.IsNaN(w.T) && !math.IsNaN(rev.T) && math.Abs(w.T+rev.T) > 1e-12*(1+math.Abs(w.T)) {
+			t.Fatalf("WelchT statistic not negated on swap: %v vs %v", w.T, rev.T)
+		}
+
+		pt := PairedT(x, y)
+		if pt.P < 0 || pt.P > 1 || math.IsNaN(pt.P) {
+			t.Fatalf("PairedT p-value out of range: %+v", pt)
+		}
+		self := PairedT(x, x)
+		//nolint:floateq // identical samples give exactly p = 1 by the degenerate-input contract
+		if self.P != 1 {
+			t.Fatalf("PairedT(x, x).P = %v, want 1", self.P)
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"context"
 	"math"
 	"math/rand"
 )
@@ -76,21 +77,8 @@ func NewPairPerm(nx, ny, nperm int, rng *rand.Rand) *PairPerm {
 // of it — the property the pipeline's determinism-across-threads contract
 // rests on.
 func NewPairPermSeeded(nx, ny, nperm int, seed int64, threads int) *PairPerm {
-	p := &PairPerm{nx: nx, ny: ny, xIdx: make([][]int32, nperm)}
-	nblocks := (nperm + permBlock - 1) / permBlock
-	genBlock := func(b int) {
-		rng := rand.New(rand.NewSource(mixSeed(seed, int64(b))))
-		scratch := identityScratch(nx + ny)
-		lo := b * permBlock
-		hi := lo + permBlock
-		if hi > nperm {
-			hi = nperm
-		}
-		for k := lo; k < hi; k++ {
-			p.xIdx[k] = drawPerm(scratch, nx, rng)
-		}
-	}
-	forEachBlock(threads, nblocks, genBlock)
+	// The background context never cancels, so the error is impossible.
+	p, _ := NewPairPermSeededCtx(context.Background(), nx, ny, nperm, seed, threads)
 	return p
 }
 
@@ -124,32 +112,6 @@ func mixSeed(base, block int64) int64 {
 	return int64(z & 0x7FFFFFFFFFFFFFFF)
 }
 
-// forEachBlock runs fn(0..n-1) on up to `threads` goroutines, serially
-// (zero goroutines) when threads <= 1 or there is a single block.
-func forEachBlock(threads, n int, fn func(b int)) {
-	if threads > n {
-		threads = n
-	}
-	if threads <= 1 {
-		for b := 0; b < n; b++ {
-			fn(b)
-		}
-		return
-	}
-	done := make(chan struct{}, threads)
-	for w := 0; w < threads; w++ {
-		go func(w int) {
-			for b := w; b < n; b += threads {
-				fn(b)
-			}
-			done <- struct{}{}
-		}(w)
-	}
-	for w := 0; w < threads; w++ {
-		<-done
-	}
-}
-
 // NumPerms returns the number of stored permutations.
 func (p *PairPerm) NumPerms() int { return len(p.xIdx) }
 
@@ -171,58 +133,9 @@ func (p *PairPerm) PValue(pooled []float64, stat TestStat) (obs, pvalue float64)
 // independently and the exceedance count is an integer sum, so the
 // p-value is bit-identical for every thread count.
 func (p *PairPerm) PValueThreads(pooled []float64, stat TestStat, threads int) (obs, pvalue float64) {
-	if len(pooled) != p.nx+p.ny {
-		panic("stats: pooled length does not match PairPerm sides")
-	}
-	if p.nx == 0 || p.ny == 0 {
-		return math.NaN(), 1
-	}
-	var total, totalSq float64
-	for _, v := range pooled {
-		total += v
-		totalSq += v * v
-	}
-	obs = p.statistic(pooled, nil, stat, total, totalSq, newPermScratch(p, stat))
-	if math.IsNaN(obs) {
-		return obs, 1
-	}
-	nperm := len(p.xIdx)
-	if threads > nperm {
-		threads = nperm
-	}
-	if threads <= 1 {
-		scratch := newPermScratch(p, stat)
-		ge := 0
-		for _, idx := range p.xIdx {
-			if p.statistic(pooled, idx, stat, total, totalSq, scratch) >= obs {
-				ge++
-			}
-		}
-		return obs, float64(1+ge) / float64(1+nperm)
-	}
-	counts := make([]int, threads)
-	done := make(chan struct{}, threads)
-	for w := 0; w < threads; w++ {
-		go func(w int) {
-			scratch := newPermScratch(p, stat)
-			ge := 0
-			for k := w; k < nperm; k += threads {
-				if p.statistic(pooled, p.xIdx[k], stat, total, totalSq, scratch) >= obs {
-					ge++
-				}
-			}
-			counts[w] = ge
-			done <- struct{}{}
-		}(w)
-	}
-	for w := 0; w < threads; w++ {
-		<-done
-	}
-	ge := 0
-	for _, c := range counts {
-		ge += c
-	}
-	return obs, float64(1+ge) / float64(1+nperm)
+	// The background context never cancels, so the error is impossible.
+	obs, pvalue, _ = p.PValueThreadsCtx(context.Background(), pooled, stat, threads)
+	return obs, pvalue
 }
 
 // permScratch holds the per-worker buffers of the median statistic, so the

@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"context"
+	"math"
+	"math/rand"
+
+	"comparenb/internal/faultinject"
+)
+
+// permCheckStride is how many permutations an evaluation worker processes
+// between two context polls (and faultinject ticks). Stride counts, not
+// wall clock, so instrumentation cannot change which permutations are
+// evaluated — cancellation only decides whether the loop finishes.
+const permCheckStride = 256
+
+// NewPairPermSeededCtx is NewPairPermSeeded with cooperative
+// cancellation: each block generator polls ctx before starting a block
+// and the whole draw aborts with ctx's error once cancelled. When ctx is
+// never cancelled the output is bit-identical to NewPairPermSeeded's for
+// every thread count — the checkpoints read, never perturb, the streams.
+func NewPairPermSeededCtx(ctx context.Context, nx, ny, nperm int, seed int64, threads int) (*PairPerm, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p := &PairPerm{nx: nx, ny: ny, xIdx: make([][]int32, nperm)}
+	nblocks := (nperm + permBlock - 1) / permBlock
+	genBlock := func(b int) {
+		faultinject.Fire(faultinject.StatsPermBlock)
+		rng := rand.New(rand.NewSource(mixSeed(seed, int64(b))))
+		scratch := identityScratch(nx + ny)
+		lo := b * permBlock
+		hi := lo + permBlock
+		if hi > nperm {
+			hi = nperm
+		}
+		for k := lo; k < hi; k++ {
+			p.xIdx[k] = drawPerm(scratch, nx, rng)
+		}
+	}
+	if err := forEachBlockCtx(ctx, threads, nblocks, genBlock); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// forEachBlockCtx runs fn(0..n-1) on up to `threads` goroutines, polling
+// ctx before each block. A cancelled context stops every worker at its
+// next block boundary; blocks already started run to completion, so fn
+// never observes a half-initialised slot. Returns ctx's error, if any.
+func forEachBlockCtx(ctx context.Context, threads, n int, fn func(b int)) error {
+	if threads > n {
+		threads = n
+	}
+	if threads <= 1 {
+		for b := 0; b < n; b++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(b)
+		}
+		return ctx.Err()
+	}
+	done := make(chan struct{}, threads)
+	for w := 0; w < threads; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for b := w; b < n; b += threads {
+				if ctx.Err() != nil {
+					return
+				}
+				fn(b)
+			}
+		}(w)
+	}
+	for w := 0; w < threads; w++ {
+		<-done
+	}
+	return ctx.Err()
+}
+
+// PValueThreadsCtx is PValueThreads with cooperative cancellation: every
+// worker polls ctx each permCheckStride permutations and the test aborts
+// with ctx's error once cancelled. When ctx is never cancelled the
+// result is bit-identical to PValueThreads' for every thread count: the
+// exceedance count is an integer sum over a fixed stride partition that
+// the checkpoints do not touch.
+func (p *PairPerm) PValueThreadsCtx(ctx context.Context, pooled []float64, stat TestStat, threads int) (obs, pvalue float64, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(pooled) != p.nx+p.ny {
+		panic("stats: pooled length does not match PairPerm sides")
+	}
+	if p.nx == 0 || p.ny == 0 {
+		return math.NaN(), 1, ctx.Err()
+	}
+	var total, totalSq float64
+	for _, v := range pooled {
+		total += v
+		totalSq += v * v
+	}
+	obs = p.statistic(pooled, nil, stat, total, totalSq, newPermScratch(p, stat))
+	if math.IsNaN(obs) {
+		return obs, 1, ctx.Err()
+	}
+	nperm := len(p.xIdx)
+	if threads > nperm {
+		threads = nperm
+	}
+	if threads <= 1 {
+		scratch := newPermScratch(p, stat)
+		ge := 0
+		for k, idx := range p.xIdx {
+			if k%permCheckStride == 0 {
+				faultinject.Fire(faultinject.StatsPermEval)
+				if err := ctx.Err(); err != nil {
+					return obs, 1, err
+				}
+			}
+			if p.statistic(pooled, idx, stat, total, totalSq, scratch) >= obs {
+				ge++
+			}
+		}
+		return obs, float64(1+ge) / float64(1+nperm), ctx.Err()
+	}
+	counts := make([]int, threads)
+	done := make(chan struct{}, threads)
+	for w := 0; w < threads; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			scratch := newPermScratch(p, stat)
+			ge, step := 0, 0
+			for k := w; k < nperm; k += threads {
+				if step%permCheckStride == 0 {
+					faultinject.Fire(faultinject.StatsPermEval)
+					if ctx.Err() != nil {
+						return
+					}
+				}
+				step++
+				if p.statistic(pooled, p.xIdx[k], stat, total, totalSq, scratch) >= obs {
+					ge++
+				}
+			}
+			counts[w] = ge
+		}(w)
+	}
+	for w := 0; w < threads; w++ {
+		<-done
+	}
+	if err := ctx.Err(); err != nil {
+		return obs, 1, err
+	}
+	ge := 0
+	for _, c := range counts {
+		ge += c
+	}
+	return obs, float64(1+ge) / float64(1+nperm), nil
+}

@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"comparenb/internal/faultinject"
+)
+
+// TestCtxVariantsMatchUncancelled: with a live context the ctx variants
+// are bit-identical to the legacy entry points at every thread count.
+func TestCtxVariantsMatchUncancelled(t *testing.T) {
+	const nx, ny, nperm = 9, 7, 500
+	pooled := make([]float64, nx+ny)
+	for i := range pooled {
+		pooled[i] = float64((i*i)%13) / 3.0
+	}
+	want := NewPairPermSeeded(nx, ny, nperm, 99, 1)
+	for _, threads := range []int{1, 2, 5} {
+		got, err := NewPairPermSeededCtx(context.Background(), nx, ny, nperm, 99, threads)
+		if err != nil {
+			t.Fatalf("threads=%d: unexpected error %v", threads, err)
+		}
+		for k := range want.xIdx {
+			for j := range want.xIdx[k] {
+				if got.xIdx[k][j] != want.xIdx[k][j] {
+					t.Fatalf("threads=%d: permutation %d differs", threads, k)
+				}
+			}
+		}
+		for _, stat := range []TestStat{MeanDiff, VarDiff, MedianDiff} {
+			wObs, wPV := want.PValueThreads(pooled, stat, 1)
+			gObs, gPV, err := got.PValueThreadsCtx(context.Background(), pooled, stat, threads)
+			if err != nil {
+				t.Fatalf("threads=%d stat=%v: unexpected error %v", threads, stat, err)
+			}
+			//nolint:floateq // determinism-across-threads is an exact, bit-level contract
+			if wObs != gObs || wPV != gPV {
+				t.Fatalf("threads=%d stat=%v: (%v,%v) != legacy (%v,%v)",
+					threads, stat, gObs, gPV, wObs, wPV)
+			}
+		}
+	}
+}
+
+// TestNewPairPermSeededCtxCancelled: a pre-cancelled context aborts the
+// draw with the context's error.
+func TestNewPairPermSeededCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, threads := range []int{1, 4} {
+		if _, err := NewPairPermSeededCtx(ctx, 5, 5, 1000, 1, threads); !errors.Is(err, context.Canceled) {
+			t.Errorf("threads=%d: err = %v, want context.Canceled", threads, err)
+		}
+	}
+}
+
+// TestPValueThreadsCtxCancelMidway injects a cancellation at the k-th
+// evaluation checkpoint via the fault-injection registry and checks the
+// test aborts with the context's error on both the serial and parallel
+// paths.
+func TestPValueThreadsCtxCancelMidway(t *testing.T) {
+	const nx, ny, nperm = 6, 6, 4000
+	pooled := make([]float64, nx+ny)
+	for i := range pooled {
+		pooled[i] = float64(i % 5)
+	}
+	p := NewPairPermSeeded(nx, ny, nperm, 3, 1)
+	for _, threads := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		restore := faultinject.Set(faultinject.StatsPermEval, faultinject.OnCall(3, cancel))
+		_, _, err := p.PValueThreadsCtx(ctx, pooled, MeanDiff, threads)
+		restore()
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("threads=%d: err = %v, want context.Canceled", threads, err)
+		}
+	}
+}
+
+// TestNewPairPermSeededCtxCancelMidway injects a cancellation at the
+// k-th block checkpoint and checks the generator gives up.
+func TestNewPairPermSeededCtxCancelMidway(t *testing.T) {
+	for _, threads := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		restore := faultinject.Set(faultinject.StatsPermBlock, faultinject.OnCall(2, cancel))
+		_, err := NewPairPermSeededCtx(ctx, 5, 5, 10*permBlock, 1, threads)
+		restore()
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("threads=%d: err = %v, want context.Canceled", threads, err)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package tap
+
+import "context"
+
+// Solver names reported by SolveAnytime. They name which rung of the
+// degradation ladder produced the final solution.
+const (
+	// AnytimeExact: the branch-and-bound completed within budget.
+	AnytimeExact = "exact"
+	// AnytimeIncumbent2Opt: the search hit its budget and the improved
+	// incumbent won the ladder.
+	AnytimeIncumbent2Opt = "exact-incumbent+2opt"
+	// AnytimeGreedy2Opt: the search hit its budget and the from-scratch
+	// greedy + 2-opt construction beat the improved incumbent.
+	AnytimeGreedy2Opt = "greedy+2opt"
+	// AnytimeCancelled: the context was cancelled mid-search; the raw
+	// incumbent is returned untouched because the caller is aborting.
+	AnytimeCancelled = "exact-cancelled"
+)
+
+// AnytimeResult is what SolveAnytime produced and how.
+type AnytimeResult struct {
+	Solution Solution
+	// Stats is the underlying branch-and-bound's report (nodes, elapsed,
+	// certified upper bound).
+	Stats ExactStats
+	// Degraded is true when the search budget expired and a heuristic
+	// rung of the ladder finished the job.
+	Degraded bool
+	// Solver names the rung that produced Solution (Anytime* constants).
+	Solver string
+	// Gap is the certified relative optimality gap of Solution against
+	// Stats.BestBound: 0 when provably optimal, and the honest distance
+	// bound a degraded run reports.
+	Gap float64
+}
+
+// SolveAnytime is the deadline-aware exact solver with graceful
+// degradation — the discipline the paper gets from CPLEX's time-limit
+// parameter (§7 / Table 4), made explicit as a ladder:
+//
+//  1. run the branch-and-bound within the budget (Timeout, Deadline,
+//     MaxNodes, ctx — whichever trips first);
+//  2. if the budget expired, improve the search's best incumbent by
+//     2-opt + re-insertion (ImproveFrom), so the truncated search's work
+//     is kept;
+//  3. also build Algorithm 3's greedy + 2-opt solution from scratch and
+//     keep whichever of the two scores higher.
+//
+// The result is always Feasible, its interest is monotone in the budget
+// (a longer search can only improve the incumbent), and the reported Gap
+// bounds how far it can be from the true optimum. Context cancellation is
+// different from budget expiry: the ladder is skipped and the raw
+// incumbent returned, because the caller is abandoning the run — check
+// ctx.Err() to distinguish.
+func SolveAnytime(ctx context.Context, inst *Instance, epsT, epsD float64, opt ExactOptions) AnytimeResult {
+	if ctx != nil {
+		opt.Ctx = ctx
+	}
+	sol, stats := SolveExact(inst, epsT, epsD, opt)
+	out := AnytimeResult{Solution: sol, Stats: stats, Solver: AnytimeExact, Gap: stats.Gap}
+	if !stats.TimedOut {
+		return out
+	}
+	out.Degraded = true
+	if ctx != nil && ctx.Err() != nil {
+		out.Solver = AnytimeCancelled
+		return out
+	}
+
+	seeded := ImproveFrom(inst, sol.Order, epsT, epsD)
+	greedy := GreedyPlus(inst, epsT, epsD)
+	out.Solution, out.Solver = seeded, AnytimeIncumbent2Opt
+	if greedy.TotalInterest > seeded.TotalInterest+1e-12 {
+		out.Solution, out.Solver = greedy, AnytimeGreedy2Opt
+	}
+	_, out.Gap = boundAndGap(false, stats.BestBound, out.Solution.TotalInterest)
+	return out
+}

@@ -1,0 +1,178 @@
+package tap
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestIncumbentMonotoneOverNodeBudgets pins the anytime property the
+// deadline degradation rests on: the branch-and-bound explores the same
+// node sequence under any budget, so the incumbent's interest can only
+// grow as the budget does, every incumbent is feasible, and with an
+// unlimited budget the incumbent is the certified optimum.
+func TestIncumbentMonotoneOverNodeBudgets(t *testing.T) {
+	budgets := []int64{1, 16, 64, 256, 1024, 8192, 0} // 0 = unlimited
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		inst := RandomInstance(16, rng)
+		prev := -1.0
+		var last Solution
+		var lastStats ExactStats
+		for _, budget := range budgets {
+			sol, stats := SolveExact(inst, 6, 1.2, ExactOptions{MaxNodes: budget})
+			if err := inst.Feasible(sol, 6, 1.2); err != nil {
+				t.Fatalf("seed %d budget %d: incumbent infeasible: %v", seed, budget, err)
+			}
+			if sol.TotalInterest < prev-1e-9 {
+				t.Errorf("seed %d: interest dropped from %.6f to %.6f at budget %d",
+					seed, prev, sol.TotalInterest, budget)
+			}
+			if sol.TotalInterest > stats.BestBound+1e-9 {
+				t.Errorf("seed %d budget %d: incumbent %.6f exceeds certified bound %.6f",
+					seed, budget, sol.TotalInterest, stats.BestBound)
+			}
+			if stats.Gap < -1e-12 || (stats.Certified && stats.Gap != 0) {
+				t.Errorf("seed %d budget %d: bad gap %.6f (certified=%v)",
+					seed, budget, stats.Gap, stats.Certified)
+			}
+			prev = sol.TotalInterest
+			last, lastStats = sol, stats
+		}
+		if !lastStats.Certified || lastStats.TimedOut {
+			t.Fatalf("seed %d: unlimited run not certified (timedOut=%v)", seed, lastStats.TimedOut)
+		}
+		if lastStats.Gap != 0 {
+			t.Errorf("seed %d: certified optimum reports gap %.6f", seed, lastStats.Gap)
+		}
+		// The certified optimum dominates every heuristic.
+		if g := GreedyPlus(inst, 6, 1.2); g.TotalInterest > last.TotalInterest+1e-9 {
+			t.Errorf("seed %d: greedy+2opt %.6f beats the certified optimum %.6f",
+				seed, g.TotalInterest, last.TotalInterest)
+		}
+	}
+}
+
+// TestSolveAnytimeGenerousBudgetIsExact: with a budget the search never
+// hits, SolveAnytime is exactly SolveExact — no degradation, gap 0.
+func TestSolveAnytimeGenerousBudgetIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	inst := RandomInstance(14, rng)
+	exact, _ := SolveExact(inst, 5, 1.0, ExactOptions{})
+	res := SolveAnytime(context.Background(), inst, 5, 1.0, ExactOptions{Timeout: time.Hour})
+	if res.Degraded || res.Solver != AnytimeExact {
+		t.Fatalf("generous budget degraded: solver=%q degraded=%v", res.Solver, res.Degraded)
+	}
+	if res.Gap != 0 {
+		t.Errorf("generous budget reports gap %.6f", res.Gap)
+	}
+	if res.Solution.TotalInterest != exact.TotalInterest { //nolint:floateq // same deterministic search, bit-identical result
+		t.Errorf("anytime %.9f != exact %.9f", res.Solution.TotalInterest, exact.TotalInterest)
+	}
+}
+
+// TestSolveAnytimeDegradesFeasibly: under a tiny node budget the ladder
+// must still return a feasible solution at least as good as both plain
+// Greedy and the truncated incumbent, with an honest gap.
+func TestSolveAnytimeDegradesFeasibly(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		inst := RandomInstance(18, rng)
+		// Two nodes can never finish a search over 18 queries, so every
+		// seed must take the degradation ladder.
+		res := SolveAnytime(context.Background(), inst, 6, 1.2, ExactOptions{MaxNodes: 2})
+		if !res.Degraded {
+			t.Fatalf("seed %d: 2-node budget did not degrade", seed)
+		}
+		if res.Solver != AnytimeIncumbent2Opt && res.Solver != AnytimeGreedy2Opt {
+			t.Fatalf("seed %d: unexpected ladder rung %q", seed, res.Solver)
+		}
+		if err := inst.Feasible(res.Solution, 6, 1.2); err != nil {
+			t.Fatalf("seed %d: degraded solution infeasible: %v", seed, err)
+		}
+		if g := Greedy(inst, 6, 1.2); res.Solution.TotalInterest < g.TotalInterest-1e-9 {
+			t.Errorf("seed %d: degraded %.6f below plain greedy %.6f",
+				seed, res.Solution.TotalInterest, g.TotalInterest)
+		}
+		if res.Gap < -1e-12 {
+			t.Errorf("seed %d: negative gap %.6f", seed, res.Gap)
+		}
+		// The gap is sound: optimum ≤ bound, so solution ≥ bound·(1−gap)
+		// must not exceed the true optimum.
+		opt, _ := SolveExact(inst, 6, 1.2, ExactOptions{})
+		if res.Solution.TotalInterest > opt.TotalInterest+1e-9 {
+			t.Errorf("seed %d: degraded %.6f beats the true optimum %.6f",
+				seed, res.Solution.TotalInterest, opt.TotalInterest)
+		}
+		if opt.TotalInterest > res.Stats.BestBound+1e-9 {
+			t.Errorf("seed %d: true optimum %.6f exceeds reported bound %.6f",
+				seed, opt.TotalInterest, res.Stats.BestBound)
+		}
+	}
+}
+
+// TestSolveAnytimeCancelledReturnsIncumbent: a cancelled context stops
+// the search and skips the degradation ladder.
+func TestSolveAnytimeCancelledReturnsIncumbent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	inst := RandomInstance(20, rng)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := SolveAnytime(ctx, inst, 8, 1.5, ExactOptions{})
+	if !res.Degraded || res.Solver != AnytimeCancelled {
+		t.Fatalf("cancelled context: solver=%q degraded=%v", res.Solver, res.Degraded)
+	}
+	if len(res.Solution.Order) != 0 {
+		t.Errorf("pre-cancelled search produced a %d-query incumbent", len(res.Solution.Order))
+	}
+	if !res.Stats.TimedOut {
+		t.Error("cancelled search not reported as budget-stopped")
+	}
+}
+
+// TestSolveAnytimeExpiredDeadline: a deadline already in the past yields
+// the degraded heuristic solution immediately (the bounded-latency path).
+func TestSolveAnytimeExpiredDeadline(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	inst := RandomInstance(20, rng)
+	start := time.Now()
+	res := SolveAnytime(context.Background(), inst, 8, 1.5,
+		ExactOptions{Deadline: start.Add(-time.Second)})
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("expired deadline still took %v", elapsed)
+	}
+	if !res.Degraded {
+		t.Fatal("expired deadline did not degrade")
+	}
+	if err := inst.Feasible(res.Solution, 8, 1.5); err != nil {
+		t.Fatalf("degraded solution infeasible: %v", err)
+	}
+	if g := GreedyPlus(inst, 8, 1.5); res.Solution.TotalInterest < g.TotalInterest-1e-9 {
+		t.Errorf("degraded %.6f below greedy+2opt %.6f", res.Solution.TotalInterest, g.TotalInterest)
+	}
+}
+
+// TestImproveFromKeepsSeed: the improvement loop never drops seeded
+// queries, so its interest is never below the seed's.
+func TestImproveFromKeepsSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	inst := RandomInstance(15, rng)
+	seed, _ := SolveExact(inst, 5, 1.0, ExactOptions{MaxNodes: 64})
+	improved := ImproveFrom(inst, seed.Order, 5, 1.0)
+	if improved.TotalInterest < seed.TotalInterest-1e-9 {
+		t.Errorf("ImproveFrom lost interest: %.6f -> %.6f", seed.TotalInterest, improved.TotalInterest)
+	}
+	in := make(map[int]bool)
+	for _, q := range improved.Order {
+		in[q] = true
+	}
+	for _, q := range seed.Order {
+		if !in[q] {
+			t.Errorf("seeded query %d dropped by ImproveFrom", q)
+		}
+	}
+	if err := inst.Feasible(improved, 5, 1.0); err != nil {
+		t.Fatalf("improved solution infeasible: %v", err)
+	}
+}

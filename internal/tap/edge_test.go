@@ -1,0 +1,144 @@
+package tap
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// nanInstance builds a small instance whose distance matrix contains NaN
+// and +Inf entries — the poisoned inputs a fuzzer produces. NonMetric is
+// set because NaN/Inf certainly violate the triangle inequality.
+func nanInstance() *Instance {
+	d := [][]float64{
+		{0, 0.2, math.NaN(), math.Inf(1)},
+		{0.2, 0, 0.3, math.NaN()},
+		{math.NaN(), 0.3, 0, 0.1},
+		{math.Inf(1), math.NaN(), 0.1, 0},
+	}
+	return &Instance{
+		Interest:  []float64{0.9, 0.8, 0.7, 0.6},
+		Cost:      []float64{1, 1, 1, 1},
+		Dist:      func(i, j int) float64 { return d[i][j] },
+		NonMetric: true,
+	}
+}
+
+// checkAllSolvers runs every solver on the instance and asserts each
+// returns a feasible solution without panicking or looping.
+func checkAllSolvers(t *testing.T, inst *Instance, epsT, epsD float64) {
+	t.Helper()
+	solvers := map[string]func() Solution{
+		"Greedy":     func() Solution { return Greedy(inst, epsT, epsD) },
+		"GreedyPlus": func() Solution { return GreedyPlus(inst, epsT, epsD) },
+		"Exact": func() Solution {
+			sol, _ := SolveExact(inst, epsT, epsD, ExactOptions{})
+			return sol
+		},
+		"Anytime": func() Solution {
+			return SolveAnytime(context.Background(), inst, epsT, epsD, ExactOptions{MaxNodes: 8}).Solution
+		},
+	}
+	for name, run := range solvers {
+		sol := run()
+		if err := inst.Feasible(sol, epsT, epsD); err != nil {
+			t.Errorf("%s: infeasible solution: %v", name, err)
+		}
+	}
+}
+
+func TestSolversEmptyInstance(t *testing.T) {
+	inst := &Instance{Dist: func(i, j int) float64 { return 0 }}
+	checkAllSolvers(t, inst, 5, 1)
+	sol, stats := SolveExact(inst, 5, 1, ExactOptions{})
+	if len(sol.Order) != 0 || !stats.Certified || stats.Gap != 0 {
+		t.Errorf("empty instance: order=%v certified=%v gap=%v", sol.Order, stats.Certified, stats.Gap)
+	}
+	if r := Recall(sol, sol); r != 0 {
+		t.Errorf("Recall of empty reference = %v, want 0", r)
+	}
+	if d := Deviation(sol, sol); d != 0 {
+		t.Errorf("Deviation of empty reference = %v, want 0", d)
+	}
+}
+
+func TestSolversSingleQuery(t *testing.T) {
+	inst := &Instance{
+		Interest: []float64{0.5},
+		Cost:     []float64{1},
+		Dist:     func(i, j int) float64 { return 0 },
+	}
+	checkAllSolvers(t, inst, 1, 0)
+	sol, stats := SolveExact(inst, 1, 0, ExactOptions{})
+	if len(sol.Order) != 1 || sol.Order[0] != 0 {
+		t.Fatalf("single affordable query not selected: %v", sol.Order)
+	}
+	if !stats.Certified || stats.Gap != 0 {
+		t.Errorf("single query: certified=%v gap=%v", stats.Certified, stats.Gap)
+	}
+	// And with a budget that cannot afford it.
+	sol, _ = SolveExact(inst, 0.5, 0, ExactOptions{})
+	if len(sol.Order) != 0 {
+		t.Errorf("unaffordable query selected: %v", sol.Order)
+	}
+}
+
+func TestSolversAllInfeasibleBudget(t *testing.T) {
+	inst := nanInstance()
+	// ε_t = 0: no query fits the cost budget.
+	checkAllSolvers(t, inst, 0, 1)
+	sol, stats := SolveExact(inst, 0, 1, ExactOptions{})
+	if len(sol.Order) != 0 {
+		t.Fatalf("zero budget selected %v", sol.Order)
+	}
+	if stats.Gap != 0 {
+		t.Errorf("zero budget gap = %v, want 0", stats.Gap)
+	}
+	// ε_d < 0: any pair is too far apart; only singleton solutions remain.
+	sol, _ = SolveExact(inst, 4, -1, ExactOptions{})
+	if len(sol.Order) > 1 {
+		t.Errorf("negative distance bound admitted sequence %v", sol.Order)
+	}
+}
+
+func TestSolversNaNInfDistances(t *testing.T) {
+	inst := nanInstance()
+	checkAllSolvers(t, inst, 4, 0.5)
+	// The feasibility checker itself must reject a NaN-distance sequence.
+	bad := inst.Evaluate([]int{0, 2}) // Dist(0,2) = NaN
+	if err := inst.Feasible(bad, 4, 100); err == nil {
+		t.Error("Feasible accepted a NaN-distance sequence")
+	}
+	inf := inst.Evaluate([]int{0, 3}) // Dist(0,3) = +Inf
+	if err := inst.Feasible(inf, 4, 100); err == nil {
+		t.Error("Feasible accepted an Inf-distance sequence")
+	}
+}
+
+func TestSolversNaNCost(t *testing.T) {
+	inst := &Instance{
+		Interest:  []float64{0.9, 0.8},
+		Cost:      []float64{math.NaN(), 1},
+		Dist:      func(i, j int) float64 { return 0.1 * float64(i+j) },
+		NonMetric: true,
+	}
+	for name, sol := range map[string]Solution{
+		"Greedy":     Greedy(inst, 5, 1),
+		"GreedyPlus": GreedyPlus(inst, 5, 1),
+		"TopK":       TopK(inst, 5),
+	} {
+		for _, q := range sol.Order {
+			if q == 0 {
+				t.Errorf("%s selected the NaN-cost query", name)
+			}
+		}
+	}
+}
+
+func TestTopKNaNBudget(t *testing.T) {
+	inst := nanInstance()
+	sol := TopK(inst, math.NaN())
+	if len(sol.Order) != 0 {
+		t.Errorf("NaN budget selected %v", sol.Order)
+	}
+}

@@ -1,9 +1,12 @@
 package tap
 
 import (
+	"context"
 	"math"
 	"sort"
 	"time"
+
+	"comparenb/internal/faultinject"
 )
 
 // ExactOptions configures the exact branch-and-bound solver.
@@ -11,6 +14,20 @@ type ExactOptions struct {
 	// Timeout aborts the search and returns the incumbent (0 = none).
 	// Table 4's CPLEX runs used one hour; the benches scale this down.
 	Timeout time.Duration
+	// Deadline aborts the search at an absolute wall-clock instant (zero
+	// = none). When both Timeout and Deadline are set the earlier one
+	// wins. This is how a pipeline-wide time budget reaches the solver.
+	Deadline time.Time
+	// MaxNodes aborts the search after this many branch-and-bound nodes
+	// (0 = unlimited). Unlike the wall-clock budgets it is perfectly
+	// deterministic, which is what the anytime property tests rely on:
+	// two runs with node budgets N1 ≤ N2 explore identical prefixes.
+	MaxNodes int64
+	// Ctx, when non-nil, is polled at the periodic budget checkpoint;
+	// cancellation stops the search exactly like an expired deadline
+	// (TimedOut=true, incumbent returned). Callers that need an error
+	// check Ctx.Err() themselves afterwards.
+	Ctx context.Context
 	// MaxHeldKarp caps the subset size for which the minimum Hamiltonian
 	// path is computed exactly (2^k DP). Larger subsets fall back to the
 	// cheapest-insertion upper bound and the result is no longer
@@ -22,9 +39,23 @@ type ExactOptions struct {
 type ExactStats struct {
 	Nodes     int64
 	Elapsed   time.Duration
-	TimedOut  bool
+	TimedOut  bool // a budget (time, nodes, or context) stopped the search
 	Certified bool // provably optimal (no timeout, no Held–Karp fallback)
+	// BestBound is a certified upper bound on the optimal total interest:
+	// the incumbent's interest when the search completed (Certified), the
+	// root fractional-knapsack bound otherwise. Gap is the relative
+	// optimality gap (BestBound − incumbent) / BestBound — 0 when the
+	// solution is provably optimal, and the honest "how far might we be"
+	// figure an anytime caller reports after a budget expiry.
+	BestBound float64
+	Gap       float64
 }
+
+// budgetCheckNodes is how many branch-and-bound nodes pass between two
+// wall-clock/context budget checks (and faultinject ticks). Node counts,
+// not time, trigger the check, so instrumentation cannot perturb which
+// nodes are explored before a deterministic node budget trips.
+const budgetCheckNodes = 4096
 
 // SolveExact solves the TAP to optimality by branch-and-bound, standing in
 // for the paper's CPLEX model: maximise Σ interest subject to
@@ -52,31 +83,71 @@ func SolveExact(inst *Instance, epsT, epsD float64, opt ExactOptions) (Solution,
 	})
 
 	s := &exactSearch{
-		inst:  inst,
-		items: items,
-		epsT:  epsT,
-		epsD:  epsD,
-		opt:   opt,
-		start: start,
-		deadline: func() time.Time {
-			if opt.Timeout > 0 {
-				return start.Add(opt.Timeout)
-			}
-			return time.Time{}
-		}(),
+		inst:      inst,
+		items:     items,
+		epsT:      epsT,
+		epsD:      epsD,
+		opt:       opt,
+		start:     start,
+		deadline:  effectiveDeadline(start, opt),
 		certified: true,
 	}
-	s.dfs(0, nil, 0, 0)
+	rootBound := s.fractionalBound(0, epsT)
+	faultinject.Fire(faultinject.TapSearchTick)
+	// An already-spent budget skips the search entirely: the caller gets
+	// an empty incumbent and TimedOut, and the anytime layer degrades.
+	if s.budgetSpent() {
+		s.timedOut = true
+	} else {
+		s.dfs(0, nil, 0, 0)
+	}
 	stats := ExactStats{
 		Nodes:     s.nodes,
 		Elapsed:   time.Since(start),
 		TimedOut:  s.timedOut,
 		Certified: s.certified && !s.timedOut,
 	}
-	if s.bestOrder == nil {
-		return Solution{}, stats
+	var sol Solution
+	if s.bestOrder != nil {
+		sol = inst.Evaluate(s.bestOrder)
 	}
-	return inst.Evaluate(s.bestOrder), stats
+	stats.BestBound, stats.Gap = boundAndGap(stats.Certified, rootBound, sol.TotalInterest)
+	return sol, stats
+}
+
+// effectiveDeadline resolves Timeout and Deadline to the earliest
+// absolute instant, or zero when neither is set.
+func effectiveDeadline(start time.Time, opt ExactOptions) time.Time {
+	d := opt.Deadline
+	if opt.Timeout > 0 {
+		if t := start.Add(opt.Timeout); d.IsZero() || t.Before(d) {
+			d = t
+		}
+	}
+	return d
+}
+
+// boundAndGap derives the certified upper bound and relative optimality
+// gap from the root relaxation and the incumbent. A completed search's
+// own optimum is the tightest bound; otherwise the root bound stands.
+func boundAndGap(certified bool, rootBound, incumbent float64) (bound, gap float64) {
+	bound = rootBound
+	if certified || bound < incumbent || math.IsNaN(bound) {
+		bound = incumbent
+	}
+	if bound > 0 && incumbent < bound {
+		gap = (bound - incumbent) / bound
+	}
+	return bound, gap
+}
+
+// budgetSpent reports whether a wall-clock deadline has passed or the
+// context was cancelled. The node budget is checked separately in dfs.
+func (s *exactSearch) budgetSpent() bool {
+	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+		return true
+	}
+	return s.opt.Ctx != nil && s.opt.Ctx.Err() != nil
 }
 
 type exactSearch struct {
@@ -100,9 +171,16 @@ func (s *exactSearch) dfs(idx int, chosen []int, interest, cost float64) {
 		return
 	}
 	s.nodes++
-	if s.nodes%4096 == 0 && !s.deadline.IsZero() && time.Now().After(s.deadline) {
+	if s.opt.MaxNodes > 0 && s.nodes > s.opt.MaxNodes {
 		s.timedOut = true
 		return
+	}
+	if s.nodes%budgetCheckNodes == 0 {
+		faultinject.Fire(faultinject.TapSearchTick)
+		if s.budgetSpent() {
+			s.timedOut = true
+			return
+		}
 	}
 	if idx == len(s.items) {
 		return

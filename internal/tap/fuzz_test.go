@@ -1,0 +1,122 @@
+package tap
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// decodeInstance turns arbitrary fuzzer bytes into a small TAP instance
+// plus budgets. The encoding is deliberately forgiving — every byte slice
+// decodes to something — so the fuzzer explores instance space instead of
+// fighting a parser. Two sentinel bytes inject the adversarial values the
+// solvers must survive: 0xFE → +Inf distance, 0xFF → NaN distance.
+func decodeInstance(data []byte) (inst *Instance, epsT, epsD float64) {
+	at := func(i int) byte {
+		if len(data) == 0 {
+			return 0
+		}
+		return data[i%len(data)]
+	}
+	n := 2 + int(at(0))%7 // 2..8 queries: exact solve stays fast
+	epsT = 1 + float64(int(at(1))%n)
+	epsD = float64(at(2)) / 64.0
+
+	interest := make([]float64, n)
+	cost := make([]float64, n)
+	d := make([][]float64, n)
+	k := 3
+	for i := 0; i < n; i++ {
+		interest[i] = float64(at(k)) / 255.0
+		k++
+		cost[i] = 1
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			var v float64
+			switch b := at(k); b {
+			case 0xFE:
+				v = math.Inf(1)
+			case 0xFF:
+				v = math.NaN()
+			default:
+				v = float64(b) / 253.0
+			}
+			d[i][j], d[j][i] = v, v
+			k++
+		}
+	}
+	return &Instance{
+		Interest:  interest,
+		Cost:      cost,
+		Dist:      func(i, j int) float64 { return d[i][j] },
+		NonMetric: true,
+	}, epsT, epsD
+}
+
+// FuzzInstance cross-checks every solver on fuzzer-generated instances:
+// all must return feasible solutions, the exact solver must dominate the
+// heuristics, the anytime ladder must stay within its certified bound,
+// and the §6.4 metrics must stay in range. Any panic, hang, or violated
+// invariant is a finding.
+func FuzzInstance(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{6, 3, 200, 10, 250, 30, 90, 170, 60, 220, 5, 80, 130})
+	f.Add([]byte{3, 1, 255, 0xFE, 0xFF, 0xFE, 0xFF, 128})
+	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		inst, epsT, epsD := decodeInstance(data)
+
+		greedy := Greedy(inst, epsT, epsD)
+		if err := inst.Feasible(greedy, epsT, epsD); err != nil {
+			t.Fatalf("Greedy infeasible: %v", err)
+		}
+		plus := GreedyPlus(inst, epsT, epsD)
+		if err := inst.Feasible(plus, epsT, epsD); err != nil {
+			t.Fatalf("GreedyPlus infeasible: %v", err)
+		}
+		if plus.TotalInterest < greedy.TotalInterest-1e-9 {
+			t.Fatalf("GreedyPlus %.9f below Greedy %.9f", plus.TotalInterest, greedy.TotalInterest)
+		}
+
+		exact, stats := SolveExact(inst, epsT, epsD, ExactOptions{})
+		if err := inst.Feasible(exact, epsT, epsD); err != nil {
+			t.Fatalf("SolveExact infeasible: %v", err)
+		}
+		if stats.TimedOut {
+			t.Fatalf("unbudgeted SolveExact reported TimedOut")
+		}
+		if exact.TotalInterest < plus.TotalInterest-1e-9 {
+			t.Fatalf("exact %.9f below GreedyPlus %.9f", exact.TotalInterest, plus.TotalInterest)
+		}
+		if exact.TotalInterest > stats.BestBound+1e-9 {
+			t.Fatalf("exact %.9f above its own bound %.9f", exact.TotalInterest, stats.BestBound)
+		}
+
+		any := SolveAnytime(context.Background(), inst, epsT, epsD, ExactOptions{MaxNodes: 16})
+		if err := inst.Feasible(any.Solution, epsT, epsD); err != nil {
+			t.Fatalf("SolveAnytime infeasible: %v", err)
+		}
+		if any.Gap < -1e-12 || math.IsNaN(any.Gap) {
+			t.Fatalf("bad anytime gap %v", any.Gap)
+		}
+		if any.Solution.TotalInterest > exact.TotalInterest+1e-9 {
+			t.Fatalf("anytime %.9f beats exact %.9f", any.Solution.TotalInterest, exact.TotalInterest)
+		}
+
+		if r := Recall(exact, greedy); r < 0 || r > 1 || math.IsNaN(r) {
+			t.Fatalf("Recall out of range: %v", r)
+		}
+		if len(exact.Order) > 0 {
+			//nolint:floateq // recall of a solution against itself is exactly 1 by construction
+			if r := Recall(exact, exact); r != 1 {
+				t.Fatalf("Recall(exact, exact) = %v, want 1", r)
+			}
+		}
+		if dev := Deviation(exact, greedy); dev < -1e-9 || dev > 1+1e-9 || math.IsNaN(dev) {
+			t.Fatalf("Deviation out of range: %v", dev)
+		}
+	})
+}

@@ -23,11 +23,14 @@ func Greedy(inst *Instance, epsT, epsD float64) Solution {
 	t := 0.0
 	curDist := 0.0
 	for _, q := range order {
-		if t+inst.Cost[q] > epsT {
+		// Negated comparisons so NaN costs and NaN/Inf insertion
+		// distances are rejected rather than silently accepted (every
+		// comparison with NaN is false).
+		if !(t+inst.Cost[q] <= epsT) {
 			continue
 		}
 		pos, newDist := bestInsertion(inst, seq, curDist, q)
-		if newDist > epsD {
+		if !(newDist <= epsD) {
 			continue
 		}
 		seq = append(seq, 0)
@@ -76,7 +79,7 @@ func TopK(inst *Instance, epsT float64) Solution {
 	t := 0.0
 	curDist := 0.0
 	for _, q := range order {
-		if t+inst.Cost[q] > epsT {
+		if !(t+inst.Cost[q] <= epsT) { // NaN-safe, as in Greedy
 			continue
 		}
 		pos, newDist := bestInsertion(inst, seq, curDist, q)

@@ -54,13 +54,23 @@ func Improve2Opt(inst *Instance, order []int) ([]int, float64) {
 // queries rejected by plain Algorithm 3 fit after all. The result is
 // never worse than Greedy's in total interest.
 func GreedyPlus(inst *Instance, epsT, epsD float64) Solution {
-	base := Greedy(inst, epsT, epsD)
-	seq := append([]int(nil), base.Order...)
+	return ImproveFrom(inst, Greedy(inst, epsT, epsD).Order, epsT, epsD)
+}
+
+// ImproveFrom runs the 2-opt + re-insertion improvement loop starting
+// from an arbitrary feasible seed ordering. Seeded queries are never
+// dropped and insertions respect both ε_t and ε_d, so the result's total
+// interest is never below the seed's. It is the degradation step of the
+// anytime solver: the branch-and-bound incumbent becomes the seed, so
+// whatever the truncated search learned is kept, not thrown away.
+func ImproveFrom(inst *Instance, seed []int, epsT, epsD float64) Solution {
+	seq := append([]int(nil), seed...)
 	in := make([]bool, inst.N())
+	cost := 0.0
 	for _, q := range seq {
 		in[q] = true
+		cost += inst.Cost[q]
 	}
-	cost := base.TotalCost
 
 	order := make([]int, inst.N())
 	for i := range order {
@@ -77,11 +87,14 @@ func GreedyPlus(inst *Instance, epsT, epsD float64) Solution {
 		seq, dist = Improve2Opt(inst, seq)
 		added := false
 		for _, q := range order {
-			if in[q] || cost+inst.Cost[q] > epsT {
+			// The negated forms reject NaN costs and distances (every
+			// comparison with NaN is false, so `cost > epsT` would let a
+			// NaN-costed query through).
+			if in[q] || !(cost+inst.Cost[q] <= epsT) {
 				continue
 			}
 			pos, newDist := bestInsertion(inst, seq, dist, q)
-			if newDist > epsD {
+			if !(newDist <= epsD) {
 				continue
 			}
 			seq = append(seq, 0)

@@ -69,10 +69,13 @@ func (inst *Instance) Feasible(s Solution, epsT, epsD float64) error {
 		seen[q] = true
 	}
 	e := inst.Evaluate(s.Order)
-	if e.TotalCost > epsT+1e-9 {
+	// The negated comparisons treat NaN totals (a NaN cost or distance
+	// somewhere in the sequence) as infeasible: `x > budget` is false for
+	// NaN and would wave the solution through.
+	if !(e.TotalCost <= epsT+1e-9) {
 		return fmt.Errorf("tap: cost %v exceeds budget %v", e.TotalCost, epsT)
 	}
-	if e.TotalDist > epsD+1e-9 {
+	if !(e.TotalDist <= epsD+1e-9) {
 		return fmt.Errorf("tap: distance %v exceeds bound %v", e.TotalDist, epsD)
 	}
 	return nil

@@ -28,4 +28,19 @@ go test -race ./...
 echo "==> bench smoke (every benchmark once)"
 go test -run '^$' -bench . -benchtime=1x ./... > /dev/null
 
+echo "==> fuzz smoke (every fuzz target, 3s each)"
+# go test accepts one -fuzz target per invocation, so enumerate the
+# targets per package and run each briefly against its seed corpus.
+for pkg in ./internal/stats ./internal/tap; do
+    targets=$(go test -list '^Fuzz' "$pkg" | grep '^Fuzz' || true)
+    if [ -z "$targets" ]; then
+        echo "fuzz smoke: no fuzz targets found in $pkg" >&2
+        exit 1
+    fi
+    for fz in $targets; do
+        echo "    $pkg $fz"
+        go test -run '^$' -fuzz "^${fz}\$" -fuzztime 3s "$pkg" > /dev/null
+    done
+done
+
 echo "OK: all checks passed"
