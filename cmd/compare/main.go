@@ -35,6 +35,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "RNG seed")
 		timeout = flag.Duration("timeout", 0, "abort the significance tests after this long (0 = no limit)")
 		cats    = flag.String("categorical", "", "comma-separated columns to force categorical")
+		maxRows = flag.Int("max-rows", 0, "refuse CSV inputs with more data rows than this (0 = unlimited)")
 		explain = flag.Bool("explain", false, "also print the operator tree")
 	)
 	flag.Parse()
@@ -50,7 +51,7 @@ func main() {
 		}
 	}
 
-	opts := comparenb.CSVOptions{}
+	opts := comparenb.CSVOptions{MaxRows: *maxRows}
 	if *cats != "" {
 		opts.ForceCategorical = splitComma(*cats)
 	}

@@ -38,7 +38,9 @@ func main() {
 		useWSC      = flag.Bool("wsc", true, "merge group-by sets (Algorithm 2)")
 		threads     = flag.Int("threads", 0, "worker threads for the parallel phases (0 = GOMAXPROCS); output is identical at any setting")
 		cacheBudget = flag.Int64("cache-budget", 64<<20, "cube-cache bound in bytes (0 = unbounded)")
-		timeBudget  = flag.Duration("time-budget", 0, "soft wall-clock budget, e.g. 30s: the analysis runs to completion and the exact TAP solver degrades to its anytime ladder when the budget expires (0 = unbudgeted)")
+		timeBudget  = flag.Duration("time-budget", 0, "soft wall-clock budget, e.g. 30s: the governor splits it across the stats/hypothesis/TAP phases and each degrades gracefully when its share expires (0 = unbudgeted)")
+		memBudget   = flag.Int64("mem-budget", 0, "hard cube-cache memory budget in bytes: cubes that would exceed it are answered but not cached (0 = disarmed)")
+		maxRows     = flag.Int("max-rows", 0, "refuse CSV inputs with more data rows than this instead of loading them (0 = unlimited)")
 		cats        = flag.String("categorical", "", "comma-separated columns to force categorical")
 		nums        = flag.String("numeric", "", "comma-separated columns to force numeric")
 		drop        = flag.String("drop", "", "comma-separated columns to ignore")
@@ -60,6 +62,7 @@ func main() {
 		ForceNumeric:              splitList(*nums),
 		Drop:                      splitList(*drop),
 		MaxCategoricalCardinality: *maxCard,
+		MaxRows:                   *maxRows,
 	})
 	if err != nil {
 		fatal(err)
@@ -84,6 +87,7 @@ func main() {
 	cfg.Threads = *threads
 	cfg.CubeCacheBudget = *cacheBudget
 	cfg.TimeBudget = *timeBudget
+	cfg.MemBudget = *memBudget
 	cfg.IncludeHypotheses = *hypotheses
 	if *median {
 		cfg.InsightTypes = comparenb.ExtendedInsightTypes
@@ -133,6 +137,12 @@ func main() {
 	if *verbose && res.TAP.Degraded {
 		fmt.Fprintf(os.Stderr, "time budget %v expired during the exact search: degraded to %s (optimality gap ≤ %.2f%%)\n",
 			*timeBudget, res.TAP.Solver, 100*res.TAP.Gap)
+	}
+	if *verbose && res.Degraded.Any() {
+		fmt.Fprintf(os.Stderr,
+			"degraded phases %v: perms_effective=%d pairs_skipped=%d hypo_dropped=%d mem_evictions=%d (details in -report JSON)\n",
+			res.Degraded.Phases, res.Degraded.PermsEffective, res.Degraded.PairsSkipped,
+			res.Degraded.HypoDropped, res.Degraded.MemEvictions)
 	}
 	if *verbose {
 		fmt.Fprintf(os.Stderr,

@@ -14,13 +14,18 @@ import (
 // matches, RollupHits answered a subset group-by by rolling up a cached
 // superset cube, Misses fell through to a base-relation build, Evictions
 // counts entries removed by Trim. Bytes/Entries describe current contents.
+// AdmitEvictions and AdmitRefusals count memory-budget admission actions
+// (see SetMemBudget); both stay zero — and absent from JSON — when no
+// memory budget is armed, preserving report byte-identity.
 type CacheStats struct {
-	Hits       int64 `json:"hits"`
-	RollupHits int64 `json:"rollup_hits"`
-	Misses     int64 `json:"misses"`
-	Evictions  int64 `json:"evictions"`
-	Bytes      int64 `json:"bytes"`
-	Entries    int   `json:"entries"`
+	Hits           int64 `json:"hits"`
+	RollupHits     int64 `json:"rollup_hits"`
+	Misses         int64 `json:"misses"`
+	Evictions      int64 `json:"evictions"`
+	Bytes          int64 `json:"bytes"`
+	Entries        int   `json:"entries"`
+	AdmitEvictions int64 `json:"admit_evictions,omitempty"`
+	AdmitRefusals  int64 `json:"admit_refusals,omitempty"`
 }
 
 // cacheKey identifies a cube: the relation identity plus the canonical
@@ -51,10 +56,11 @@ type cacheEntry struct {
 // scheduling, which is what keeps notebooks byte-identical across thread
 // counts (see docs/PERFORMANCE.md).
 type CubeCache struct {
-	mu      sync.Mutex
-	budget  int64 // bytes; <= 0 means unbounded
-	entries map[cacheKey]*cacheEntry
-	stats   CacheStats
+	mu        sync.Mutex
+	budget    int64 // soft bytes bound, enforced only by Trim; <= 0 unbounded
+	memBudget int64 // hard bytes bound, enforced at admission; <= 0 disarmed
+	entries   map[cacheKey]*cacheEntry
+	stats     CacheStats
 }
 
 // NewCubeCache returns a cache bounded to roughly `budget` bytes of cube
@@ -127,7 +133,7 @@ func (cc *CubeCache) Add(cube *Cube) {
 	if _, ok := cc.entries[key]; ok {
 		return
 	}
-	cc.insertLocked(key, cube, sorted)
+	cc.admitInsertLocked(key, cube, sorted, true)
 }
 
 func (cc *CubeCache) insertLocked(key cacheKey, cube *Cube, sorted []int) {

@@ -121,6 +121,7 @@ func (cc *CubeCache) GetOrBuildCtx(ctx context.Context, rel *table.Relation, att
 	super := cc.bestSupersetLocked(rel, sorted)
 	cc.mu.Unlock()
 
+	admitted := cc.admitPrepare(rel, sorted)
 	var cube *Cube
 	if super != nil {
 		cube = super.Rollup(sorted)
@@ -143,7 +144,7 @@ func (cc *CubeCache) GetOrBuildCtx(ctx context.Context, rel *table.Relation, att
 	} else {
 		cc.stats.Misses++
 	}
-	cc.insertLocked(key, cube, sorted)
+	cc.admitInsertLocked(key, cube, sorted, admitted)
 	return cube, nil
 }
 
@@ -161,6 +162,7 @@ func (cc *CubeCache) BuildThroughCtx(ctx context.Context, rel *table.Relation, a
 	}
 	cc.mu.Unlock()
 
+	admitted := cc.admitPrepare(rel, sorted)
 	cube, err := BuildCubeParallelCtx(ctx, rel, sorted, threads)
 	if err != nil {
 		return nil, err
@@ -173,6 +175,6 @@ func (cc *CubeCache) BuildThroughCtx(ctx context.Context, rel *table.Relation, a
 		return e.cube, nil
 	}
 	cc.stats.Misses++
-	cc.insertLocked(key, cube, sorted)
+	cc.admitInsertLocked(key, cube, sorted, admitted)
 	return cube, nil
 }

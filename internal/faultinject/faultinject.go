@@ -53,6 +53,19 @@ const (
 	// every periodic budget checkpoint of the branch-and-bound search
 	// (every few thousand nodes).
 	TapSearchTick = "tap.search.tick"
+	// StatsEarlyStop fires once per block boundary of the early-stopping
+	// permutation kernel (stats.PValueEarlyStop), before the block's
+	// resamples are evaluated — i.e. at every point where the sequential
+	// confidence bound may truncate the test.
+	StatsEarlyStop = "stats.earlystop.block"
+	// GovernorRebalance fires every time the resource governor re-splits
+	// the remaining time budget at a phase boundary
+	// (governor.(*Governor).StartPhase).
+	GovernorRebalance = "governor.rebalance"
+	// CacheAdmit fires once per memory-budget admission decision of the
+	// cube cache (engine.CubeCache with a mem budget set), before the
+	// estimate is compared against the budget.
+	CacheAdmit = "engine.cache.admit"
 )
 
 // Hook is a registered fault handler. It runs synchronously inside the

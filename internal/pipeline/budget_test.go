@@ -12,6 +12,7 @@ import (
 
 	"comparenb/internal/faultinject"
 	"comparenb/internal/tap"
+	"comparenb/internal/testutil"
 )
 
 // budgetConfig mirrors the golden test's deterministic configuration but
@@ -43,6 +44,7 @@ func reportJSON(t *testing.T, res *Result) []byte {
 	rep := res.Report()
 	rep.Timings = ReportTimings{}
 	rep.Config.TimeBudgetMillis = 0
+	rep.Config.MemBudgetBytes = 0
 	// The recorded thread count legitimately differs between runs; what
 	// must not differ is everything computed.
 	rep.Config.Threads = 0
@@ -54,9 +56,10 @@ func reportJSON(t *testing.T, res *Result) []byte {
 }
 
 // TestGenerateGenerousBudgetByteIdentical is the acceptance check for the
-// soft budget: a TimeBudget the run never exhausts must change nothing —
-// notebook and report bytes equal the unbudgeted run's at every thread
-// count, and every thread count agrees with serial.
+// soft budgets: a TimeBudget the run never exhausts — with the governor
+// splitting it across every phase — and a MemBudget the cache never hits
+// must change nothing: notebook and report bytes equal the unbudgeted
+// run's at every thread count, and every thread count agrees with serial.
 func TestGenerateGenerousBudgetByteIdentical(t *testing.T) {
 	rel := goldenRelation()
 	var refNB, refRep []byte
@@ -67,12 +70,16 @@ func TestGenerateGenerousBudgetByteIdentical(t *testing.T) {
 		}
 		cfg := budgetConfig(threads)
 		cfg.TimeBudget = time.Hour
+		cfg.MemBudget = 1 << 33
 		budgeted, err := GenerateContext(context.Background(), rel, cfg)
 		if err != nil {
 			t.Fatalf("threads=%d budgeted: %v", threads, err)
 		}
 		if budgeted.TAP.Degraded {
 			t.Fatalf("threads=%d: one-hour budget degraded the solver", threads)
+		}
+		if budgeted.Degraded.Any() {
+			t.Fatalf("threads=%d: generous budgets recorded degradation %+v", threads, budgeted.Degraded)
 		}
 		if budgeted.TAP.Solver != tap.AnytimeExact {
 			t.Fatalf("threads=%d: solver = %q, want %q", threads, budgeted.TAP.Solver, tap.AnytimeExact)
@@ -110,7 +117,11 @@ func TestReportBudgetFieldsOmittedWhenUnbudgeted(t *testing.T) {
 	if err := res.Report().WriteJSON(&buf); err != nil {
 		t.Fatal(err)
 	}
-	for _, field := range []string{"time_budget_ms", "tap_solver", "tap_degraded", "tap_gap"} {
+	for _, field := range []string{
+		"time_budget_ms", "tap_solver", "tap_degraded", "tap_gap",
+		"mem_budget", "phase_degraded", "perms_effective", "pairs_skipped",
+		"hypo_dropped", "mem_evictions", "admit_evictions", "admit_refusals",
+	} {
 		if strings.Contains(buf.String(), field) {
 			t.Errorf("unbudgeted report contains %q:\n%s", field, buf.String())
 		}
@@ -171,27 +182,9 @@ func TestGenerateTightBudgetDegradesFeasibly(t *testing.T) {
 	}
 }
 
-// waitGoroutinesSettle retries until the live goroutine count returns to
-// its pre-test level (plus a small runtime allowance) — the stdlib-only
-// stand-in for a leak detector.
-func waitGoroutinesSettle(t *testing.T, before int) {
-	t.Helper()
-	deadline := time.Now().Add(3 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= before+2 {
-			return
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	buf := make([]byte, 1<<16)
-	n := runtime.Stack(buf, true)
-	t.Errorf("goroutine leak after cancellation: %d before, %d after\n%s",
-		before, runtime.NumGoroutine(), buf[:n])
-}
-
 // checkCancelledRun asserts the hard-cancellation contract: ctx's error
 // comes back, no partial Result escapes, and every worker goroutine
-// drains.
+// drains (testutil.WaitGoroutinesSettle is the shared leak check).
 func checkCancelledRun(t *testing.T, res *Result, err error, before int) {
 	t.Helper()
 	if !errors.Is(err, context.Canceled) {
@@ -200,7 +193,7 @@ func checkCancelledRun(t *testing.T, res *Result, err error, before int) {
 	if res != nil {
 		t.Fatal("cancelled run returned a partial Result")
 	}
-	waitGoroutinesSettle(t, before)
+	testutil.WaitGoroutinesSettle(t, before)
 }
 
 func TestGenerateContextPreCancelled(t *testing.T) {

@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"time"
 
+	"comparenb/internal/governor"
 	"comparenb/internal/insight"
 	"comparenb/internal/metric"
 	"comparenb/internal/sampling"
@@ -185,6 +186,22 @@ type Config struct {
 	// ctx instead.
 	TimeBudget time.Duration
 
+	// MemBudget is a hard in-memory budget (bytes of cube footprint,
+	// 0 = none) enforced at cube-cache admission time. It is distinct
+	// from MemoryBudget (the §5.2.2 planning budget, which only steers
+	// the WSC cover choice) and from CubeCacheBudget (a soft bound,
+	// enforced only by phase-boundary Trims): with MemBudget armed the
+	// cache never holds more than this many bytes at any instant —
+	// entries are evicted largest-first to admit new builds, and a cube
+	// too large to ever fit is simply not cached (the query is still
+	// answered from the freshly built cube, so the run completes; it just
+	// loses reuse). Admission actions are recorded in the run report
+	// (mem_evictions), because mid-phase eviction makes cache contents
+	// scheduling-dependent — byte-identity across thread counts is only
+	// guaranteed while the budget is never hit. When both MemoryBudget
+	// and MemBudget are set, WSC planning respects the smaller.
+	MemBudget int64
+
 	// IncludeHypotheses adds, after each notebook query, a code cell with
 	// the hypothesis query (Figure 3 form) for each insight the query
 	// evidences — so a skeptical reader can re-check support in SQL.
@@ -197,6 +214,15 @@ type Config struct {
 
 	// Seed makes the whole run deterministic.
 	Seed int64
+
+	// forceStatsLevel / forceHypoLevel pin a degradation-ladder rung for
+	// the corresponding phase, bypassing the governor's wall-clock
+	// decisions. Test-only: wall-clock pressure is inherently flaky to
+	// reproduce, while a pinned rung exercises the exact same code path
+	// deterministically. Zero value (governor.Full) means "ask the
+	// governor", i.e. production behaviour.
+	forceStatsLevel governor.Level
+	forceHypoLevel  governor.Level
 }
 
 // logf is the nil-safe logging helper.
@@ -228,6 +254,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("pipeline: FDMaxError must be in [0, 1), got %v", c.FDMaxError)
 	case c.TimeBudget < 0:
 		return fmt.Errorf("pipeline: TimeBudget must be non-negative, got %v", c.TimeBudget)
+	case c.MemBudget < 0:
+		return fmt.Errorf("pipeline: MemBudget must be non-negative, got %d", c.MemBudget)
 	case float64(1)/float64(c.Perms+1) > c.Alpha:
 		return fmt.Errorf("pipeline: Perms=%d cannot reach significance at Alpha=%v "+
 			"(the smallest possible permutation p-value is 1/(Perms+1) = %.4f); increase Perms",

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"comparenb/internal/engine"
+	"comparenb/internal/governor"
 	"comparenb/internal/insight"
 	"comparenb/internal/metric"
 	"comparenb/internal/notebook"
@@ -37,6 +38,10 @@ type Result struct {
 	Timings Timings
 	Counts  Counts
 
+	// Degraded names every budget-driven concession the run made (empty
+	// when nothing degraded — the byte-identity case).
+	Degraded Degradation
+
 	// cache is the run's partial-aggregate store; BuildNotebook answers
 	// the verification queries from it instead of rescanning the base
 	// relation. Nil for zero-value Results built outside Generate.
@@ -61,6 +66,32 @@ func (r *Result) Sequence() []ScoredQuery {
 	}
 	return out
 }
+
+// Degradation is the run-level record of graceful degradation: which
+// phases conceded anything to the resource budgets, and what exactly was
+// cut. The zero value means the run was byte-identical to an unbudgeted
+// one; reports serialise the fields with omitempty so that stays visible
+// in the JSON too.
+type Degradation struct {
+	// Phases lists the degraded phases in pipeline order, drawn from
+	// "stats", "hypo", "engine", "tap".
+	Phases []string
+	// PermsEffective is the smallest permutation count an early-stopped
+	// test actually evaluated (0 = no test was truncated).
+	PermsEffective int
+	// PairsSkipped counts candidate (attribute, value pair) test jobs the
+	// Shed rung dropped without testing.
+	PairsSkipped int
+	// HypoDropped counts significant insights cut by the hypothesis
+	// phase's candidate cap.
+	HypoDropped int
+	// MemEvictions counts memory-budget admission actions of the cube
+	// cache: evictions to make room plus refusals to cache at all.
+	MemEvictions int
+}
+
+// Any reports whether the run degraded at all.
+func (d Degradation) Any() bool { return len(d.Phases) > 0 }
 
 // TAPOutcome records how the TAP solution was produced.
 type TAPOutcome struct {
@@ -107,10 +138,9 @@ func GenerateContext(ctx context.Context, rel *table.Relation, cfg Config) (*Res
 	}
 	res := &Result{Relation: rel, Config: cfg}
 	start := time.Now()
-	var deadline time.Time
-	if cfg.TimeBudget > 0 {
-		deadline = start.Add(cfg.TimeBudget)
-	}
+	// The governor splits the soft budget across the phases below; nil
+	// (no TimeBudget) is the ungoverned, always-Full case.
+	gov := governor.New(cfg.TimeBudget, start)
 
 	// Pre-processing: functional dependencies (footnote 2).
 	t0 := time.Now()
@@ -120,7 +150,8 @@ func GenerateContext(ctx context.Context, rel *table.Relation, cfg Config) (*Res
 
 	// Phase (i): statistical tests.
 	t0 = time.Now()
-	sig, tested, err := runStatTests(ctx, rel, cfg)
+	gov.StartPhase(governor.Stats)
+	sig, tested, sdeg, err := runStatTests(ctx, rel, cfg, gov)
 	if err != nil {
 		return nil, err
 	}
@@ -141,8 +172,12 @@ func GenerateContext(ctx context.Context, rel *table.Relation, cfg Config) (*Res
 	// Phase (ii): hypothesis-query evaluation on in-memory aggregates,
 	// shared through the run's cube cache.
 	t0 = time.Now()
+	gov.StartPhase(governor.Hypo)
 	res.cache = engine.NewCubeCache(cfg.CubeCacheBudget)
-	queries, final, counts, err := evalHypotheses(ctx, rel, cfg, fds, sig, res.cache)
+	if cfg.MemBudget > 0 {
+		res.cache.SetMemBudget(cfg.MemBudget)
+	}
+	queries, final, counts, hypoDropped, err := evalHypotheses(ctx, rel, cfg, fds, sig, res.cache, gov)
 	if err != nil {
 		return nil, err
 	}
@@ -164,10 +199,13 @@ func GenerateContext(ctx context.Context, rel *table.Relation, cfg Config) (*Res
 		res.Counts.CubesBuilt, cs.Hits, cs.RollupHits, cs.Misses, cs.Evictions, cs.Bytes,
 		counts.SupportChecks, counts.QueriesGenerated, res.Timings.HypoEval)
 
-	// TAP. The analysis phases ran to completion; whatever is left of the
-	// time budget bounds the exact search, and the anytime ladder turns an
-	// expiry into a feasible heuristic solution instead of a failure.
+	// TAP. The analysis phases ran (possibly degraded); the last phase's
+	// budget share is 1, so its deadline is exactly start+TimeBudget —
+	// bit-for-bit the pre-governor semantics — and the anytime ladder
+	// turns an expiry into a feasible heuristic solution, not a failure.
 	t0 = time.Now()
+	gov.StartPhase(governor.TAP)
+	deadline := gov.Deadline(governor.TAP)
 	inst := Instance(queries, cfg.Weights)
 	res.TAP.Solver = cfg.Solver.String()
 	switch cfg.Solver {
@@ -202,6 +240,32 @@ func GenerateContext(ctx context.Context, rel *table.Relation, cfg Config) (*Res
 	res.Timings.Total = time.Since(start)
 	cfg.logf("pipeline: %s TAP selected %d queries (interest %.3f) in %v",
 		res.TAP.Solver, len(res.Solution.Order), res.Solution.TotalInterest, res.Timings.TAP)
+
+	// Degradation record: a phase is listed only when a concession had an
+	// observable effect, so generously budgeted runs report nothing.
+	memEv := int(cs.AdmitEvictions + cs.AdmitRefusals)
+	res.Degraded = Degradation{
+		PermsEffective: sdeg.minPerms,
+		PairsSkipped:   sdeg.pairsSkipped,
+		HypoDropped:    hypoDropped,
+		MemEvictions:   memEv,
+	}
+	if sdeg.earlyStopped || sdeg.pairsSkipped > 0 {
+		res.Degraded.Phases = append(res.Degraded.Phases, "stats")
+	}
+	if hypoDropped > 0 {
+		res.Degraded.Phases = append(res.Degraded.Phases, "hypo")
+	}
+	if memEv > 0 {
+		res.Degraded.Phases = append(res.Degraded.Phases, "engine")
+	}
+	if res.TAP.Degraded {
+		res.Degraded.Phases = append(res.Degraded.Phases, "tap")
+	}
+	if res.Degraded.Any() {
+		cfg.logf("pipeline: degraded phases %v (perms_effective=%d pairs_skipped=%d hypo_dropped=%d mem_evictions=%d)",
+			res.Degraded.Phases, sdeg.minPerms, sdeg.pairsSkipped, hypoDropped, memEv)
+	}
 	return res, nil
 }
 

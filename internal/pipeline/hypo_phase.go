@@ -7,6 +7,7 @@ import (
 
 	"comparenb/internal/cover"
 	"comparenb/internal/engine"
+	"comparenb/internal/governor"
 	"comparenb/internal/insight"
 	"comparenb/internal/metric"
 	"comparenb/internal/table"
@@ -34,6 +35,65 @@ type hypoOutcome struct {
 	theta, gamma int
 }
 
+// hypoCandidateCap returns the degradation ladder's cap on the number of
+// significant insights the hypothesis phase evaluates (0 = uncapped).
+// Both rungs keep enough candidates to fill an EpsT-query notebook with
+// headroom for dedup; Shed keeps the bare minimum.
+func hypoCandidateCap(level governor.Level, epsT int) int {
+	switch level {
+	case governor.Degrade:
+		c := 2 * epsT
+		if c < 16 {
+			c = 16
+		}
+		return c
+	case governor.Shed:
+		c := epsT
+		if c < 4 {
+			c = 4
+		}
+		return c
+	default:
+		return 0
+	}
+}
+
+// capCandidates keeps the top-k insights by (significance desc, key asc)
+// while preserving the input's deterministic key order, returning the
+// kept slice and the number dropped. The selection is a pure function of
+// the insight list, so a capped run is reproducible even though *whether*
+// capping engaged depended on the wall clock.
+func capCandidates(sig []insight.Insight, k int) ([]insight.Insight, int) {
+	if k <= 0 || len(sig) <= k {
+		return sig, 0
+	}
+	order := make([]int, len(sig))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		a, b := sig[order[x]], sig[order[y]]
+		if a.Sig > b.Sig {
+			return true
+		}
+		if a.Sig < b.Sig {
+			return false
+		}
+		return lessKey(a.Key(), b.Key())
+	})
+	keep := make([]bool, len(sig))
+	for _, i := range order[:k] {
+		keep[i] = true
+	}
+	kept := make([]insight.Insight, 0, k)
+	for i, ins := range sig {
+		if keep[i] {
+			kept = append(kept, ins)
+		}
+	}
+	return kept, len(sig) - k
+}
+
 // evalHypotheses runs lines 5–17 of Algorithm 1 with the §5.2
 // optimizations: it evaluates hypothesis queries from in-memory partial
 // aggregates (bounded 2-group-bys, or Algorithm 2's merged group-by sets
@@ -42,9 +102,23 @@ type hypoOutcome struct {
 // sampling only ever accelerates the statistical tests. Cancelling ctx
 // aborts the phase at the next cube or job checkpoint with ctx's error;
 // a live ctx never changes the result.
-func evalHypotheses(ctx context.Context, rel *table.Relation, cfg Config, fds *engine.FDSet, sig []insight.Insight, cache *engine.CubeCache) ([]ScoredQuery, []insight.Insight, Counts, error) {
+//
+// gov (nil = ungoverned) drives the phase's degradation ladder, asked
+// once on entry: under pressure the candidate set is capped to the
+// hypoCandidateCap top insights (dropped reports how many were cut) —
+// a whole-phase decision rather than per-job, because each candidate's
+// cost is dominated by cube availability, which is shared.
+func evalHypotheses(ctx context.Context, rel *table.Relation, cfg Config, fds *engine.FDSet, sig []insight.Insight, cache *engine.CubeCache, gov *governor.Governor) ([]ScoredQuery, []insight.Insight, Counts, int, error) {
 	var counts Counts
 	n := rel.NumCatAttrs()
+
+	level := cfg.forceHypoLevel
+	if level == governor.Full {
+		level = gov.Admit(governor.Hypo, 0, 0)
+	} else {
+		gov.Observe(governor.Hypo, level)
+	}
+	sig, dropped := capCandidates(sig, hypoCandidateCap(level, cfg.EpsT))
 
 	// Valid grouping attributes per selection attribute (FD pre-pruning).
 	validA := make([][]int, n)
@@ -76,7 +150,7 @@ func evalHypotheses(ctx context.Context, rel *table.Relation, cfg Config, fds *e
 
 	pairCubes, err := buildPairCubes(ctx, rel, cfg, needed, cache)
 	if err != nil {
-		return nil, nil, counts, err
+		return nil, nil, counts, dropped, err
 	}
 
 	// Evaluate every (insight, grouping attribute) combination.
@@ -99,7 +173,7 @@ func evalHypotheses(ctx context.Context, rel *table.Relation, cfg Config, fds *e
 		return nil
 	})
 	if err != nil {
-		return nil, nil, counts, err
+		return nil, nil, counts, dropped, err
 	}
 	counts.SupportChecks = len(jobs) * len(engine.AllAggs)
 
@@ -198,7 +272,7 @@ func evalHypotheses(ctx context.Context, rel *table.Relation, cfg Config, fds *e
 	}
 	sort.Slice(queries, func(a, b int) bool { return lessQuery(queries[a].Query, queries[b].Query) })
 	counts.QueriesGenerated = len(queries)
-	return queries, final, counts, nil
+	return queries, final, counts, dropped, nil
 }
 
 func lessQuery(a, b insight.Query) bool {
@@ -290,7 +364,14 @@ func buildPairCubes(ctx context.Context, rel *table.Relation, cfg Config, needed
 	}
 	chosen, err := cover.Greedy(needed, cands)
 	fallback := err != nil
-	if !fallback && cfg.MemoryBudget > 0 && cover.TotalWeight(cands, chosen) > float64(cfg.MemoryBudget) {
+	// Planning budget: the §5.2.2 MemoryBudget, tightened by the hard
+	// MemBudget when both are set — a cover the admission layer would
+	// refuse to cache anyway is not worth building.
+	planBudget := cfg.MemoryBudget
+	if cfg.MemBudget > 0 && (planBudget <= 0 || cfg.MemBudget < planBudget) {
+		planBudget = cfg.MemBudget
+	}
+	if !fallback && planBudget > 0 && cover.TotalWeight(cands, chosen) > float64(planBudget) {
 		// §5.2.2 fallback: load the smallest possible aggregates instead.
 		fallback = true
 	}

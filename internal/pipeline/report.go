@@ -30,6 +30,14 @@ type Report struct {
 	// TAPGap is a pointer so a certified zero gap still serialises on
 	// degraded runs.
 	TAPGap *float64 `json:"tap_gap,omitempty"`
+	// Per-phase degradation record (Result.Degraded). All omitempty for
+	// the same reason as the TAP fields: a run that conceded nothing
+	// serialises byte-identically to one from before the governor existed.
+	PhaseDegraded  []string `json:"phase_degraded,omitempty"`
+	PermsEffective int      `json:"perms_effective,omitempty"`
+	PairsSkipped   int      `json:"pairs_skipped,omitempty"`
+	HypoDropped    int      `json:"hypo_dropped,omitempty"`
+	MemEvictions   int      `json:"mem_evictions,omitempty"`
 }
 
 // ReportConfig is the subset of Config worth recording.
@@ -51,6 +59,9 @@ type ReportConfig struct {
 	// TimeBudgetMillis is the soft wall-clock budget (omitted when the
 	// run was unbudgeted).
 	TimeBudgetMillis float64 `json:"time_budget_ms,omitempty"`
+	// MemBudgetBytes is the hard cube-cache memory budget (omitted when
+	// disarmed).
+	MemBudgetBytes int64 `json:"mem_budget,omitempty"`
 }
 
 // ReportTimings is Timings in milliseconds for JSON friendliness.
@@ -122,11 +133,21 @@ func (r *Result) Report() Report {
 		opt := r.ExactStats.Certified
 		rep.ExactOptimal = &opt
 	}
+	if r.Config.MemBudget > 0 {
+		rep.Config.MemBudgetBytes = r.Config.MemBudget
+	}
 	if r.TAP.Degraded {
 		rep.TAPSolver = r.TAP.Solver
 		rep.TAPDegraded = true
 		gap := r.TAP.Gap
 		rep.TAPGap = &gap
+	}
+	if r.Degraded.Any() {
+		rep.PhaseDegraded = r.Degraded.Phases
+		rep.PermsEffective = r.Degraded.PermsEffective
+		rep.PairsSkipped = r.Degraded.PairsSkipped
+		rep.HypoDropped = r.Degraded.HypoDropped
+		rep.MemEvictions = r.Degraded.MemEvictions
 	}
 	for _, ins := range r.Insights {
 		rep.Insights = append(rep.Insights, ReportInsight{

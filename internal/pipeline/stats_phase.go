@@ -5,7 +5,9 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 
+	"comparenb/internal/governor"
 	"comparenb/internal/insight"
 	"comparenb/internal/sampling"
 	"comparenb/internal/stats"
@@ -19,6 +21,32 @@ type statOutcome struct {
 	effect float64
 }
 
+// statsDegradation records what the stats phase's degradation ladder
+// actually cut, for the run report. Zero value = nothing cut.
+type statsDegradation struct {
+	pairsSkipped int  // Shed rung: candidate pairs dropped without testing
+	minPerms     int  // smallest permutation count an early-stopped test used (0 = none)
+	earlyStopped bool // at least one test ran the early-stopping kernel
+}
+
+// permsShedCap returns the Shed rung's permutation cap: the fewest whole
+// permutation blocks that can still reach significance at alpha (the
+// smallest achievable permutation p-value is 1/(cap+1)), never more than
+// the configured count. Shed keeps only the highest-priority pairs, so
+// the few tests that do run must stay able to reject.
+func permsShedCap(perms int, alpha float64) int {
+	need := int(math.Ceil(1/alpha)) - 1
+	blocks := (need + stats.PermBlock - 1) / stats.PermBlock
+	if blocks < 1 {
+		blocks = 1
+	}
+	c := blocks * stats.PermBlock
+	if c > perms {
+		c = perms
+	}
+	return c
+}
+
 // runStatTests executes the significance phase of Algorithm 1 line 3 with
 // the §5.1 optimizations: per-attribute (optionally sampled) test
 // relations, shared permutations across measures, global BH correction.
@@ -26,7 +54,16 @@ type statOutcome struct {
 // candidate insights actually tested. Cancelling ctx aborts the phase at
 // the next test checkpoint with ctx's error; a live ctx never changes
 // the result.
-func runStatTests(ctx context.Context, rel *table.Relation, cfg Config) (significant []insight.Insight, tested int, err error) {
+//
+// gov (nil = ungoverned) drives the phase's degradation ladder, asked
+// once per (attribute, value pair) job: Full runs the byte-identical
+// eager kernel; Degrade switches the job to the early-stopping kernel
+// (stats.PValueEarlyStop); Shed additionally drops every job outside the
+// top max(EpsT, 4) priority ranks and caps the survivors' permutations
+// at permsShedCap. Priority is most-populated pair first — a pure
+// function of the input, so which pairs Shed drops is deterministic even
+// though *when* shedding starts depends on the wall clock.
+func runStatTests(ctx context.Context, rel *table.Relation, cfg Config, gov *governor.Governor) (significant []insight.Insight, tested int, deg statsDegradation, err error) {
 	n := rel.NumCatAttrs()
 	// Pre-draw the test relation(s). Random sampling shares one sample;
 	// unbalanced sampling is per attribute (§5.1.2).
@@ -61,24 +98,105 @@ func runStatTests(ctx context.Context, rel *table.Relation, cfg Config) (signifi
 		}
 	}
 
+	// Degradation-ladder bookkeeping, computed only when a ladder can
+	// engage: the priority rank of each job (most-populated pair first,
+	// ties by attr/val/val2 — a pure function of the input relations, so
+	// Shed's victims are deterministic) and the Shed permutation cap.
+	forced := cfg.forceStatsLevel != governor.Full
+	var rank []int
+	if gov != nil || forced {
+		perAttr := make([]map[int32]int, n)
+		for a := 0; a < n; a++ {
+			c := make(map[int32]int)
+			for _, code := range testRels[a].CatCol(a) {
+				c[code]++
+			}
+			perAttr[a] = c
+		}
+		order := make([]int, len(jobs))
+		for i := range order {
+			order[i] = i
+		}
+		pop := make([]int, len(jobs))
+		for ji, job := range jobs {
+			pop[ji] = perAttr[job.attr][job.val] + perAttr[job.attr][job.val2]
+		}
+		sort.SliceStable(order, func(x, y int) bool {
+			jx, jy := jobs[order[x]], jobs[order[y]]
+			if pop[order[x]] != pop[order[y]] {
+				return pop[order[x]] > pop[order[y]]
+			}
+			if jx.attr != jy.attr {
+				return jx.attr < jy.attr
+			}
+			if jx.val != jy.val {
+				return jx.val < jy.val
+			}
+			return jx.val2 < jy.val2
+		})
+		rank = make([]int, len(jobs))
+		for pos, ji := range order {
+			rank[ji] = pos
+		}
+	}
+	minKeep := cfg.EpsT
+	if minKeep < 4 {
+		minKeep = 4
+	}
+	shedCap := permsShedCap(cfg.Perms, cfg.Alpha)
+
 	outcomes := make([][]statOutcome, len(jobs))
 	testedPer := make([]int, len(jobs))
+	skipped := make([]bool, len(jobs))
+	earlyPer := make([]bool, len(jobs))
+	minPermsPer := make([]int, len(jobs))
+	var done atomic.Int64
 	inner := innerThreads(cfg.threads(), len(jobs))
 	err = parallelForCtx(ctx, cfg.threads(), len(jobs), func(ji int) error {
+		defer done.Add(1)
 		job := jobs[ji]
 		trel := testRels[job.attr]
+		level := cfg.forceStatsLevel
+		if level == governor.Full {
+			level = gov.Admit(governor.Stats, int(done.Load()), len(jobs))
+		} else {
+			gov.Observe(governor.Stats, level)
+		}
+		if level == governor.Full {
+			var jerr error
+			outcomes[ji], testedPer[ji], jerr = testPair(ctx, trel, job.attr, job.val, job.val2, cfg, jobSeed(cfg.Seed, ji), inner)
+			return jerr
+		}
+		if level == governor.Shed && rank[ji] >= minKeep {
+			skipped[ji] = true
+			return nil
+		}
+		capPerms := cfg.Perms
+		if level == governor.Shed {
+			capPerms = shedCap
+		}
+		earlyPer[ji] = true
 		var jerr error
-		outcomes[ji], testedPer[ji], jerr = testPair(ctx, trel, job.attr, job.val, job.val2, cfg, jobSeed(cfg.Seed, ji), inner)
+		outcomes[ji], testedPer[ji], minPermsPer[ji], jerr = testPairEarly(ctx, trel, job.attr, job.val, job.val2, cfg, jobSeed(cfg.Seed, ji), capPerms)
 		return jerr
 	})
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, deg, err
 	}
 
 	var all []statOutcome
 	for ji := range outcomes {
 		all = append(all, outcomes[ji]...)
 		tested += testedPer[ji]
+		if skipped[ji] {
+			deg.pairsSkipped++
+		}
+		if earlyPer[ji] {
+			deg.earlyStopped = true
+			if mp := minPermsPer[ji]; mp > 0 && (deg.minPerms == 0 || mp < deg.minPerms) {
+				deg.minPerms = mp
+			}
+		}
 	}
 
 	// Benjamini–Hochberg correction (§5.1.1), applied within the families
@@ -117,7 +235,7 @@ func runStatTests(ctx context.Context, rel *table.Relation, cfg Config) (signifi
 	}
 	// Deterministic order regardless of scheduling.
 	sort.Slice(significant, func(a, b int) bool { return lessKey(significant[a].Key(), significant[b].Key()) })
-	return significant, tested, nil
+	return significant, tested, deg, nil
 }
 
 func lessKey(a, b insight.Key) bool {
@@ -233,6 +351,65 @@ func testPair(ctx context.Context, rel *table.Relation, attr int, val, val2 int3
 		}
 	}
 	return out, tested, nil
+}
+
+// testPairEarly is testPair's budget-pressure variant: every (measure,
+// type) test runs the early-stopping kernel (stats.PValueEarlyStop)
+// capped at capPerms permutations instead of the eager shared-permutation
+// kernel. Sharing is skipped — the early kernel draws its blocks lazily
+// per test — so the outputs are not byte-identical to testPair's even
+// when nothing truncates; the pipeline only selects this path once the
+// governor has already declared the phase degraded, and records it.
+// minPerms is the smallest permutation count any test here actually
+// evaluated (0 when the pair produced no tests).
+func testPairEarly(ctx context.Context, rel *table.Relation, attr int, val, val2 int32, cfg Config, seed int64, capPerms int) ([]statOutcome, int, int, error) {
+	col := rel.CatCol(attr)
+	var xRows, yRows []int
+	for i, c := range col {
+		switch c {
+		case val:
+			xRows = append(xRows, i)
+		case val2:
+			yRows = append(yRows, i)
+		}
+	}
+	if len(xRows) < cfg.MinSideRows || len(yRows) < cfg.MinSideRows {
+		return nil, 0, 0, nil
+	}
+
+	var out []statOutcome
+	tested, minPerms := 0, 0
+	for m := 0; m < rel.NumMeasures(); m++ {
+		mcol := rel.MeasCol(m)
+		xs := gather(mcol, xRows)
+		ys := gather(mcol, yRows)
+		if len(xs) < cfg.MinSideRows || len(ys) < cfg.MinSideRows {
+			continue
+		}
+		pooled := make([]float64, 0, len(xs)+len(ys))
+		pooled = append(pooled, xs...)
+		pooled = append(pooled, ys...)
+		for _, typ := range cfg.insightTypes() {
+			v, v2, effect, ok := orient(xs, ys, val, val2, typ)
+			if !ok {
+				continue
+			}
+			tested++
+			_, p, used, err := stats.PValueEarlyStop(ctx, len(xs), len(ys), capPerms, jobSeed(seed, m), pooled, typ.TestStat(), cfg.Alpha)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			if minPerms == 0 || used < minPerms {
+				minPerms = used
+			}
+			out = append(out, statOutcome{
+				key:    insight.Key{Meas: m, Attr: attr, Val: v, Val2: v2, Type: typ},
+				p:      p,
+				effect: effect,
+			})
+		}
+	}
+	return out, tested, minPerms, nil
 }
 
 // orient decides the insight direction from the observed statistics:

@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"comparenb/internal/faultinject"
+)
+
+// clearPair returns two samples whose means are so far apart that the
+// permutation null is rejected decisively — the early stop's
+// "certainly insignificant" direction never applies, but a null pair
+// (below) stops after one block.
+func clearPair(n int) (xs, ys []float64) {
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	for i := range xs {
+		xs[i] = 100 + float64(i%7)
+		ys[i] = float64(i % 7)
+	}
+	return xs, ys
+}
+
+// nullPair returns two samples drawn from the same deterministic
+// sequence, so the true p-value is large and the early stop should
+// certify "insignificant" after very few blocks.
+func nullPair(n int) (xs, ys []float64) {
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	for i := range xs {
+		xs[i] = float64((i * 37) % 11)
+		ys[i] = float64((i*37 + 5) % 11)
+	}
+	return xs, ys
+}
+
+func pooled(xs, ys []float64) []float64 {
+	return append(append(make([]float64, 0, len(xs)+len(ys)), xs...), ys...)
+}
+
+func TestEarlyStopTruncatesNullPair(t *testing.T) {
+	xs, ys := nullPair(60)
+	const nperm = 2048
+	obs, p, used, err := PValueEarlyStop(context.Background(), len(xs), len(ys), nperm, 7, pooled(xs, ys), MeanDiff, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(obs) {
+		t.Fatal("observed statistic is NaN on finite data")
+	}
+	if used >= nperm {
+		t.Errorf("null pair evaluated all %d permutations; early stop never triggered", used)
+	}
+	if used%permBlock != 0 && used != nperm {
+		t.Errorf("truncation point %d is not a block boundary", used)
+	}
+	if p <= 0.05 {
+		t.Errorf("null pair p = %v, want clearly insignificant", p)
+	}
+}
+
+func TestEarlyStopPrefixMatchesFullTest(t *testing.T) {
+	// When no stop triggers (alpha = 0 disables the "significant" side
+	// and the pair is decisively significant so phat stays at 0 — with
+	// alpha 0 the insignificant side needs phat > eps too), force full
+	// evaluation by using an alpha no interval can clear: the verdict
+	// interval always straddles it, so all nperm permutations run and
+	// the p-value must equal the eager kernel's bit for bit.
+	xs, ys := clearPair(40)
+	const nperm, seed = 200, 99
+	pl := pooled(xs, ys)
+
+	// alpha = 0.5 with a decisively significant pair: phat = 0, and
+	// 0 + eps < 0.5 requires m >= ln(2/δ)/(2·0.25) ≈ 11 — one block
+	// decides. So use the *same seed* eager kernel truncated never:
+	// compare against the early kernel run with an unreachable alpha.
+	unreachable := math.Nextafter(0, 1) // no interval fits below it, phat-eps>alpha needs phat>eps
+	obsE, pE, used, err := PValueEarlyStop(context.Background(), len(xs), len(ys), nperm, seed, pl, MeanDiff, unreachable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != nperm {
+		t.Fatalf("unreachable alpha still stopped early at %d of %d", used, nperm)
+	}
+	pp := NewPairPermSeeded(len(xs), len(ys), nperm, seed, 3)
+	obsF, pF := pp.PValueThreads(pl, MeanDiff, 3)
+	if obsE != obsF { //nolint:floateq // bit-identity is the contract under test
+		t.Errorf("observed statistic differs: early %v, full %v", obsE, obsF)
+	}
+	if pE != pF { //nolint:floateq // bit-identity is the contract under test
+		t.Errorf("untruncated early-stop p = %v differs from full kernel p = %v", pE, pF)
+	}
+}
+
+func TestEarlyStopDeterministic(t *testing.T) {
+	xs, ys := nullPair(48)
+	pl := pooled(xs, ys)
+	_, p1, used1, err1 := PValueEarlyStop(context.Background(), len(xs), len(ys), 1024, 3, pl, VarDiff, 0.05)
+	_, p2, used2, err2 := PValueEarlyStop(context.Background(), len(xs), len(ys), 1024, 3, pl, VarDiff, 0.05)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if used1 != used2 || p1 != p2 { //nolint:floateq // determinism is the contract under test
+		t.Errorf("two identical runs disagree: (%v, %d) vs (%v, %d)", p1, used1, p2, used2)
+	}
+}
+
+func TestEarlyStopCancellation(t *testing.T) {
+	xs, ys := clearPair(40)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	defer faultinject.Set(faultinject.StatsEarlyStop, faultinject.OnCall(2, cancel))()
+	_, _, used, err := PValueEarlyStop(ctx, len(xs), len(ys), 2048, 1, pooled(xs, ys), MeanDiff, math.Nextafter(0, 1))
+	if err == nil {
+		t.Fatal("cancelled early-stop test returned no error")
+	}
+	if used >= 2048 {
+		t.Errorf("cancellation did not abort the loop: %d permutations ran", used)
+	}
+}
+
+func TestEarlyStopFiresSitePerBlock(t *testing.T) {
+	var fired atomic.Int64
+	defer faultinject.Set(faultinject.StatsEarlyStop,
+		faultinject.Always(func() { fired.Add(1) }))()
+	xs, ys := clearPair(30)
+	_, _, used, err := PValueEarlyStop(context.Background(), len(xs), len(ys), 256, 5, pooled(xs, ys), MeanDiff, math.Nextafter(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64((used + permBlock - 1) / permBlock); fired.Load() != want {
+		t.Errorf("StatsEarlyStop fired %d times for %d perms, want %d", fired.Load(), used, want)
+	}
+}
+
+func TestEarlyStopDegenerateInputs(t *testing.T) {
+	obs, p, used, err := PValueEarlyStop(context.Background(), 0, 0, 100, 1, nil, MeanDiff, 0.05)
+	if err != nil || !math.IsNaN(obs) || p != 1 || used != 0 {
+		t.Errorf("empty sides: obs=%v p=%v used=%d err=%v, want NaN/1/0/nil", obs, p, used, err)
+	}
+	nan := []float64{math.NaN(), 1, 2, 3}
+	obs, p, _, err = PValueEarlyStop(context.Background(), 2, 2, 100, 1, nan, MeanDiff, 0.05)
+	if err != nil || !math.IsNaN(obs) || p != 1 {
+		t.Errorf("NaN pool: obs=%v p=%v err=%v, want NaN observed and p=1", obs, p, err)
+	}
+}

@@ -2,6 +2,7 @@ package table
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -9,6 +10,30 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"unicode/utf8"
+)
+
+// Sentinel errors returned (wrapped, with row/column context) by the CSV
+// loader. Match with errors.Is; the wrapping message carries the
+// position, the sentinel carries the category, so callers can branch on
+// the failure class without parsing strings.
+var (
+	// ErrRaggedRow: a data row's field count differs from the header's.
+	ErrRaggedRow = errors.New("table: ragged row")
+	// ErrEmptyHeader: a header cell is empty (or only whitespace), so the
+	// column could never be addressed by the Force*/Drop options.
+	ErrEmptyHeader = errors.New("table: empty header name")
+	// ErrDuplicateHeader: two header cells carry the same name, which
+	// would make Force*/Drop and the relation's name lookups ambiguous.
+	ErrDuplicateHeader = errors.New("table: duplicate header name")
+	// ErrInvalidUTF8: a header or data cell is not valid UTF-8. Dictionary
+	// values flow verbatim into notebooks and JSON reports, which require
+	// UTF-8; refusing at the border beats emitting mojibake later.
+	ErrInvalidUTF8 = errors.New("table: invalid UTF-8")
+	// ErrTooManyRows: the input exceeds CSVOptions.MaxRows. The loader
+	// refuses rather than silently truncating — a truncated relation
+	// would produce statistically wrong, plausible-looking insights.
+	ErrTooManyRows = errors.New("table: too many rows")
 )
 
 // CSVOptions controls CSV import. The zero value infers everything.
@@ -31,6 +56,12 @@ type CSVOptions struct {
 	// the returned report, since grouping by a key-like column is
 	// meaningless (cf. the paper's FD pre-processing). 0 means no limit.
 	MaxCategoricalCardinality int
+	// MaxRows caps the number of data rows the loader will accept; an
+	// input with more rows fails with ErrTooManyRows instead of being
+	// truncated. 0 means no limit. This is the ingestion rung of the
+	// resource ladder: it bounds load-time memory before any budget
+	// deeper in the pipeline can act.
+	MaxRows int
 }
 
 // CSVReport describes what the loader decided.
@@ -78,6 +109,19 @@ func FromCSV(r io.Reader, opts CSVOptions) (*Relation, *CSVReport, error) {
 	if ncol == 0 {
 		return nil, nil, fmt.Errorf("table: CSV has no columns")
 	}
+	seenName := make(map[string]int, ncol)
+	for c, n := range names {
+		if strings.TrimSpace(n) == "" {
+			return nil, nil, fmt.Errorf("CSV header column %d: %w", c+1, ErrEmptyHeader)
+		}
+		if !utf8.ValidString(n) {
+			return nil, nil, fmt.Errorf("CSV header column %d: %w", c+1, ErrInvalidUTF8)
+		}
+		if first, dup := seenName[n]; dup {
+			return nil, nil, fmt.Errorf("CSV header columns %d and %d both named %q: %w", first+1, c+1, n, ErrDuplicateHeader)
+		}
+		seenName[n] = c
+	}
 
 	var records [][]string
 	for {
@@ -89,7 +133,15 @@ func FromCSV(r io.Reader, opts CSVOptions) (*Relation, *CSVReport, error) {
 			return nil, nil, fmt.Errorf("table: reading CSV row %d: %w", len(records)+2, err)
 		}
 		if len(rec) != ncol {
-			return nil, nil, fmt.Errorf("table: CSV row %d has %d fields, want %d", len(records)+2, len(rec), ncol)
+			return nil, nil, fmt.Errorf("CSV row %d has %d fields, want %d: %w", len(records)+2, len(rec), ncol, ErrRaggedRow)
+		}
+		for c, cell := range rec {
+			if !utf8.ValidString(cell) {
+				return nil, nil, fmt.Errorf("CSV row %d column %d: %w", len(records)+2, c+1, ErrInvalidUTF8)
+			}
+		}
+		if opts.MaxRows > 0 && len(records) >= opts.MaxRows {
+			return nil, nil, fmt.Errorf("CSV has more than %d data rows: %w", opts.MaxRows, ErrTooManyRows)
 		}
 		records = append(records, append([]string(nil), rec...))
 	}

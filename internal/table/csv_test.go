@@ -2,6 +2,7 @@ package table
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"os"
 	"path/filepath"
@@ -100,6 +101,57 @@ func TestFromCSVErrors(t *testing.T) {
 	}
 	if _, _, err := FromCSV(strings.NewReader("a,b\n1\n"), CSVOptions{}); err == nil {
 		t.Error("ragged row: want error")
+	}
+}
+
+// TestFromCSVSentinelErrors locks the error taxonomy: each malformed
+// input class must fail with its own sentinel (matchable via errors.Is)
+// and a message naming the offending position.
+func TestFromCSVSentinelErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		opts CSVOptions
+		want error
+		msg  string // substring locating the problem for a human
+	}{
+		{"ragged row", "a,b\nx,1\ny\n", CSVOptions{}, ErrRaggedRow, "row 3"},
+		{"empty header", "a,,c\n1,2,3\n", CSVOptions{}, ErrEmptyHeader, "column 2"},
+		{"blank header", "a, \t,c\n1,2,3\n", CSVOptions{}, ErrEmptyHeader, "column 2"},
+		{"duplicate header", "a,b,a\n1,2,3\n", CSVOptions{}, ErrDuplicateHeader, `"a"`},
+		{"invalid UTF-8 header", "a,b\xff\nx,1\n", CSVOptions{}, ErrInvalidUTF8, "column 2"},
+		{"invalid UTF-8 cell", "a,b\nx,1\ny,\xffz\n", CSVOptions{}, ErrInvalidUTF8, "row 3"},
+		{"too many rows", "a,b\nx,1\ny,2\nz,3\n", CSVOptions{MaxRows: 2}, ErrTooManyRows, "more than 2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rel, rep, err := FromCSV(strings.NewReader(tc.data), tc.opts)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want errors.Is(%v)", err, tc.want)
+			}
+			if rel != nil || rep != nil {
+				t.Error("failed load returned a partial relation or report")
+			}
+			if !strings.Contains(err.Error(), tc.msg) {
+				t.Errorf("err = %q, want mention of %q", err, tc.msg)
+			}
+		})
+	}
+}
+
+// TestFromCSVMaxRowsBoundary: an input with exactly MaxRows data rows
+// loads in full; one more row refuses.
+func TestFromCSVMaxRowsBoundary(t *testing.T) {
+	const data = "a,m\nx,1\ny,2\nz,3\n"
+	r, _, err := FromCSV(strings.NewReader(data), CSVOptions{MaxRows: 3})
+	if err != nil {
+		t.Fatalf("MaxRows=3 on 3 rows: %v", err)
+	}
+	if r.NumRows() != 3 {
+		t.Errorf("rows = %d, want 3", r.NumRows())
+	}
+	if _, _, err := FromCSV(strings.NewReader(data), CSVOptions{MaxRows: 2}); !errors.Is(err, ErrTooManyRows) {
+		t.Errorf("MaxRows=2 on 3 rows: err = %v, want ErrTooManyRows", err)
 	}
 }
 

@@ -1,0 +1,29 @@
+// Package testutil holds small stdlib-only helpers shared by the
+// repository's test suites. Production code must not import it.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// WaitGoroutinesSettle retries until the live goroutine count returns to
+// its pre-test level (plus a small runtime allowance) — the stdlib-only
+// stand-in for a leak detector. Call with `before` captured via
+// runtime.NumGoroutine() immediately before the code under test; a leak
+// fails the test with a full goroutine dump.
+func WaitGoroutinesSettle(t testing.TB, before int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	n := runtime.Stack(buf, true)
+	t.Errorf("goroutine leak after cancellation: %d before, %d after\n%s",
+		before, runtime.NumGoroutine(), buf[:n])
+}
