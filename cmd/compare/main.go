@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"comparenb"
 	"comparenb/internal/engine"
@@ -37,6 +38,8 @@ func main() {
 		cats    = flag.String("categorical", "", "comma-separated columns to force categorical")
 		maxRows = flag.Int("max-rows", 0, "refuse CSV inputs with more data rows than this (0 = unlimited)")
 		explain = flag.Bool("explain", false, "also print the operator tree")
+		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a pprof heap profile (at exit) to this file")
 	)
 	flag.Parse()
 	// Deliberately a slice, not a map: missing-flag errors must come out in
@@ -50,6 +53,22 @@ func main() {
 			os.Exit(2)
 		}
 	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		// fatal() also runs this, so error exits still flush the profile.
+		stopProfiles = func() {
+			pprof.StopCPUProfile()
+			_ = f.Close()
+		}
+	}
+	defer finishProfiles(*memProf)
 
 	opts := comparenb.CSVOptions{MaxRows: *maxRows}
 	if *cats != "" {
@@ -170,7 +189,39 @@ func indent(s string) string {
 	return out
 }
 
+// stopProfiles, when set, stops the running CPU profile; fatal and the
+// normal exit path both call it so the profile survives error exits.
+var stopProfiles func()
+
+// finishProfiles closes out profiling at exit: stop the CPU profile and,
+// when requested, write the heap profile after a GC settles the heap.
+func finishProfiles(memPath string) {
+	if stopProfiles != nil {
+		stopProfiles()
+		stopProfiles = nil
+	}
+	if memPath == "" {
+		return
+	}
+	f, err := os.Create(memPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compare: memprofile:", err)
+		return
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "compare: memprofile:", err)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "compare: memprofile:", err)
+	}
+}
+
 func fatal(err error) {
+	if stopProfiles != nil {
+		stopProfiles()
+		stopProfiles = nil
+	}
 	fmt.Fprintln(os.Stderr, "compare:", err)
 	os.Exit(1)
 }

@@ -16,6 +16,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -23,7 +25,16 @@ import (
 	"comparenb"
 )
 
+// main defers real work to run so deferred cleanups (CPU profile stop,
+// observability flush) execute on every exit path; os.Exit lives here only.
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "comparenb:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		in          = flag.String("in", "", "input CSV file (required)")
 		out         = flag.String("out", "", "output file: .ipynb, .md or .html (default stdout as markdown)")
@@ -49,12 +60,32 @@ func main() {
 		median      = flag.Bool("median", false, "additionally test median-greater insights (extension)")
 		hypotheses  = flag.Bool("hypotheses", false, "include each insight's hypothesis query in the notebook")
 		profileOnly = flag.Bool("profile", false, "print the dataset profile and exit (no notebook)")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON of the run's spans to this file (load in Perfetto / chrome://tracing)")
+		metricsOut  = flag.String("metrics-out", "", "write a Prometheus-style text exposition of the run's counters and timings to this file")
+		obsSummary  = flag.Bool("obs-summary", false, "print a per-phase observability summary to stderr after the run")
+		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile  = flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 		verbose     = flag.Bool("v", false, "print run statistics to stderr")
 	)
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			_ = f.Close()
+		}()
 	}
 
 	ds, err := comparenb.LoadCSV(*in, comparenb.CSVOptions{
@@ -65,7 +96,7 @@ func main() {
 		MaxRows:                   *maxRows,
 	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "loaded %d rows; categorical=%v numeric=%v dropped=%v\n",
@@ -74,7 +105,7 @@ func main() {
 
 	if *profileOnly {
 		fmt.Print(comparenb.ProfileDataset(ds))
-		return
+		return nil
 	}
 
 	cfg := comparenb.NewConfig()
@@ -108,7 +139,7 @@ func main() {
 	case "heuristic+2opt":
 		cfg.Solver = comparenb.SolverHeuristicPlus
 	default:
-		fatal(fmt.Errorf("unknown solver %q", *solver))
+		return fmt.Errorf("unknown solver %q", *solver)
 	}
 	switch *sampling {
 	case "none":
@@ -120,7 +151,37 @@ func main() {
 		cfg.Sampling = comparenb.SamplingUnbalanced
 		cfg.SampleFrac = *frac
 	default:
-		fatal(fmt.Errorf("unknown sampling %q", *sampling))
+		return fmt.Errorf("unknown sampling %q", *sampling)
+	}
+
+	// Observability: one run-scoped registry, flushed on every exit path —
+	// an interrupted run still leaves valid (marked) partial artifacts.
+	var reg *comparenb.ObsRegistry
+	if *traceOut != "" || *metricsOut != "" || *obsSummary {
+		reg = comparenb.NewObsRegistry()
+		if *traceOut != "" {
+			reg.EnableTracing(0)
+		}
+		cfg.Obs = reg
+	}
+	flushObs := func() error {
+		if reg == nil {
+			return nil
+		}
+		if *traceOut != "" {
+			if err := writeFile(*traceOut, reg.WriteTrace); err != nil {
+				return err
+			}
+		}
+		if *metricsOut != "" {
+			if err := writeFile(*metricsOut, reg.WriteMetrics); err != nil {
+				return err
+			}
+		}
+		if *obsSummary {
+			return reg.WriteSummary(os.Stderr)
+		}
+		return nil
 	}
 
 	// Ctrl-C / SIGTERM cancel the run at the next phase-safe checkpoint:
@@ -129,10 +190,17 @@ func main() {
 	defer stop()
 	nb, res, err := comparenb.GenerateNotebookContext(ctx, ds, cfg)
 	if err != nil {
-		if errors.Is(err, context.Canceled) {
-			fatal(fmt.Errorf("interrupted; no notebook written"))
+		// Flush what the run recorded before it died: the trace is valid
+		// JSON of the spans so far and the metrics exposition carries the
+		// "# interrupted" marker.
+		reg.MarkInterrupted()
+		if ferr := flushObs(); ferr != nil {
+			fmt.Fprintln(os.Stderr, "comparenb: observability flush:", ferr)
 		}
-		fatal(err)
+		if errors.Is(err, context.Canceled) {
+			return fmt.Errorf("interrupted; no notebook written")
+		}
+		return err
 	}
 	if *verbose && res.TAP.Degraded {
 		fmt.Fprintf(os.Stderr, "time budget %v expired during the exact search: degraded to %s (optimality gap ≤ %.2f%%)\n",
@@ -158,30 +226,49 @@ func main() {
 
 	if *report != "" {
 		if err := writeFile(*report, res.Report().WriteJSON); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 
 	switch {
 	case *out == "":
 		if err := nb.WriteMarkdown(os.Stdout); err != nil {
-			fatal(err)
+			return err
 		}
 	case strings.HasSuffix(*out, ".ipynb"):
 		if err := writeFile(*out, nb.WriteIPYNB); err != nil {
-			fatal(err)
+			return err
 		}
 	case strings.HasSuffix(*out, ".md"):
 		if err := writeFile(*out, nb.WriteMarkdown); err != nil {
-			fatal(err)
+			return err
 		}
 	case strings.HasSuffix(*out, ".html"):
 		if err := writeFile(*out, nb.WriteHTML); err != nil {
-			fatal(err)
+			return err
 		}
 	default:
-		fatal(fmt.Errorf("output must end in .ipynb, .md or .html, got %q", *out))
+		return fmt.Errorf("output must end in .ipynb, .md or .html, got %q", *out)
 	}
+
+	// Observability artifacts flush after the notebook so the notebook's
+	// own verification queries are included in the counters.
+	if err := flushObs(); err != nil {
+		return err
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		runtime.GC() // settle the heap so the profile reflects live data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
 }
 
 // writeFile creates path, streams write into it and closes it, reporting
@@ -208,9 +295,4 @@ func splitList(s string) []string {
 		parts[i] = strings.TrimSpace(parts[i])
 	}
 	return parts
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "comparenb:", err)
-	os.Exit(1)
 }

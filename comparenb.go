@@ -43,6 +43,7 @@ import (
 	"comparenb/internal/insight"
 	"comparenb/internal/metric"
 	"comparenb/internal/notebook"
+	"comparenb/internal/obs"
 	"comparenb/internal/pipeline"
 	"comparenb/internal/profile"
 	"comparenb/internal/sampling"
@@ -96,6 +97,13 @@ type (
 
 	// Notebook is the generated artifact, exportable to ipynb/Markdown.
 	Notebook = notebook.Notebook
+
+	// ObsRegistry is a run's observability hub: spans, deterministic
+	// counters/gauges and timing histograms, exportable as a Chrome
+	// trace, a metrics exposition, or a human summary. Set Config.Obs to
+	// a fresh NewObsRegistry() per run to collect; observability never
+	// changes outputs.
+	ObsRegistry = obs.Registry
 
 	// InterestParams and ConcisenessParams tune §4.2's interestingness.
 	InterestParams = metric.InterestParams
@@ -153,6 +161,12 @@ const (
 	Max   = engine.Max
 	Count = engine.Count
 )
+
+// NewObsRegistry returns an empty run-scoped observability registry;
+// assign it to Config.Obs, run, then export with WriteTrace /
+// WriteMetrics / WriteSummary. Call EnableTracing before the run to
+// collect spans (counters are always collected).
+func NewObsRegistry() *ObsRegistry { return obs.New() }
 
 // NewConfig returns the default configuration (full data, heuristic
 // solver, 10-query notebook).

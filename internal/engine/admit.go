@@ -73,7 +73,7 @@ func (cc *CubeCache) admitPrepare(rel *table.Relation, sorted []int) bool {
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
 	if est > cc.memBudget {
-		cc.stats.AdmitRefusals++
+		cc.admitRefusals.Inc()
 		return false
 	}
 	cc.evictForLocked(est)
@@ -91,7 +91,7 @@ func (cc *CubeCache) admitInsertLocked(key cacheKey, cube *Cube, sorted []int, a
 		}
 		actual := cube.MemoryFootprint()
 		if actual > cc.memBudget {
-			cc.stats.AdmitRefusals++
+			cc.admitRefusals.Inc()
 			return
 		}
 		cc.evictForLocked(actual)
@@ -104,7 +104,7 @@ func (cc *CubeCache) admitInsertLocked(key cacheKey, cube *Cube, sorted []int, a
 // entry set) until `need` more bytes fit under the memory budget.
 // Callers hold cc.mu.
 func (cc *CubeCache) evictForLocked(need int64) {
-	if cc.memBudget <= 0 || cc.stats.Bytes+need <= cc.memBudget {
+	if cc.memBudget <= 0 || cc.bytes+need <= cc.memBudget {
 		return
 	}
 	type victim struct {
@@ -124,12 +124,12 @@ func (cc *CubeCache) evictForLocked(need int64) {
 		return all[i].key.attrs < all[j].key.attrs
 	})
 	for _, v := range all {
-		if cc.stats.Bytes+need <= cc.memBudget {
+		if cc.bytes+need <= cc.memBudget {
 			break
 		}
 		delete(cc.entries, v.key)
-		cc.stats.Bytes -= v.bytes
-		cc.stats.AdmitEvictions++
+		cc.bytes -= v.bytes
+		cc.admitEvictions.Inc()
 	}
-	cc.stats.Entries = len(cc.entries)
+	cc.nEntries = len(cc.entries)
 }

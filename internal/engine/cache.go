@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"comparenb/internal/obs"
 	"comparenb/internal/table"
 )
 
@@ -60,13 +61,53 @@ type CubeCache struct {
 	budget    int64 // soft bytes bound, enforced only by Trim; <= 0 unbounded
 	memBudget int64 // hard bytes bound, enforced at admission; <= 0 disarmed
 	entries   map[cacheKey]*cacheEntry
-	stats     CacheStats
+	bytes     int64 // current footprint, guarded by mu
+	nEntries  int   // len(entries), guarded by mu
+
+	// Counters live in obs handles so the cache is its own single source
+	// of truth for hit/rollup/miss/evict accounting: NewCubeCache starts
+	// them standalone, Instrument rebinds them into a run's registry, and
+	// both Stats() and the exported metrics read the same cells.
+	hits           *obs.Counter
+	rollupHits     *obs.Counter
+	misses         *obs.Counter
+	evictions      *obs.Counter
+	admitEvictions *obs.Counter
+	admitRefusals  *obs.Counter
 }
 
 // NewCubeCache returns a cache bounded to roughly `budget` bytes of cube
 // footprint (MemoryFootprint units). budget <= 0 means unbounded.
 func NewCubeCache(budget int64) *CubeCache {
-	return &CubeCache{budget: budget, entries: make(map[cacheKey]*cacheEntry)}
+	return &CubeCache{
+		budget:         budget,
+		entries:        make(map[cacheKey]*cacheEntry),
+		hits:           obs.NewCounter(),
+		rollupHits:     obs.NewCounter(),
+		misses:         obs.NewCounter(),
+		evictions:      obs.NewCounter(),
+		admitEvictions: obs.NewCounter(),
+		admitRefusals:  obs.NewCounter(),
+	}
+}
+
+// Instrument rebinds the cache's counters to reg under the
+// engine_cache_* names, making the registry the single source of truth
+// for cache accounting. Call once, on a fresh cache, before any lookups;
+// counts accumulated before Instrument are discarded with the standalone
+// counters. A nil reg leaves the standalone counters in place.
+func (cc *CubeCache) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	cc.hits = reg.Counter("engine_cache_hits")
+	cc.rollupHits = reg.Counter("engine_cache_rollup_hits")
+	cc.misses = reg.Counter("engine_cache_misses")
+	cc.evictions = reg.Counter("engine_cache_evictions")
+	cc.admitEvictions = reg.Counter("engine_cache_admit_evictions")
+	cc.admitRefusals = reg.Counter("engine_cache_admit_refusals")
 }
 
 // attrsKey canonicalises a sorted attribute set as a string map key.
@@ -96,7 +137,7 @@ func (cc *CubeCache) Get(rel *table.Relation, attrs []int) *Cube {
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
 	if e, ok := cc.entries[key]; ok {
-		cc.stats.Hits++
+		cc.hits.Inc()
 		return e.cube
 	}
 	return nil
@@ -139,8 +180,8 @@ func (cc *CubeCache) Add(cube *Cube) {
 func (cc *CubeCache) insertLocked(key cacheKey, cube *Cube, sorted []int) {
 	e := &cacheEntry{cube: cube, attrs: sorted, bytes: cube.MemoryFootprint()}
 	cc.entries[key] = e
-	cc.stats.Bytes += e.bytes
-	cc.stats.Entries = len(cc.entries)
+	cc.bytes += e.bytes
+	cc.nEntries = len(cc.entries)
 }
 
 // bestSupersetLocked picks the cached strict superset of sorted (same
@@ -191,7 +232,7 @@ func isSubset(sub, sup []int) bool {
 func (cc *CubeCache) Trim() {
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
-	if cc.budget <= 0 || cc.stats.Bytes <= cc.budget {
+	if cc.budget <= 0 || cc.bytes <= cc.budget {
 		return
 	}
 	type victim struct {
@@ -211,19 +252,28 @@ func (cc *CubeCache) Trim() {
 		return all[i].key.attrs < all[j].key.attrs
 	})
 	for _, v := range all {
-		if cc.stats.Bytes <= cc.budget {
+		if cc.bytes <= cc.budget {
 			break
 		}
 		delete(cc.entries, v.key)
-		cc.stats.Bytes -= v.bytes
-		cc.stats.Evictions++
+		cc.bytes -= v.bytes
+		cc.evictions.Inc()
 	}
-	cc.stats.Entries = len(cc.entries)
+	cc.nEntries = len(cc.entries)
 }
 
 // Stats returns a snapshot of the counters.
 func (cc *CubeCache) Stats() CacheStats {
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
-	return cc.stats
+	return CacheStats{
+		Hits:           cc.hits.Value(),
+		RollupHits:     cc.rollupHits.Value(),
+		Misses:         cc.misses.Value(),
+		Evictions:      cc.evictions.Value(),
+		Bytes:          cc.bytes,
+		Entries:        cc.nEntries,
+		AdmitEvictions: cc.admitEvictions.Value(),
+		AdmitRefusals:  cc.admitRefusals.Value(),
+	}
 }

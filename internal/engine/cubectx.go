@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"comparenb/internal/faultinject"
+	"comparenb/internal/obs"
 	"comparenb/internal/table"
 )
 
@@ -32,6 +33,9 @@ func BuildCubeParallelCtx(ctx context.Context, rel *table.Relation, attrs []int,
 		meas[j] = rel.MeasCol(j)
 	}
 
+	sp := obs.StartSpan(ctx, "engine/cube/build")
+	defer sp.End()
+
 	n := rel.NumRows()
 	numShards := (n + buildShardRows - 1) / buildShardRows
 	if numShards <= 1 {
@@ -45,7 +49,9 @@ func BuildCubeParallelCtx(ctx context.Context, rel *table.Relation, attrs []int,
 	}
 
 	shards := make([]*cubeAccum, numShards)
-	buildShard := func(s int) {
+	buildShard := func(ctx context.Context, s int) {
+		ssp := obs.StartSpan(ctx, "engine/cube/shard")
+		defer ssp.End()
 		lo := s * buildShardRows
 		hi := lo + buildShardRows
 		if hi > n {
@@ -69,8 +75,9 @@ func BuildCubeParallelCtx(ctx context.Context, rel *table.Relation, attrs []int,
 // forEachShardCtx runs fn(0..n-1) on up to `threads` goroutines, firing
 // the EngineCubeShard fault-injection site and polling ctx before each
 // shard. Cancellation stops every worker at its next shard boundary.
-// Returns ctx's error, if any.
-func forEachShardCtx(ctx context.Context, threads, n int, fn func(s int)) error {
+// Each parallel worker gets its own trace track so shard spans never
+// interleave on one track. Returns ctx's error, if any.
+func forEachShardCtx(ctx context.Context, threads, n int, fn func(ctx context.Context, s int)) error {
 	if threads > n {
 		threads = n
 	}
@@ -80,7 +87,7 @@ func forEachShardCtx(ctx context.Context, threads, n int, fn func(s int)) error 
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			fn(s)
+			fn(ctx, s)
 		}
 		return ctx.Err()
 	}
@@ -88,12 +95,13 @@ func forEachShardCtx(ctx context.Context, threads, n int, fn func(s int)) error 
 	for w := 0; w < threads; w++ {
 		go func(w int) {
 			defer func() { done <- struct{}{} }()
+			wctx := obs.ForkTrack(ctx, "cube-shard")
 			for s := w; s < n; s += threads {
 				faultinject.Fire(faultinject.EngineCubeShard)
-				if ctx.Err() != nil {
+				if wctx.Err() != nil {
 					return
 				}
-				fn(s)
+				fn(wctx, s)
 			}
 		}(w)
 	}
@@ -114,7 +122,7 @@ func (cc *CubeCache) GetOrBuildCtx(ctx context.Context, rel *table.Relation, att
 
 	cc.mu.Lock()
 	if e, ok := cc.entries[key]; ok {
-		cc.stats.Hits++
+		cc.hits.Inc()
 		cc.mu.Unlock()
 		return e.cube, nil
 	}
@@ -124,7 +132,9 @@ func (cc *CubeCache) GetOrBuildCtx(ctx context.Context, rel *table.Relation, att
 	admitted := cc.admitPrepare(rel, sorted)
 	var cube *Cube
 	if super != nil {
+		sp := obs.StartSpan(ctx, "engine/cube/rollup")
 		cube = super.Rollup(sorted)
+		sp.End()
 	} else {
 		var err error
 		cube, err = BuildCubeParallelCtx(ctx, rel, sorted, threads)
@@ -136,13 +146,13 @@ func (cc *CubeCache) GetOrBuildCtx(ctx context.Context, rel *table.Relation, att
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
 	if e, ok := cc.entries[key]; ok {
-		cc.stats.Hits++
+		cc.hits.Inc()
 		return e.cube, nil
 	}
 	if super != nil {
-		cc.stats.RollupHits++
+		cc.rollupHits.Inc()
 	} else {
-		cc.stats.Misses++
+		cc.misses.Inc()
 	}
 	cc.admitInsertLocked(key, cube, sorted, admitted)
 	return cube, nil
@@ -156,7 +166,7 @@ func (cc *CubeCache) BuildThroughCtx(ctx context.Context, rel *table.Relation, a
 	key := cacheKey{rel: rel, attrs: attrsKey(sorted)}
 	cc.mu.Lock()
 	if e, ok := cc.entries[key]; ok {
-		cc.stats.Hits++
+		cc.hits.Inc()
 		cc.mu.Unlock()
 		return e.cube, nil
 	}
@@ -171,10 +181,10 @@ func (cc *CubeCache) BuildThroughCtx(ctx context.Context, rel *table.Relation, a
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
 	if e, ok := cc.entries[key]; ok {
-		cc.stats.Hits++
+		cc.hits.Inc()
 		return e.cube, nil
 	}
-	cc.stats.Misses++
+	cc.misses.Inc()
 	cc.admitInsertLocked(key, cube, sorted, admitted)
 	return cube, nil
 }

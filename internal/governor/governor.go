@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"comparenb/internal/faultinject"
+	"comparenb/internal/obs"
 )
 
 // Phase identifies one governed pipeline phase, in execution order.
@@ -110,6 +111,15 @@ type Governor struct {
 	deadline [numPhases]time.Time // the phase's soft deadline
 	started  [numPhases]bool
 	maxLevel [numPhases]Level // worst level Admit handed out
+
+	// Admission-decision counters, bound by Instrument. Nil (no-op) on an
+	// uninstrumented governor. Note these are wall-clock-derived: an
+	// unexhausted budget yields all-Full deterministically, but decisions
+	// under pressure vary run to run, exactly like the degradation report
+	// fields they explain.
+	admitFull    *obs.Counter
+	admitDegrade *obs.Counter
+	admitShed    *obs.Counter
 }
 
 // New returns a governor for a run that started at `start` with the
@@ -120,6 +130,21 @@ func New(total time.Duration, start time.Time) *Governor {
 		return nil
 	}
 	return &Governor{start: start, total: total, now: time.Now}
+}
+
+// Instrument binds the governor's admission counters to reg under the
+// governor_admit_* names. Call before the first governed phase starts.
+// Nil-safe on both sides: an ungoverned (nil) run registers nothing, so
+// the exposition only mentions the governor when one actually ran.
+func (g *Governor) Instrument(reg *obs.Registry) {
+	if g == nil || reg == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.admitFull = reg.Counter("governor_admit_full")
+	g.admitDegrade = reg.Counter("governor_admit_degrade")
+	g.admitShed = reg.Counter("governor_admit_shed")
 }
 
 // StartPhase marks the phase as begun and computes its soft deadline:
@@ -186,6 +211,14 @@ func (g *Governor) Admit(p Phase, done, total int) Level {
 		if projected.After(deadline) {
 			level = Degrade
 		}
+	}
+	switch level {
+	case Full:
+		g.admitFull.Inc()
+	case Degrade:
+		g.admitDegrade.Inc()
+	case Shed:
+		g.admitShed.Inc()
 	}
 	if level != Full {
 		g.Observe(p, level)

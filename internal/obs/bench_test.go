@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// BenchmarkStartSpanDisabled is the cost every kernel pays when tracing is
+// off: one context lookup, no allocation.
+func BenchmarkStartSpanDisabled(b *testing.B) {
+	ctx := NewContext(context.Background(), New())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := StartSpan(ctx, "bench")
+		sp.End()
+	}
+}
+
+// BenchmarkStartSpanEnabled is the enabled cost: claim a preallocated ring
+// slot and two clock reads, still allocation-free.
+func BenchmarkStartSpanEnabled(b *testing.B) {
+	r := New()
+	r.EnableTracing(1 << 20)
+	ctx := NewContext(context.Background(), r)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := StartSpan(ctx, "bench")
+		sp.End()
+	}
+}
+
+// BenchmarkStartSpanNoRegistry is the fully-unwired cost (no registry in
+// the context at all) — the Generate-without-Config.Obs... path never hits
+// this, but library kernels called standalone do.
+func BenchmarkStartSpanNoRegistry(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := StartSpan(ctx, "bench")
+		sp.End()
+	}
+}
+
+// BenchmarkCounterAdd is the prefetched-handle hot-path counter cost.
+func BenchmarkCounterAdd(b *testing.B) {
+	c := New().Counter("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+// BenchmarkTimingObserve prices the histogram path.
+func BenchmarkTimingObserve(b *testing.B) {
+	tm := New().Timing("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tm.Observe(time.Duration(i) * time.Microsecond)
+	}
+}

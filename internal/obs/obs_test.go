@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	// Every entry point must be a no-op on nil receivers and nil contexts:
+	// the disabled-observability path runs through exactly these calls.
+	var r *Registry
+	r.Counter("x").Add(3)
+	r.Counter("x").Inc()
+	r.Gauge("x").Set(9)
+	r.Timing("x").Observe(time.Second)
+	r.EnableTracing(8)
+	r.MarkInterrupted()
+	if r.TracingEnabled() || r.Interrupted() {
+		t.Error("nil registry reports enabled/interrupted")
+	}
+	if r.Counter("x").Value() != 0 || r.Gauge("x").Value() != 0 || r.Timing("x").Count() != 0 {
+		t.Error("nil handles hold values")
+	}
+	if r.DeterministicState() != nil {
+		t.Error("nil registry DeterministicState != nil")
+	}
+	if got := NewContext(context.Background(), nil); got != context.Background() {
+		t.Error("NewContext(nil registry) changed ctx")
+	}
+	if FromContext(nil) != nil || FromContext(context.Background()) != nil {
+		t.Error("FromContext invented a registry")
+	}
+	if ForkTrack(nil, "w") != nil {
+		t.Error("ForkTrack(nil ctx) != nil ctx")
+	}
+	sp := StartSpan(nil, "x")
+	sp.End() // must not panic
+	sp = StartSpan(context.Background(), "x")
+	sp.End()
+}
+
+func TestCounterGaugeTiming(t *testing.T) {
+	r := New()
+	c := r.Counter("jobs")
+	if c != r.Counter("jobs") {
+		t.Error("Counter not memoised by name")
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+
+	g := r.Gauge("width")
+	g.Set(5)
+	g.Set(3)
+	if g.Value() != 3 {
+		t.Errorf("gauge = %d, want last write 3", g.Value())
+	}
+
+	tm := r.Timing("lat")
+	tm.Observe(500 * time.Nanosecond) // first bucket (≤1µs)
+	tm.Observe(2 * time.Microsecond)
+	tm.Observe(20 * time.Second) // past the last bound → +Inf bucket
+	tm.Observe(-time.Second)     // clamped to 0
+	if tm.Count() != 4 {
+		t.Errorf("timing count = %d, want 4", tm.Count())
+	}
+	if tm.Sum() != 500*time.Nanosecond+2*time.Microsecond+20*time.Second {
+		t.Errorf("timing sum = %v", tm.Sum())
+	}
+}
+
+func TestDeterministicStateExcludesTimings(t *testing.T) {
+	r := New()
+	r.Counter("a").Add(2)
+	r.Gauge("b").Set(7)
+	r.Timing("wall").Observe(time.Millisecond)
+	got := r.DeterministicState()
+	want := map[string]int64{"counter/a": 2, "gauge/b": 7}
+	if len(got) != len(want) {
+		t.Fatalf("state = %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("state[%q] = %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+func TestSpanCollection(t *testing.T) {
+	r := New()
+	ctx := NewContext(context.Background(), r)
+	// Disabled: spans vanish.
+	sp := StartSpan(ctx, "ignored")
+	sp.End()
+	if r.SpanCount() != 0 {
+		t.Fatalf("span recorded while tracing disabled")
+	}
+
+	r.EnableTracing(4)
+	outer := StartSpan(ctx, "outer")
+	inner := StartSpan(ctx, "inner")
+	inner.End()
+	outer.End()
+	if r.SpanCount() != 2 {
+		t.Fatalf("span count = %d, want 2", r.SpanCount())
+	}
+
+	// Overflow: capacity 4, two used — two more fit, the rest drop.
+	for i := 0; i < 5; i++ {
+		s := StartSpan(ctx, "spill")
+		s.End()
+	}
+	if r.SpanCount() != 4 {
+		t.Errorf("span count = %d, want capacity 4", r.SpanCount())
+	}
+	if r.Dropped() != 3 {
+		t.Errorf("dropped = %d, want 3", r.Dropped())
+	}
+}
+
+func TestEnableTracingKeepsFirstBuffer(t *testing.T) {
+	r := New()
+	r.EnableTracing(4)
+	ctx := NewContext(context.Background(), r)
+	s := StartSpan(ctx, "one")
+	s.End()
+	r.EnableTracing(64) // must not discard the recorded span
+	if r.SpanCount() != 1 {
+		t.Errorf("span count = %d after repeat EnableTracing, want 1", r.SpanCount())
+	}
+}
+
+func TestForkTrack(t *testing.T) {
+	r := New()
+	ctx := NewContext(context.Background(), r)
+	if got := ForkTrack(ctx, "w"); got != ctx {
+		t.Error("ForkTrack with tracing disabled must return ctx unchanged")
+	}
+	r.EnableTracing(16)
+	w1 := ForkTrack(ctx, "w")
+	w2 := ForkTrack(ctx, "w")
+	if w1 == ctx || w2 == ctx || w1 == w2 {
+		t.Error("ForkTrack did not allocate fresh tracks")
+	}
+	s1 := StartSpan(w1, "a")
+	s2 := StartSpan(w2, "b")
+	s2.End()
+	s1.End()
+	if r.SpanCount() != 2 {
+		t.Errorf("span count = %d, want 2", r.SpanCount())
+	}
+}
+
+func TestTrackCap(t *testing.T) {
+	r := New()
+	r.EnableTracing(16)
+	ctx := NewContext(context.Background(), r)
+	for i := 0; i < maxTracks+10; i++ {
+		ForkTrack(ctx, "w")
+	}
+	// Past the cap ForkTrack degrades to the parent track; NewTrack
+	// reports the condition as -1.
+	if id := r.NewTrack("overflow"); id != -1 {
+		t.Errorf("NewTrack past cap = %d, want -1", id)
+	}
+	if got := ForkTrack(ctx, "w"); got != ctx {
+		t.Error("ForkTrack past cap must return ctx unchanged")
+	}
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Span is an open wall-clock interval on one trace track. The zero Span
+// (returned when tracing is off) is valid and End is a no-op, so call
+// sites need no conditionals:
+//
+//	sp := obs.StartSpan(ctx, "stats/pair")
+//	defer sp.End()
+//
+// Spans on one track must close LIFO (guaranteed when a track is owned
+// by a single goroutine), which is what makes the exported trace
+// properly nested.
+type Span struct {
+	reg   *Registry
+	start time.Duration // offset from Registry.start
+	track int32
+	name  string
+}
+
+// End closes the span and records it. Recording is one atomic add plus a
+// struct store into the preallocated buffer; when the buffer is full the
+// span is counted as dropped instead.
+func (s Span) End() {
+	if s.reg == nil {
+		return
+	}
+	ring := s.reg.spans.Load()
+	if ring == nil {
+		return
+	}
+	end := time.Since(s.reg.start)
+	ring.add(spanRecord{name: s.name, track: s.track, start: s.start, dur: end - s.start})
+}
+
+// spanRecord is one closed span. Offsets are relative to Registry.start,
+// taken from Go's monotonic clock.
+type spanRecord struct {
+	name  string
+	start time.Duration
+	dur   time.Duration
+	track int32
+}
+
+// spanRing is the preallocated span sink. Slots are claimed with one
+// atomic increment; each claimed slot is written by exactly one
+// goroutine and read only after the run has joined all workers, so slot
+// writes need no lock. When the buffer fills, further spans are dropped
+// (and counted) rather than reallocated — tracing must not introduce
+// run-sized allocations into the hot path.
+type spanRing struct {
+	next    atomic.Int64
+	dropped atomic.Int64
+	buf     []spanRecord
+}
+
+func (r *spanRing) add(rec spanRecord) {
+	i := r.next.Add(1) - 1
+	if i >= int64(len(r.buf)) {
+		r.dropped.Add(1)
+		return
+	}
+	r.buf[i] = rec
+}
+
+// records returns the recorded spans (a view into the buffer, not a
+// copy). Only call after the run has completed.
+func (r *spanRing) records() []spanRecord {
+	n := r.next.Load()
+	if n > int64(len(r.buf)) {
+		n = int64(len(r.buf))
+	}
+	return r.buf[:n]
+}
+
+// Dropped reports how many spans were discarded because the trace buffer
+// was full (0 when tracing is disabled).
+func (r *Registry) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	ring := r.spans.Load()
+	if ring == nil {
+		return 0
+	}
+	return ring.dropped.Load()
+}
+
+// SpanCount reports how many spans were recorded (0 when tracing is
+// disabled). Like records, only meaningful once the run has completed.
+func (r *Registry) SpanCount() int {
+	if r == nil {
+		return 0
+	}
+	ring := r.spans.Load()
+	if ring == nil {
+		return 0
+	}
+	return len(ring.records())
+}

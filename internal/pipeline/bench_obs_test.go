@@ -1,0 +1,48 @@
+package pipeline
+
+import (
+	"testing"
+
+	"comparenb/internal/datagen"
+	"comparenb/internal/obs"
+)
+
+// benchGenerateObs times a full Generate run at a fixed observability
+// setting. The three variants price the tentpole's overhead contract:
+// counters-only must stay within ~1% of the unobserved run, and the
+// unobserved run itself only pays nil-safe no-ops (see BENCH/EXPERIMENTS
+// for tracked numbers).
+func benchGenerateObs(b *testing.B, mode string) {
+	ds, err := datagen.Tiny(7, 900)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := NewConfig()
+	cfg.Perms = 100
+	cfg.Seed = 11
+	cfg.EpsT = 5
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Obs = nil
+		switch mode {
+		case "counters":
+			cfg.Obs = obs.New()
+		case "tracing":
+			// Size the ring to the run: the default 64Ki-span buffer is
+			// meant for second-scale CLI runs, and allocating 3 MiB per
+			// millisecond-scale benchmark iteration would price the buffer,
+			// not the collection.
+			reg := obs.New()
+			reg.EnableTracing(4096)
+			cfg.Obs = reg
+		}
+		if _, err := Generate(ds.Rel, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateObsOff(b *testing.B)      { benchGenerateObs(b, "off") }
+func BenchmarkGenerateObsCounters(b *testing.B) { benchGenerateObs(b, "counters") }
+func BenchmarkGenerateObsTracing(b *testing.B)  { benchGenerateObs(b, "tracing") }

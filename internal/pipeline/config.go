@@ -15,6 +15,7 @@ import (
 	"comparenb/internal/governor"
 	"comparenb/internal/insight"
 	"comparenb/internal/metric"
+	"comparenb/internal/obs"
 	"comparenb/internal/sampling"
 )
 
@@ -211,6 +212,17 @@ type Config struct {
 	// statistical tests, hypothesis evaluation, TAP) with counts and
 	// durations. Useful for long runs; nil disables logging.
 	Logf func(format string, args ...any)
+
+	// Obs, when set, is the run's observability registry: spans, counters
+	// and timing histograms land there and the caller exports them after
+	// the run (trace JSON, metrics exposition, stderr summary — see
+	// docs/OBSERVABILITY.md). The registry is run-scoped: pass a fresh
+	// obs.New() per Generate call, or leave nil and the pipeline creates
+	// a private one (the report still reads its counters; they are just
+	// not exportable afterwards). Observability never changes outputs:
+	// notebooks, reports and p-values are byte-identical with Obs set or
+	// nil, at every Threads setting.
+	Obs *obs.Registry
 
 	// Seed makes the whole run deterministic.
 	Seed int64

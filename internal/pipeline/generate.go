@@ -11,6 +11,7 @@ import (
 	"comparenb/internal/insight"
 	"comparenb/internal/metric"
 	"comparenb/internal/notebook"
+	"comparenb/internal/obs"
 	"comparenb/internal/sqlgen"
 	"comparenb/internal/table"
 	"comparenb/internal/tap"
@@ -138,23 +139,44 @@ func GenerateContext(ctx context.Context, rel *table.Relation, cfg Config) (*Res
 	}
 	res := &Result{Relation: rel, Config: cfg}
 	start := time.Now()
+	// Observability: every run reports into a registry — the caller's
+	// (cfg.Obs, exportable afterwards) or a private one — and the phases
+	// below read it back as the single source of counter truth. The
+	// registry never influences outputs; it only records them.
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.New()
+	}
+	ctx = obs.NewContext(ctx, reg)
+	runSp := obs.StartSpan(ctx, "run")
+	defer runSp.End()
 	// The governor splits the soft budget across the phases below; nil
 	// (no TimeBudget) is the ungoverned, always-Full case.
 	gov := governor.New(cfg.TimeBudget, start)
+	gov.Instrument(reg)
 
 	// Pre-processing: functional dependencies (footnote 2).
 	t0 := time.Now()
+	fdSp := obs.StartSpan(ctx, "phase/fd")
 	fds := engine.NewFDSet(engine.DetectFDsApprox(rel, cfg.FDMaxError))
+	fdSp.End()
 	res.Timings.FD = time.Since(t0)
+	reg.Timing("phase_fd").Observe(res.Timings.FD)
 	cfg.logf("pipeline: FD pre-processing done in %v", res.Timings.FD)
 
 	// Phase (i): statistical tests.
 	t0 = time.Now()
 	gov.StartPhase(governor.Stats)
-	sig, tested, sdeg, err := runStatTests(ctx, rel, cfg, gov)
+	statsSp := obs.StartSpan(ctx, "phase/stats")
+	sig, tested, err := runStatTests(ctx, rel, cfg, gov)
+	statsSp.End()
+	reg.Timing("phase_stats").Observe(time.Since(t0))
 	if err != nil {
+		reg.MarkInterrupted()
 		return nil, err
 	}
+	reg.Counter("stats_insights_tested").Add(int64(tested))
+	reg.Counter("stats_insights_significant").Add(int64(len(sig)))
 	res.Counts.InsightsEnumerated = tested
 	res.Counts.SignificantInsights = len(sig)
 	res.Timings.StatTests = time.Since(t0)
@@ -166,6 +188,7 @@ func GenerateContext(ctx context.Context, rel *table.Relation, cfg Config) (*Res
 		before := len(sig)
 		sig = insight.PruneTransitive(sig)
 		res.Counts.PrunedTransitive = before - len(sig)
+		reg.Counter("stats_pruned_transitive").Add(int64(res.Counts.PrunedTransitive))
 		cfg.logf("pipeline: transitivity pruned %d deducible insights", before-len(sig))
 	}
 
@@ -174,11 +197,16 @@ func GenerateContext(ctx context.Context, rel *table.Relation, cfg Config) (*Res
 	t0 = time.Now()
 	gov.StartPhase(governor.Hypo)
 	res.cache = engine.NewCubeCache(cfg.CubeCacheBudget)
+	res.cache.Instrument(reg)
 	if cfg.MemBudget > 0 {
 		res.cache.SetMemBudget(cfg.MemBudget)
 	}
-	queries, final, counts, hypoDropped, err := evalHypotheses(ctx, rel, cfg, fds, sig, res.cache, gov)
+	hypoSp := obs.StartSpan(ctx, "phase/hypo")
+	queries, final, counts, err := evalHypotheses(ctx, rel, cfg, fds, sig, res.cache, gov)
+	hypoSp.End()
+	reg.Timing("phase_hypo").Observe(time.Since(t0))
 	if err != nil {
+		reg.MarkInterrupted()
 		return nil, err
 	}
 	// Trim at the phase boundary (single-threaded): eviction decisions are
@@ -208,6 +236,7 @@ func GenerateContext(ctx context.Context, rel *table.Relation, cfg Config) (*Res
 	deadline := gov.Deadline(governor.TAP)
 	inst := Instance(queries, cfg.Weights)
 	res.TAP.Solver = cfg.Solver.String()
+	tapSp := obs.StartSpan(ctx, "phase/tap")
 	switch cfg.Solver {
 	case SolverExact:
 		any := tap.SolveAnytime(ctx, inst, float64(cfg.EpsT), cfg.EpsD, tap.ExactOptions{
@@ -215,6 +244,8 @@ func GenerateContext(ctx context.Context, rel *table.Relation, cfg Config) (*Res
 			Deadline: deadline,
 		})
 		if any.Solver == tap.AnytimeCancelled {
+			tapSp.End()
+			reg.MarkInterrupted()
 			return nil, ctx.Err()
 		}
 		res.Solution = any.Solution
@@ -236,21 +267,29 @@ func GenerateContext(ctx context.Context, rel *table.Relation, cfg Config) (*Res
 	default:
 		res.Solution = tap.Greedy(inst, float64(cfg.EpsT), cfg.EpsD)
 	}
+	tapSp.End()
 	res.Timings.TAP = time.Since(t0)
 	res.Timings.Total = time.Since(start)
+	reg.Timing("phase_tap").Observe(res.Timings.TAP)
+	reg.Timing("run_total").Observe(res.Timings.Total)
 	cfg.logf("pipeline: %s TAP selected %d queries (interest %.3f) in %v",
 		res.TAP.Solver, len(res.Solution.Order), res.Solution.TotalInterest, res.Timings.TAP)
 
-	// Degradation record: a phase is listed only when a concession had an
-	// observable effect, so generously budgeted runs report nothing.
-	memEv := int(cs.AdmitEvictions + cs.AdmitRefusals)
+	// Degradation record, read back from the registry the phases reported
+	// into — the counters are the single source; this struct is the
+	// report-friendly view. A phase is listed only when a concession had
+	// an observable effect, so generously budgeted runs report nothing.
+	pairsShed := int(reg.Counter("stats_pairs_shed").Value())
+	hypoDropped := int(reg.Counter("hypo_candidates_dropped").Value())
+	memEv := int(reg.Counter("engine_cache_admit_evictions").Value() +
+		reg.Counter("engine_cache_admit_refusals").Value())
 	res.Degraded = Degradation{
-		PermsEffective: sdeg.minPerms,
-		PairsSkipped:   sdeg.pairsSkipped,
+		PermsEffective: int(reg.Gauge("stats_perms_effective_min").Value()),
+		PairsSkipped:   pairsShed,
 		HypoDropped:    hypoDropped,
 		MemEvictions:   memEv,
 	}
-	if sdeg.earlyStopped || sdeg.pairsSkipped > 0 {
+	if reg.Gauge("stats_earlystop_engaged").Value() != 0 || pairsShed > 0 {
 		res.Degraded.Phases = append(res.Degraded.Phases, "stats")
 	}
 	if hypoDropped > 0 {
@@ -264,7 +303,7 @@ func GenerateContext(ctx context.Context, rel *table.Relation, cfg Config) (*Res
 	}
 	if res.Degraded.Any() {
 		cfg.logf("pipeline: degraded phases %v (perms_effective=%d pairs_skipped=%d hypo_dropped=%d mem_evictions=%d)",
-			res.Degraded.Phases, sdeg.minPerms, sdeg.pairsSkipped, hypoDropped, memEv)
+			res.Degraded.Phases, res.Degraded.PermsEffective, pairsShed, hypoDropped, memEv)
 	}
 	return res, nil
 }

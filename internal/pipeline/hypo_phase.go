@@ -10,6 +10,7 @@ import (
 	"comparenb/internal/governor"
 	"comparenb/internal/insight"
 	"comparenb/internal/metric"
+	"comparenb/internal/obs"
 	"comparenb/internal/table"
 )
 
@@ -105,12 +106,14 @@ func capCandidates(sig []insight.Insight, k int) ([]insight.Insight, int) {
 //
 // gov (nil = ungoverned) drives the phase's degradation ladder, asked
 // once on entry: under pressure the candidate set is capped to the
-// hypoCandidateCap top insights (dropped reports how many were cut) —
-// a whole-phase decision rather than per-job, because each candidate's
-// cost is dominated by cube availability, which is shared.
-func evalHypotheses(ctx context.Context, rel *table.Relation, cfg Config, fds *engine.FDSet, sig []insight.Insight, cache *engine.CubeCache, gov *governor.Governor) ([]ScoredQuery, []insight.Insight, Counts, int, error) {
+// hypoCandidateCap top insights (the hypo_candidates_dropped counter
+// reports how many were cut) — a whole-phase decision rather than
+// per-job, because each candidate's cost is dominated by cube
+// availability, which is shared.
+func evalHypotheses(ctx context.Context, rel *table.Relation, cfg Config, fds *engine.FDSet, sig []insight.Insight, cache *engine.CubeCache, gov *governor.Governor) ([]ScoredQuery, []insight.Insight, Counts, error) {
 	var counts Counts
 	n := rel.NumCatAttrs()
+	reg := obs.FromContext(ctx)
 
 	level := cfg.forceHypoLevel
 	if level == governor.Full {
@@ -119,6 +122,9 @@ func evalHypotheses(ctx context.Context, rel *table.Relation, cfg Config, fds *e
 		gov.Observe(governor.Hypo, level)
 	}
 	sig, dropped := capCandidates(sig, hypoCandidateCap(level, cfg.EpsT))
+	if dropped > 0 {
+		reg.Counter("hypo_candidates_dropped").Add(int64(dropped))
+	}
 
 	// Valid grouping attributes per selection attribute (FD pre-pruning).
 	validA := make([][]int, n)
@@ -150,7 +156,7 @@ func evalHypotheses(ctx context.Context, rel *table.Relation, cfg Config, fds *e
 
 	pairCubes, err := buildPairCubes(ctx, rel, cfg, needed, cache)
 	if err != nil {
-		return nil, nil, counts, dropped, err
+		return nil, nil, counts, err
 	}
 
 	// Evaluate every (insight, grouping attribute) combination.
@@ -165,7 +171,9 @@ func evalHypotheses(ctx context.Context, rel *table.Relation, cfg Config, fds *e
 		}
 	}
 	results := make([]hypoOutcome, len(jobs))
-	err = parallelForCtx(ctx, cfg.threads(), len(jobs), func(ji int) error {
+	err = parallelForCtx(ctx, cfg.threads(), len(jobs), func(jctx context.Context, ji int) error {
+		sp := obs.StartSpan(jctx, "hypo/eval")
+		defer sp.End()
 		j := jobs[ji]
 		ins := sig[j.insIdx]
 		pc := pairCubes[cover.NewPair(j.attrA, ins.Attr)]
@@ -173,9 +181,10 @@ func evalHypotheses(ctx context.Context, rel *table.Relation, cfg Config, fds *e
 		return nil
 	})
 	if err != nil {
-		return nil, nil, counts, dropped, err
+		return nil, nil, counts, err
 	}
 	counts.SupportChecks = len(jobs) * len(engine.AllAggs)
+	reg.Counter("hypo_support_checks").Add(int64(counts.SupportChecks))
 
 	// Credibility per insight (Def. 3.11): one hypothesis query per
 	// grouping attribute (canonical agg = avg), or the ∃agg ablation.
@@ -272,7 +281,8 @@ func evalHypotheses(ctx context.Context, rel *table.Relation, cfg Config, fds *e
 	}
 	sort.Slice(queries, func(a, b int) bool { return lessQuery(queries[a].Query, queries[b].Query) })
 	counts.QueriesGenerated = len(queries)
-	return queries, final, counts, dropped, nil
+	reg.Counter("hypo_queries_generated").Add(int64(counts.QueriesGenerated))
+	return queries, final, counts, nil
 }
 
 func lessQuery(a, b insight.Query) bool {
@@ -336,9 +346,9 @@ func buildPairCubes(ctx context.Context, rel *table.Relation, cfg Config, needed
 	if !cfg.UseWSC {
 		inner := innerThreads(cfg.threads(), len(needed))
 		cubes := make([]*engine.Cube, len(needed))
-		err := parallelForCtx(ctx, cfg.threads(), len(needed), func(i int) error {
+		err := parallelForCtx(ctx, cfg.threads(), len(needed), func(jctx context.Context, i int) error {
 			var cerr error
-			cubes[i], cerr = cache.GetOrBuildCtx(ctx, rel, []int{needed[i].A, needed[i].B}, inner)
+			cubes[i], cerr = cache.GetOrBuildCtx(jctx, rel, []int{needed[i].A, needed[i].B}, inner)
 			return cerr
 		})
 		if err != nil {
@@ -385,8 +395,8 @@ func buildPairCubes(ctx context.Context, rel *table.Relation, cfg Config, needed
 	// (BuildThrough never answers via roll-up), so their provenance does
 	// not depend on what else the cache holds.
 	inner := innerThreads(cfg.threads(), len(chosen))
-	err = parallelForCtx(ctx, cfg.threads(), len(chosen), func(i int) error {
-		_, berr := cache.BuildThroughCtx(ctx, rel, cands[chosen[i]].Attrs, inner)
+	err = parallelForCtx(ctx, cfg.threads(), len(chosen), func(jctx context.Context, i int) error {
+		_, berr := cache.BuildThroughCtx(jctx, rel, cands[chosen[i]].Attrs, inner)
 		return berr
 	})
 	if err != nil {
@@ -396,10 +406,10 @@ func buildPairCubes(ctx context.Context, rel *table.Relation, cfg Config, needed
 	// picks the cheapest covering superset deterministically. cover.Greedy
 	// guarantees coverage, so no pair falls back to a base-relation build.
 	rolled := make([]*engine.Cube, len(needed))
-	err = parallelForCtx(ctx, cfg.threads(), len(needed), func(pi int) error {
+	err = parallelForCtx(ctx, cfg.threads(), len(needed), func(jctx context.Context, pi int) error {
 		p := needed[pi]
 		var gerr error
-		rolled[pi], gerr = cache.GetOrBuildCtx(ctx, rel, []int{p.A, p.B}, 1)
+		rolled[pi], gerr = cache.GetOrBuildCtx(jctx, rel, []int{p.A, p.B}, 1)
 		return gerr
 	})
 	if err != nil {

@@ -332,7 +332,7 @@ func TestParallelForCoversAllJobs(t *testing.T) {
 	ctx := context.Background()
 	for _, threads := range []int{0, 1, 3, 16} {
 		var sum atomic.Int64
-		err := parallelForCtx(ctx, threads, 100, func(i int) error {
+		err := parallelForCtx(ctx, threads, 100, func(_ context.Context, i int) error {
 			sum.Add(int64(i))
 			return nil
 		})
@@ -343,7 +343,7 @@ func TestParallelForCoversAllJobs(t *testing.T) {
 			t.Errorf("threads=%d: sum = %d, want 4950", threads, sum.Load())
 		}
 	}
-	err := parallelForCtx(ctx, 4, 0, func(int) error {
+	err := parallelForCtx(ctx, 4, 0, func(context.Context, int) error {
 		t.Error("fn called for n=0")
 		return nil
 	})
@@ -354,7 +354,7 @@ func TestParallelForCoversAllJobs(t *testing.T) {
 
 func TestParallelForCtxReportsSmallestIndexError(t *testing.T) {
 	for _, threads := range []int{1, 4} {
-		err := parallelForCtx(context.Background(), threads, 50, func(i int) error {
+		err := parallelForCtx(context.Background(), threads, 50, func(_ context.Context, i int) error {
 			if i%7 == 3 {
 				return fmt.Errorf("job %d failed", i)
 			}
@@ -371,7 +371,7 @@ func TestParallelForCtxCancelled(t *testing.T) {
 	cancel()
 	for _, threads := range []int{1, 4} {
 		called := atomic.Int64{}
-		err := parallelForCtx(ctx, threads, 20, func(i int) error {
+		err := parallelForCtx(ctx, threads, 20, func(_ context.Context, i int) error {
 			called.Add(1)
 			return nil
 		})

@@ -9,6 +9,7 @@ import (
 
 	"comparenb/internal/governor"
 	"comparenb/internal/insight"
+	obspkg "comparenb/internal/obs" // `obs` would shadow the observed-statistic locals below
 	"comparenb/internal/sampling"
 	"comparenb/internal/stats"
 	"comparenb/internal/table"
@@ -21,13 +22,15 @@ type statOutcome struct {
 	effect float64
 }
 
-// statsDegradation records what the stats phase's degradation ladder
-// actually cut, for the run report. Zero value = nothing cut.
-type statsDegradation struct {
-	pairsSkipped int  // Shed rung: candidate pairs dropped without testing
-	minPerms     int  // smallest permutation count an early-stopped test used (0 = none)
-	earlyStopped bool // at least one test ran the early-stopping kernel
-}
+// The stats phase reports its degradation through the run's obs registry
+// rather than a side struct, so the run report and the metrics exposition
+// read the same cells:
+//
+//	stats_pairs_shed          counter — Shed rung: pairs dropped untested
+//	stats_perms_effective_min gauge   — smallest permutation count an
+//	                                    early-stopped test used (0 = none)
+//	stats_earlystop_engaged   gauge   — 1 when any job ran the
+//	                                    early-stopping kernel
 
 // permsShedCap returns the Shed rung's permutation cap: the fewest whole
 // permutation blocks that can still reach significance at alpha (the
@@ -63,7 +66,7 @@ func permsShedCap(perms int, alpha float64) int {
 // at permsShedCap. Priority is most-populated pair first — a pure
 // function of the input, so which pairs Shed drops is deterministic even
 // though *when* shedding starts depends on the wall clock.
-func runStatTests(ctx context.Context, rel *table.Relation, cfg Config, gov *governor.Governor) (significant []insight.Insight, tested int, deg statsDegradation, err error) {
+func runStatTests(ctx context.Context, rel *table.Relation, cfg Config, gov *governor.Governor) (significant []insight.Insight, tested int, err error) {
 	n := rel.NumCatAttrs()
 	// Pre-draw the test relation(s). Random sampling shares one sample;
 	// unbalanced sampling is per attribute (§5.1.2).
@@ -152,8 +155,10 @@ func runStatTests(ctx context.Context, rel *table.Relation, cfg Config, gov *gov
 	minPermsPer := make([]int, len(jobs))
 	var done atomic.Int64
 	inner := innerThreads(cfg.threads(), len(jobs))
-	err = parallelForCtx(ctx, cfg.threads(), len(jobs), func(ji int) error {
+	err = parallelForCtx(ctx, cfg.threads(), len(jobs), func(jctx context.Context, ji int) error {
 		defer done.Add(1)
+		sp := obspkg.StartSpan(jctx, "stats/pair")
+		defer sp.End()
 		job := jobs[ji]
 		trel := testRels[job.attr]
 		level := cfg.forceStatsLevel
@@ -164,7 +169,7 @@ func runStatTests(ctx context.Context, rel *table.Relation, cfg Config, gov *gov
 		}
 		if level == governor.Full {
 			var jerr error
-			outcomes[ji], testedPer[ji], jerr = testPair(ctx, trel, job.attr, job.val, job.val2, cfg, jobSeed(cfg.Seed, ji), inner)
+			outcomes[ji], testedPer[ji], jerr = testPair(jctx, trel, job.attr, job.val, job.val2, cfg, jobSeed(cfg.Seed, ji), inner)
 			return jerr
 		}
 		if level == governor.Shed && rank[ji] >= minKeep {
@@ -177,26 +182,37 @@ func runStatTests(ctx context.Context, rel *table.Relation, cfg Config, gov *gov
 		}
 		earlyPer[ji] = true
 		var jerr error
-		outcomes[ji], testedPer[ji], minPermsPer[ji], jerr = testPairEarly(ctx, trel, job.attr, job.val, job.val2, cfg, jobSeed(cfg.Seed, ji), capPerms)
+		outcomes[ji], testedPer[ji], minPermsPer[ji], jerr = testPairEarly(jctx, trel, job.attr, job.val, job.val2, cfg, jobSeed(cfg.Seed, ji), capPerms)
 		return jerr
 	})
 	if err != nil {
-		return nil, 0, deg, err
+		return nil, 0, err
 	}
 
+	pairsShed, minPerms := 0, 0
+	earlyStopped := false
 	var all []statOutcome
 	for ji := range outcomes {
 		all = append(all, outcomes[ji]...)
 		tested += testedPer[ji]
 		if skipped[ji] {
-			deg.pairsSkipped++
+			pairsShed++
 		}
 		if earlyPer[ji] {
-			deg.earlyStopped = true
-			if mp := minPermsPer[ji]; mp > 0 && (deg.minPerms == 0 || mp < deg.minPerms) {
-				deg.minPerms = mp
+			earlyStopped = true
+			if mp := minPermsPer[ji]; mp > 0 && (minPerms == 0 || mp < minPerms) {
+				minPerms = mp
 			}
 		}
+	}
+	// Publish the degradation record; the run report reads these cells.
+	reg := obspkg.FromContext(ctx)
+	if pairsShed > 0 {
+		reg.Counter("stats_pairs_shed").Add(int64(pairsShed))
+	}
+	reg.Gauge("stats_perms_effective_min").Set(int64(minPerms))
+	if earlyStopped {
+		reg.Gauge("stats_earlystop_engaged").Set(1)
 	}
 
 	// Benjamini–Hochberg correction (§5.1.1), applied within the families
@@ -235,7 +251,7 @@ func runStatTests(ctx context.Context, rel *table.Relation, cfg Config, gov *gov
 	}
 	// Deterministic order regardless of scheduling.
 	sort.Slice(significant, func(a, b int) bool { return lessKey(significant[a].Key(), significant[b].Key()) })
-	return significant, tested, deg, nil
+	return significant, tested, nil
 }
 
 func lessKey(a, b insight.Key) bool {

@@ -3,6 +3,8 @@ package pipeline
 import (
 	"context"
 	"sync"
+
+	"comparenb/internal/obs"
 )
 
 // parallelForCtx runs fn(0..n-1) on up to `threads` goroutines. It is
@@ -10,13 +12,19 @@ import (
 // safe to call concurrently; job order is unspecified but, absent
 // cancellation or error, the set is exactly 0..n-1.
 //
+// The ctx handed to fn is the worker's: on the serial path it is the
+// caller's ctx (same goroutine, same trace track), on the parallel path
+// each worker forks its own trace track so spans opened inside fn never
+// interleave with another worker's on one track. With tracing disabled
+// the fork is free and the worker ctx is the caller's.
+//
 // Cancellation is cooperative: every worker polls ctx before each job,
 // so a job that has started runs to completion and no phase output is
 // ever half-written, and a cancelled run returns ctx's error. When some
 // fn calls return errors with a live context, every job still runs and
 // the error with the smallest index is reported — deterministic
 // regardless of goroutine scheduling.
-func parallelForCtx(ctx context.Context, threads, n int, fn func(i int) error) error {
+func parallelForCtx(ctx context.Context, threads, n int, fn func(ctx context.Context, i int) error) error {
 	if n == 0 {
 		return ctx.Err()
 	}
@@ -25,7 +33,7 @@ func parallelForCtx(ctx context.Context, threads, n int, fn func(i int) error) e
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(i); err != nil {
+			if err := fn(ctx, i); err != nil {
 				return err
 			}
 		}
@@ -41,13 +49,14 @@ func parallelForCtx(ctx context.Context, threads, n int, fn func(i int) error) e
 	for w := 0; w < threads; w++ {
 		go func() {
 			defer wg.Done()
+			wctx := obs.ForkTrack(ctx, "worker")
 			// Keep draining `next` after cancellation so the sender never
 			// blocks; skipped jobs simply do not run.
 			for i := range next {
-				if ctx.Err() != nil {
+				if wctx.Err() != nil {
 					continue
 				}
-				errs[i] = fn(i)
+				errs[i] = fn(wctx, i)
 			}
 		}()
 	}

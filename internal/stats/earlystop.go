@@ -6,6 +6,9 @@ import (
 	"math/rand"
 
 	"comparenb/internal/faultinject"
+	// Aliased: `obs` is the conventional name of the observed statistic in
+	// this package's named returns, which would shadow the package.
+	obspkg "comparenb/internal/obs"
 )
 
 // earlyStopDelta is the per-check confidence parameter δ of the
@@ -87,13 +90,19 @@ func PValueEarlyStop(ctx context.Context, nx, ny, nperm int, seed int64, pooled 
 	if math.IsNaN(obs) {
 		return obs, 1, 0, ctx.Err()
 	}
+	reg := obspkg.FromContext(ctx)
+	sp := obspkg.StartSpan(ctx, "stats/pair/earlystop")
+	defer sp.End()
 	ge, m := 0, 0
+	stopped := false
 	nblocks := (nperm + permBlock - 1) / permBlock
+	blocksRun := 0
 	for b := 0; b < nblocks; b++ {
 		faultinject.Fire(faultinject.StatsEarlyStop)
 		if err := ctx.Err(); err != nil {
 			return obs, 1, m, err
 		}
+		bsp := obspkg.StartSpan(ctx, "stats/pair/permblock")
 		// Identical draws to NewPairPermSeeded's block b: same stream
 		// seed, same partial Fisher–Yates over a persistent scratch —
 		// the evaluated prefix is the full test's permutation prefix.
@@ -113,10 +122,21 @@ func PValueEarlyStop(ctx context.Context, nx, ny, nperm int, seed int64, pooled 
 				ge++
 			}
 		}
+		bsp.End()
 		m = hi
+		blocksRun = b + 1
 		if earlyStopDecided(ge, m, alpha) {
+			stopped = b+1 < nblocks
 			break
 		}
+	}
+	// Accounting is one handle fetch + bulk adds per test; every quantity
+	// is a pure function of the inputs, so the sums are thread-invariant.
+	reg.Counter("stats_earlystop_tests").Inc()
+	reg.Counter("stats_perm_blocks_drawn").Add(int64(blocksRun))
+	reg.Counter("stats_perms_evaluated").Add(int64(m))
+	if stopped {
+		reg.Counter("stats_earlystop_triggers").Inc()
 	}
 	return obs, float64(1+ge) / float64(1+m), m, ctx.Err()
 }

@@ -6,6 +6,9 @@ import (
 	"math/rand"
 
 	"comparenb/internal/faultinject"
+	// Aliased: `obs` is the conventional name of the observed statistic in
+	// this package's named returns, which would shadow the package.
+	obspkg "comparenb/internal/obs"
 )
 
 // permCheckStride is how many permutations an evaluation worker processes
@@ -25,7 +28,9 @@ func NewPairPermSeededCtx(ctx context.Context, nx, ny, nperm int, seed int64, th
 	}
 	p := &PairPerm{nx: nx, ny: ny, xIdx: make([][]int32, nperm)}
 	nblocks := (nperm + permBlock - 1) / permBlock
-	genBlock := func(b int) {
+	genBlock := func(ctx context.Context, b int) {
+		sp := obspkg.StartSpan(ctx, "stats/pair/permblock")
+		defer sp.End()
 		faultinject.Fire(faultinject.StatsPermBlock)
 		rng := rand.New(rand.NewSource(mixSeed(seed, int64(b))))
 		scratch := identityScratch(nx + ny)
@@ -41,14 +46,19 @@ func NewPairPermSeededCtx(ctx context.Context, nx, ny, nperm int, seed int64, th
 	if err := forEachBlockCtx(ctx, threads, nblocks, genBlock); err != nil {
 		return nil, err
 	}
+	// One bulk add per call (not per block) keeps the accounting off the
+	// hot path; the total is a pure function of nperm, so thread-invariant.
+	obspkg.FromContext(ctx).Counter("stats_perm_blocks_drawn").Add(int64(nblocks))
 	return p, nil
 }
 
 // forEachBlockCtx runs fn(0..n-1) on up to `threads` goroutines, polling
 // ctx before each block. A cancelled context stops every worker at its
 // next block boundary; blocks already started run to completion, so fn
-// never observes a half-initialised slot. Returns ctx's error, if any.
-func forEachBlockCtx(ctx context.Context, threads, n int, fn func(b int)) error {
+// never observes a half-initialised slot. Each parallel worker gets its
+// own trace track so block spans never interleave on one track. Returns
+// ctx's error, if any.
+func forEachBlockCtx(ctx context.Context, threads, n int, fn func(ctx context.Context, b int)) error {
 	if threads > n {
 		threads = n
 	}
@@ -57,7 +67,7 @@ func forEachBlockCtx(ctx context.Context, threads, n int, fn func(b int)) error 
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			fn(b)
+			fn(ctx, b)
 		}
 		return ctx.Err()
 	}
@@ -65,11 +75,12 @@ func forEachBlockCtx(ctx context.Context, threads, n int, fn func(b int)) error 
 	for w := 0; w < threads; w++ {
 		go func(w int) {
 			defer func() { done <- struct{}{} }()
+			wctx := obspkg.ForkTrack(ctx, "perm-block")
 			for b := w; b < n; b += threads {
-				if ctx.Err() != nil {
+				if wctx.Err() != nil {
 					return
 				}
-				fn(b)
+				fn(wctx, b)
 			}
 		}(w)
 	}
@@ -108,6 +119,11 @@ func (p *PairPerm) PValueThreadsCtx(ctx context.Context, pooled []float64, stat 
 	if threads > nperm {
 		threads = nperm
 	}
+	// Handle fetched once per test, charged once per test: the evaluated
+	// count is a pure function of nperm, so the sum is thread-invariant.
+	permsEvaluated := obspkg.FromContext(ctx).Counter("stats_perms_evaluated")
+	sp := obspkg.StartSpan(ctx, "stats/pair/permeval")
+	defer sp.End()
 	if threads <= 1 {
 		scratch := newPermScratch(p, stat)
 		ge := 0
@@ -122,6 +138,7 @@ func (p *PairPerm) PValueThreadsCtx(ctx context.Context, pooled []float64, stat 
 				ge++
 			}
 		}
+		permsEvaluated.Add(int64(nperm))
 		return obs, float64(1+ge) / float64(1+nperm), ctx.Err()
 	}
 	counts := make([]int, threads)
@@ -129,6 +146,8 @@ func (p *PairPerm) PValueThreadsCtx(ctx context.Context, pooled []float64, stat 
 	for w := 0; w < threads; w++ {
 		go func(w int) {
 			defer func() { done <- struct{}{} }()
+			wsp := obspkg.StartSpan(obspkg.ForkTrack(ctx, "perm-eval"), "stats/pair/permeval")
+			defer wsp.End()
 			scratch := newPermScratch(p, stat)
 			ge, step := 0, 0
 			for k := w; k < nperm; k += threads {
@@ -156,5 +175,6 @@ func (p *PairPerm) PValueThreadsCtx(ctx context.Context, pooled []float64, stat 
 	for _, c := range counts {
 		ge += c
 	}
+	permsEvaluated.Add(int64(nperm))
 	return obs, float64(1+ge) / float64(1+nperm), nil
 }

@@ -1,6 +1,10 @@
 package tap
 
-import "context"
+import (
+	"context"
+
+	"comparenb/internal/obs"
+)
 
 // Solver names reported by SolveAnytime. They name which rung of the
 // degradation ladder produced the final solution.
@@ -63,13 +67,16 @@ func SolveAnytime(ctx context.Context, inst *Instance, epsT, epsD float64, opt E
 		return out
 	}
 	out.Degraded = true
+	obs.FromContext(ctx).Counter("tap_anytime_degraded").Inc()
 	if ctx != nil && ctx.Err() != nil {
 		out.Solver = AnytimeCancelled
 		return out
 	}
 
+	lsp := obs.StartSpan(ctx, "tap/anytime-ladder")
 	seeded := ImproveFrom(inst, sol.Order, epsT, epsD)
 	greedy := GreedyPlus(inst, epsT, epsD)
+	lsp.End()
 	out.Solution, out.Solver = seeded, AnytimeIncumbent2Opt
 	if greedy.TotalInterest > seeded.TotalInterest+1e-12 {
 		out.Solution, out.Solver = greedy, AnytimeGreedy2Opt

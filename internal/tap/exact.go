@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"comparenb/internal/faultinject"
+	"comparenb/internal/obs"
 )
 
 // ExactOptions configures the exact branch-and-bound solver.
@@ -94,12 +95,27 @@ func SolveExact(inst *Instance, epsT, epsD float64, opt ExactOptions) (Solution,
 	}
 	rootBound := s.fractionalBound(0, epsT)
 	faultinject.Fire(faultinject.TapSearchTick)
+	searchCtx := opt.Ctx
+	if searchCtx == nil {
+		searchCtx = context.Background()
+	}
+	sp := obs.StartSpan(searchCtx, "tap/bnb")
 	// An already-spent budget skips the search entirely: the caller gets
 	// an empty incumbent and TimedOut, and the anytime layer degrades.
 	if s.budgetSpent() {
 		s.timedOut = true
 	} else {
 		s.dfs(0, nil, 0, 0)
+	}
+	sp.End()
+	// The search keeps plain local tallies (the DFS is single-threaded)
+	// and flushes them in one batch; absent any budget they are a pure
+	// function of the instance, so thread- and run-invariant.
+	if reg := obs.FromContext(searchCtx); reg != nil {
+		reg.Counter("tap_nodes_expanded").Add(s.nodes)
+		reg.Counter("tap_bound_prunes").Add(s.boundPrunes)
+		reg.Counter("tap_infeasible_prunes").Add(s.infeasPrunes)
+		reg.Counter("tap_incumbent_updates").Add(s.incumbentUpdates)
 	}
 	stats := ExactStats{
 		Nodes:     s.nodes,
@@ -162,6 +178,11 @@ type exactSearch struct {
 	timedOut  bool
 	certified bool
 
+	// Search-shape tallies flushed to the obs registry after the search.
+	boundPrunes      int64 // fractional-knapsack bound cut the branch
+	infeasPrunes     int64 // MST / exact-path infeasibility cut the branch
+	incumbentUpdates int64
+
 	bestInterest float64
 	bestOrder    []int
 }
@@ -188,6 +209,7 @@ func (s *exactSearch) dfs(idx int, chosen []int, interest, cost float64) {
 	// Upper bound: current interest plus the fractional-knapsack optimum
 	// of the remaining items within the remaining budget.
 	if interest+s.fractionalBound(idx, s.epsT-cost) <= s.bestInterest+1e-12 {
+		s.boundPrunes++
 		return
 	}
 
@@ -200,7 +222,9 @@ func (s *exactSearch) dfs(idx int, chosen []int, interest, cost float64) {
 		// metric instances MST(next) > ε_d rules out every superset. For
 		// non-metric instances neither step holds and the branch must be
 		// explored regardless.
-		if s.inst.NonMetric || mstWeight(s.inst, next) <= s.epsD+1e-12 {
+		if !s.inst.NonMetric && mstWeight(s.inst, next) > s.epsD+1e-12 {
+			s.infeasPrunes++
+		} else {
 			ni := interest + s.inst.Interest[q]
 			// Candidate incumbent: check exact feasibility.
 			prune := false
@@ -210,11 +234,13 @@ func (s *exactSearch) dfs(idx int, chosen []int, interest, cost float64) {
 				case dist <= s.epsD+1e-12:
 					s.bestInterest = ni
 					s.bestOrder = append([]int(nil), order...)
+					s.incumbentUpdates++
 				case exact && !s.inst.NonMetric:
 					// The minimum path of this subset already exceeds ε_d;
 					// in a metric space the minimum path is monotone under
 					// adding queries, so every superset is infeasible too.
 					prune = true
+					s.infeasPrunes++
 				case exact:
 					// Non-metric: this subset is infeasible but a superset
 					// might not be; keep exploring.

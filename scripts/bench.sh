@@ -1,10 +1,11 @@
 #!/bin/sh
 # Benchmark harness for comparenb. Runs every benchmark (table/figure
-# reproductions and the kernel microbenchmarks) with -benchmem at the fixed
-# seeds baked into the _test.go files, and writes the machine-readable
-# baseline BENCH_PR2.json: one record per benchmark plus derived speedups —
-# the sharded cube build versus the naive reference builder, and the
-# parallel kernels versus their threads=1 runs.
+# reproductions, the kernel microbenchmarks and the observability-overhead
+# probes) with -benchmem at the fixed seeds baked into the _test.go files,
+# and writes the machine-readable baseline BENCH_PR5.json: one record per
+# benchmark plus derived speedups — the sharded cube build versus the
+# naive reference builder, and the parallel kernels versus their
+# threads=1 runs.
 #
 #   scripts/bench.sh              # full run (default -benchtime=1s)
 #   BENCHTIME=100ms scripts/bench.sh   # quicker, noisier
@@ -16,7 +17,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
-OUT="${OUT:-BENCH_PR2.json}"
+OUT="${OUT:-BENCH_PR5.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 

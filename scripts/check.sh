@@ -28,6 +28,15 @@ go test -race ./...
 echo "==> bench smoke (every benchmark once)"
 go test -run '^$' -bench . -benchtime=1x ./... > /dev/null
 
+echo "==> obs smoke (trace + metrics artifacts validate)"
+OBSDIR="$(mktemp -d)"
+trap 'rm -rf "$OBSDIR"' EXIT
+go run ./cmd/datagen -dataset tiny > "$OBSDIR/tiny.csv"
+go run ./cmd/comparenb -in "$OBSDIR/tiny.csv" -solver exact \
+    -trace-out "$OBSDIR/run.trace.json" -metrics-out "$OBSDIR/run.metrics.txt" \
+    > /dev/null
+go run ./cmd/obscheck -q -trace "$OBSDIR/run.trace.json" -metrics "$OBSDIR/run.metrics.txt"
+
 echo "==> fuzz smoke (every fuzz target, 3s each)"
 # go test accepts one -fuzz target per invocation, so enumerate the
 # targets per package and run each briefly against its seed corpus.
