@@ -44,19 +44,32 @@ type Analyzer struct {
 	Doc string
 	// Run performs the check.
 	Run func(*Pass)
+	// FactsFn, when set, exports per-function facts for this analyzer.
+	// It is called once per package, packages in dependency order, before
+	// any Run.
+	FactsFn func(*FactPass)
+	// FactsFinalize runs once after every package's FactsFn — the place
+	// to close facts over the call graph with Facts.Propagate.
+	FactsFinalize func(*Facts)
+	// NoTestFiles excludes _test.go files from this analyzer's Pass:
+	// the rule targets production code only.
+	NoTestFiles bool
 }
 
 // Pass carries one type-checked package through one analyzer.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
-	// Files are the package's parsed non-test files, comments included.
+	// Files are the package's parsed files, comments included. Test
+	// files are included unless the analyzer sets NoTestFiles.
 	Files []*ast.File
 	// Pkg and Info are the go/types results for the package.
 	Pkg  *types.Package
 	Info *types.Info
 	// Path is the package import path ("comparenb/internal/engine", …).
 	Path string
+	// Facts is the module-wide fact store, populated before Run.
+	Facts *Facts
 
 	diags *[]Diagnostic
 }
@@ -73,24 +86,66 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // TypeOf returns the type of an expression, or nil.
 func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
 
-// Run applies each analyzer to the package and returns the surviving
-// diagnostics: findings on lines carrying a matching //nolint:<name>
-// comment (on the same line or alone on the line above) are suppressed.
+// Run applies each analyzer to one package and returns the surviving
+// diagnostics. It is RunModule over a single package — fixture tests use
+// it; the CLI and the selfcheck use RunModule so interprocedural facts
+// span the whole module.
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	return RunModule([]*Package{pkg}, analyzers)
+}
+
+// RunModule builds the module-wide facts (call graph + per-function
+// facts, packages in dependency order), applies each analyzer to each
+// package, and returns the surviving diagnostics: findings on lines
+// carrying a matching //nolint:<name> comment (on the same line or alone
+// on the line above) are suppressed. When the nolintlint analyzer is in
+// the set, directives that suppressed nothing become findings themselves.
+func RunModule(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	facts := BuildFacts(pkgs, analyzers)
 	var diags []Diagnostic
-	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer: a,
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			Pkg:      pkg.Types,
-			Info:     pkg.Info,
-			Path:     pkg.Path,
-			diags:    &diags,
+	var directives []*nolintDirective
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			files := pkg.AllFiles()
+			if a.NoTestFiles {
+				files = pkg.Files
+			}
+			if len(files) == 0 || a.Run == nil {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Path:     pkg.Path,
+				Facts:    facts,
+				diags:    &diags,
+			}
+			a.Run(pass)
 		}
-		a.Run(pass)
+		directives = append(directives, collectNolint(pkg)...)
 	}
-	diags = suppress(pkg, diags)
+	diags = suppress(directives, diags)
+	for _, a := range analyzers {
+		if a.Name == NolintLint.Name {
+			runNames := map[string]bool{}
+			for _, ra := range analyzers {
+				runNames[ra.Name] = true
+			}
+			// The lint over directives is itself suppressible
+			// (//nolint:nolintlint), one level deep.
+			diags = append(diags, suppress(directives, lintNolint(directives, runNames))...)
+		}
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// sortDiagnostics orders findings by position, then analyzer — the
+// stable order both the CLI contract and the baseline rely on.
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -104,22 +159,29 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
 }
 
-// suppress drops diagnostics covered by //nolint comments.
+// nolintDirective is one parsed //nolint comment, tracking which of its
+// names actually suppressed a finding (nolintlint's raw material).
+type nolintDirective struct {
+	pos   token.Position
+	lines [2]int // covered lines: its own, and the next when standalone
+	names []string
+	used  map[string]bool // name → suppressed at least one diagnostic
+}
+
+// collectNolint parses every //nolint directive in the package, test
+// files included.
 //
-// Syntax: `//nolint:name1,name2` or `//nolint:name // reason`. The comment
-// suppresses matching analyzers on the line it sits on; a comment that is
-// the whole line suppresses the line below it, so call sites can keep the
-// justification above the code. A bare `//nolint` (no names) is
+// Syntax: `//nolint:name1,name2` or `//nolint:name // reason`. The
+// comment suppresses matching analyzers on the line it sits on; a comment
+// that is the whole line suppresses the line below it, so call sites can
+// keep the justification above the code. A bare `//nolint` (no names) is
 // deliberately NOT honoured: suppressions must name what they silence.
-func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
-	// (file, line, analyzer) → suppressed.
-	sup := map[string]map[int]map[string]bool{}
-	for _, f := range pkg.Files {
-		tf := pkg.Fset.File(f.Pos())
-		if tf == nil {
+func collectNolint(pkg *Package) []*nolintDirective {
+	var out []*nolintDirective
+	for _, f := range pkg.AllFiles() {
+		if pkg.Fset.File(f.Pos()) == nil {
 			continue
 		}
 		for _, cg := range f.Comments {
@@ -129,32 +191,50 @@ func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				lines := []int{pos.Line}
+				d := &nolintDirective{
+					pos:   pos,
+					lines: [2]int{pos.Line, pos.Line},
+					names: names,
+					used:  map[string]bool{},
+				}
 				if pos.Column == 1 || onOwnLine(pkg.Fset, f, c) {
-					lines = append(lines, pos.Line+1)
+					d.lines[1] = pos.Line + 1
 				}
-				m := sup[pos.Filename]
-				if m == nil {
-					m = map[int]map[string]bool{}
-					sup[pos.Filename] = m
-				}
-				for _, ln := range lines {
-					if m[ln] == nil {
-						m[ln] = map[string]bool{}
-					}
-					for _, n := range names {
-						m[ln][n] = true
-					}
-				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// suppress drops diagnostics covered by //nolint directives, marking the
+// directives that did the suppressing.
+func suppress(directives []*nolintDirective, diags []Diagnostic) []Diagnostic {
+	// (file, line, analyzer) → directives covering it.
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	cover := map[key][]*nolintDirective{}
+	for _, d := range directives {
+		for ln := d.lines[0]; ln <= d.lines[1]; ln++ {
+			for _, n := range d.names {
+				k := key{file: d.pos.Filename, line: ln, analyzer: n}
+				cover[k] = append(cover[k], d)
 			}
 		}
 	}
 	var out []Diagnostic
-	for _, d := range diags {
-		if sup[d.Pos.Filename][d.Pos.Line][d.Analyzer] {
+	for _, diag := range diags {
+		k := key{file: diag.Pos.Filename, line: diag.Pos.Line, analyzer: diag.Analyzer}
+		if ds := cover[k]; len(ds) > 0 {
+			for _, d := range ds {
+				d.used[diag.Analyzer] = true
+			}
 			continue
 		}
-		out = append(out, d)
+		out = append(out, diag)
 	}
 	return out
 }

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// BaselineFile is the conventional baseline filename at the module root.
+// cmd/comparenb-vet and the selfcheck test pick it up automatically when
+// it exists.
+const BaselineFile = ".comparenb-vet-baseline.json"
+
+// Baseline is the checked-in list of accepted findings. It exists so
+// that a pre-existing, *justified* finding — the pipeline's phase-timing
+// reads, say — is suppressed in exactly one reviewable place instead of
+// scattering //nolint comments through code that is doing the right
+// thing. Entries match on analyzer + file + message, never on line
+// numbers, so unrelated edits cannot silently widen a suppression; and
+// an entry that stops matching anything is itself an error, so the
+// baseline can only shrink or be consciously re-justified.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry accepts one finding. File is module-root-relative with
+// forward slashes. Justification is mandatory: a baseline entry without
+// a reason is a //nolint without a name.
+type BaselineEntry struct {
+	Analyzer      string `json:"analyzer"`
+	File          string `json:"file"`
+	Message       string `json:"message"`
+	Justification string `json:"justification"`
+}
+
+// key is the match identity (line numbers deliberately excluded).
+func (e BaselineEntry) key() string { return e.Analyzer + "\x00" + e.File + "\x00" + e.Message }
+
+// LoadBaseline reads and validates a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if b.Version != 1 {
+		return nil, fmt.Errorf("baseline %s: unsupported version %d (want 1)", path, b.Version)
+	}
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for i, e := range b.Findings {
+		if e.Justification == "" {
+			return nil, fmt.Errorf("baseline %s: entry %d (%s in %s) has no justification", path, i, e.Analyzer, e.File)
+		}
+		if !known[e.Analyzer] {
+			return nil, fmt.Errorf("baseline %s: entry %d names unknown analyzer %q", path, i, e.Analyzer)
+		}
+	}
+	return &b, nil
+}
+
+// ApplyBaseline filters diags through the baseline: matched diagnostics
+// are dropped, and entries that matched nothing come back as stale (the
+// caller turns those into failures so the baseline never rots). modDir
+// anchors the relative paths.
+func ApplyBaseline(modDir string, b *Baseline, diags []Diagnostic) (kept []Diagnostic, stale []BaselineEntry) {
+	if b == nil {
+		return diags, nil
+	}
+	used := map[string]bool{}
+	entries := map[string]bool{}
+	for _, e := range b.Findings {
+		entries[e.key()] = true
+	}
+	for _, d := range diags {
+		k := BaselineEntry{Analyzer: d.Analyzer, File: relPath(modDir, d.Pos.Filename), Message: d.Message}.key()
+		if entries[k] {
+			used[k] = true
+			continue
+		}
+		kept = append(kept, d)
+	}
+	for _, e := range b.Findings {
+		if !used[e.key()] {
+			stale = append(stale, e)
+		}
+	}
+	return kept, stale
+}
+
+// relPath renders path relative to modDir with forward slashes, falling
+// back to the input when it is not under modDir.
+func relPath(modDir, path string) string {
+	rel, err := filepath.Rel(modDir, path)
+	if err != nil || rel == ".." || len(rel) > 1 && rel[0] == '.' && rel[1] == '.' {
+		return filepath.ToSlash(path)
+	}
+	return filepath.ToSlash(rel)
+}
+
+// FindModuleRoot exposes the loader's module-root discovery for the CLI
+// (baseline auto-detection and path relativisation).
+func FindModuleRoot(dir string) (string, error) { return findModuleRoot(dir) }

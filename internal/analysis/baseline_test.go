@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBaseline(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestLoadBaselineValidation pins the invariants of the checked-in file:
+// versioned, justified, and naming only real analyzers.
+func TestLoadBaselineValidation(t *testing.T) {
+	cases := []struct {
+		name, content, wantErr string
+	}{
+		{"bad version", `{"version": 2, "findings": []}`, "unsupported version"},
+		{"no justification", `{"version": 1, "findings": [{"analyzer": "detsource", "file": "a.go", "message": "m"}]}`, "no justification"},
+		{"unknown analyzer", `{"version": 1, "findings": [{"analyzer": "nosuch", "file": "a.go", "message": "m", "justification": "j"}]}`, "unknown analyzer"},
+		{"not json", `{`, "unexpected end"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := LoadBaseline(writeBaseline(t, c.content))
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("err = %v, want containing %q", err, c.wantErr)
+			}
+		})
+	}
+
+	ok := `{"version": 1, "findings": [{"analyzer": "detsource", "file": "a/b.go", "message": "m", "justification": "j"}]}`
+	b, err := LoadBaseline(writeBaseline(t, ok))
+	if err != nil || len(b.Findings) != 1 {
+		t.Fatalf("valid baseline rejected: %v", err)
+	}
+}
+
+// TestApplyBaseline pins the matching semantics: analyzer+file+message,
+// line-independent, with unmatched entries reported stale.
+func TestApplyBaseline(t *testing.T) {
+	b := &Baseline{Version: 1, Findings: []BaselineEntry{
+		{Analyzer: "detsource", File: "internal/pipeline/generate.go", Message: "msg one", Justification: "j"},
+		{Analyzer: "spanend", File: "internal/engine/cube.go", Message: "gone", Justification: "j"},
+	}}
+	diags := []Diagnostic{
+		// Matches entry 0 twice, at different lines: both suppressed.
+		{Analyzer: "detsource", Pos: token.Position{Filename: "/mod/internal/pipeline/generate.go", Line: 10}, Message: "msg one"},
+		{Analyzer: "detsource", Pos: token.Position{Filename: "/mod/internal/pipeline/generate.go", Line: 99}, Message: "msg one"},
+		// Same message, different file: kept.
+		{Analyzer: "detsource", Pos: token.Position{Filename: "/mod/internal/engine/cube.go", Line: 3}, Message: "msg one"},
+		// Same file, different analyzer: kept.
+		{Analyzer: "ctxloop", Pos: token.Position{Filename: "/mod/internal/pipeline/generate.go", Line: 10}, Message: "msg one"},
+	}
+	kept, stale := ApplyBaseline("/mod", b, diags)
+	if len(kept) != 2 {
+		t.Fatalf("kept %d diagnostics, want 2: %v", len(kept), kept)
+	}
+	if len(stale) != 1 || stale[0].Message != "gone" {
+		t.Fatalf("stale = %v, want the unmatched spanend entry", stale)
+	}
+
+	// Nil baseline is the identity.
+	kept, stale = ApplyBaseline("/mod", nil, diags)
+	if len(kept) != len(diags) || stale != nil {
+		t.Error("nil baseline must keep everything")
+	}
+}
+
+// TestCheckedInBaseline validates the real module baseline file: it must
+// load, and every entry must point at a file that still exists (a cheap
+// early warning independent of the full selfcheck).
+func TestCheckedInBaseline(t *testing.T) {
+	l := sharedLoader(t)
+	path := filepath.Join(l.ModDir, BaselineFile)
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		t.Skip("no checked-in baseline")
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range b.Findings {
+		if _, err := os.Stat(filepath.Join(l.ModDir, filepath.FromSlash(e.File))); err != nil {
+			t.Errorf("baseline entry references missing file %s", e.File)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxLoop enforces the PR 3 checkpoint discipline statically: in the hot
+// packages, an unbounded loop — `for { … }` with no condition, or a range
+// over a channel — must poll a context.Context somewhere in its body, so
+// cancellation always lands at a phase-safe checkpoint instead of hanging
+// a worker. Bounded loops (three-clause counts, ranges over slices, maps
+// and strings) are exempt: their stride-level polling is a performance
+// choice, not a liveness requirement.
+//
+// The poll may be indirect: a loop body that calls a helper which itself
+// polls (ctx.Err(), ctx.Done(), or a select over Done) satisfies the
+// rule — helpers export a "ctxloop.polls" fact, closed over the module
+// call graph, so the checkpoint can live several calls down.
+var CtxLoop = &Analyzer{
+	Name:          "ctxloop",
+	Doc:           "flags unbounded loops in hot packages that never poll a context",
+	Run:           runCtxLoop,
+	FactsFn:       ctxLoopFacts,
+	FactsFinalize: ctxLoopFinalize,
+	NoTestFiles:   true,
+}
+
+// ctxPollsFact marks functions that poll a context (directly or
+// transitively).
+const ctxPollsFact = "ctxloop.polls"
+
+// ctxLoopScope reports whether the checkpoint discipline applies to the
+// package (the same hot set as detsource).
+func ctxLoopScope(pkgPath string) bool {
+	return detScope(pkgPath)
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}
+
+// directCtxPoll reports whether n is a direct context poll: a call to
+// Err or Done on a context-typed expression (the select-over-Done idiom
+// reduces to a Done call inside the select).
+func directCtxPoll(info *types.Info, n ast.Node) bool {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Err" && sel.Sel.Name != "Done") {
+		return false
+	}
+	return isContextType(info.TypeOf(sel.X))
+}
+
+// ctxLoopFacts exports the polls fact for every function containing a
+// direct poll.
+func ctxLoopFacts(fp *FactPass) {
+	pkg := fp.Pkg
+	for _, file := range pkg.AllFiles() {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			polls := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if directCtxPoll(pkg.Info, n) {
+					polls = true
+				}
+				return !polls
+			})
+			if polls {
+				fp.Facts.Export(FuncID(fn), ctxPollsFact, true)
+			}
+		}
+	}
+}
+
+// ctxLoopFinalize closes the polls fact: calling a polling function is
+// itself a poll (the helper checkpoint pattern).
+func ctxLoopFinalize(f *Facts) {
+	f.Propagate(ctxPollsFact, func(cur, _ any, _ string) (any, bool) {
+		if cur != nil {
+			return cur, false
+		}
+		return true, true
+	})
+}
+
+// runCtxLoop flags unbounded loops without a checkpoint.
+func runCtxLoop(p *Pass) {
+	if !ctxLoopScope(p.Path) {
+		return
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			var what string
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				if n.Cond != nil {
+					return true
+				}
+				body, what = n.Body, "unbounded for loop"
+			case *ast.RangeStmt:
+				t := p.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, ok := t.Underlying().(*types.Chan); !ok {
+					return true
+				}
+				body, what = n.Body, "range over channel"
+			default:
+				return true
+			}
+			if !ctxLoopBodyPolls(p, body) {
+				p.Reportf(n.Pos(), "%s without a context checkpoint; poll ctx.Err() (directly or via a polling helper) so cancellation stays phase-safe", what)
+			}
+			return true
+		})
+	}
+}
+
+// ctxLoopBodyPolls reports whether the loop body contains a checkpoint:
+// a direct poll, or a call to a function carrying the polls fact.
+func ctxLoopBodyPolls(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if directCtxPoll(p.Info, n) {
+			found = true
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if callee := CalleeFunc(p.Info, call); callee != nil {
+				if _, ok := p.Facts.Import(FuncID(callee), ctxPollsFact); ok {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPropagateFixpoint pins the propagation semantics on a hand-built
+// graph with a cycle: facts flow from callee to caller and converge even
+// when the call graph is recursive.
+func TestPropagateFixpoint(t *testing.T) {
+	f := NewFacts()
+	// leaf ← mid ← top, plus a mutual recursion pair {a, b} where only b
+	// reaches the leaf.
+	f.calls["mid"] = []string{"leaf"}
+	f.calls["top"] = []string{"mid"}
+	f.calls["a"] = []string{"b"}
+	f.calls["b"] = []string{"a", "leaf"}
+	f.Export("leaf", "t.flag", true)
+
+	f.Propagate("t.flag", func(cur, _ any, _ string) (any, bool) {
+		if cur != nil {
+			return cur, false
+		}
+		return true, true
+	})
+
+	for _, id := range []string{"leaf", "mid", "top", "a", "b"} {
+		if _, ok := f.Import(id, "t.flag"); !ok {
+			t.Errorf("fact did not reach %s", id)
+		}
+	}
+	if _, ok := f.Import("unrelated", "t.flag"); ok {
+		t.Error("fact leaked to a function with no path to the source")
+	}
+}
+
+// TestCallGraphEdges confirms BuildFacts records resolvable static calls
+// — plain intra-package calls included — under FullName keys.
+func TestCallGraphEdges(t *testing.T) {
+	l := sharedLoader(t)
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", "ctxloop"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts := BuildFacts([]*Package{pkg}, All())
+	const caller = "comparenb/internal/analysis/testdata/src/ctxloop.checkpointIndirect"
+	const callee = "comparenb/internal/analysis/testdata/src/ctxloop.checkpoint"
+	found := false
+	for _, c := range facts.Callees(caller) {
+		if c == callee {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("call edge %s -> %s missing; callees: %v", caller, callee, facts.Callees(caller))
+	}
+	// The polls fact must have closed transitively over that edge.
+	if _, ok := facts.Import(caller, "ctxloop.polls"); !ok {
+		t.Error("ctxloop.polls did not propagate to the indirect checkpoint helper")
+	}
+}
+
+// TestShortFuncID pins the diagnostic-rendering helper.
+func TestShortFuncID(t *testing.T) {
+	cases := map[string]string{
+		"comparenb/internal/tap.SolveAnytime":              "tap.SolveAnytime",
+		"(comparenb/internal/engine.CubeCache).GetOrBuild": "(engine.CubeCache).GetOrBuild",
+		"time.Now": "time.Now",
+	}
+	for in, want := range cases {
+		if got := shortFuncID(in); got != want {
+			t.Errorf("shortFuncID(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if !strings.HasPrefix(shortFuncID("(*comparenb/internal/obs.Registry).Timing"), "(*") {
+		t.Error("pointer-receiver IDs must keep their receiver shape")
+	}
+}

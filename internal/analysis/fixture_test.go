@@ -27,21 +27,56 @@ func sharedLoader(t *testing.T) *Loader {
 	return loaderVal
 }
 
-// TestFixtures runs each analyzer over its testdata/src/<name> package and
-// checks the diagnostics against `// want "substring"` comments: every
-// want line must produce a matching diagnostic, and every diagnostic must
-// land on a want line. Suppressed lines (//nolint) double as tests of the
-// suppression machinery — they carry no want comment and must stay silent.
+// loadFixture loads the analyzer's fixture package plus its helper
+// subpackage when one exists (helpers model out-of-scope code whose facts
+// must flow into the fixture transitively).
+func loadFixture(t *testing.T, l *Loader, name string) []*Package {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	var pkgs []*Package
+	if helper := filepath.Join(dir, "helper"); hasGoFiles(helper) {
+		p, err := l.LoadDir(helper)
+		if err != nil {
+			t.Fatalf("loading %s helper: %v", name, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	p, err := l.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	return append(pkgs, p)
+}
+
+// TestFixtures runs the whole suite over each analyzer's
+// testdata/src/<name> package and checks that analyzer's diagnostics
+// against `// want "substring"` comments: every want line must produce a
+// matching diagnostic, and every diagnostic must land on a want line.
+// The full suite runs (rather than the one analyzer) so suppression and
+// nolintlint staleness behave exactly as in a real comparenb-vet run;
+// other analyzers' findings in the fixture are ignored. Suppressed lines
+// (//nolint) double as tests of the suppression machinery — they carry no
+// want comment and must stay silent.
 func TestFixtures(t *testing.T) {
 	for _, a := range All() {
 		t.Run(a.Name, func(t *testing.T) {
 			l := sharedLoader(t)
-			pkg, err := l.LoadDir(filepath.Join("testdata", "src", a.Name))
-			if err != nil {
-				t.Fatalf("loading fixture: %v", err)
+			pkgs := loadFixture(t, l, a.Name)
+			var wants map[string]string
+			for _, pkg := range pkgs {
+				for k, v := range collectWants(pkg) {
+					if wants == nil {
+						wants = map[string]string{}
+					}
+					wants[k] = v
+				}
 			}
-			wants := collectWants(pkg)
-			diags := Run(pkg, []*Analyzer{a})
+			var diags []Diagnostic
+			for _, d := range RunModule(pkgs, All()) {
+				if d.Analyzer == a.Name {
+					diags = append(diags, d)
+				}
+			}
 
 			matched := map[string]bool{}
 			for _, d := range diags {
@@ -65,16 +100,29 @@ func TestFixtures(t *testing.T) {
 	}
 }
 
-// collectWants extracts `// want "…"` expectations, keyed file:line.
+// collectWants extracts `// want "…"` expectations, keyed file:line. The
+// marker may be a whole comment or trail a //nolint directive as its
+// reason (`//nolint:x // want "stale"`), which is how the nolintlint
+// fixture annotates findings that sit on the directive itself.
 func collectWants(pkg *Package) map[string]string {
 	wants := map[string]string{}
-	for _, f := range pkg.Files {
+	for _, f := range pkg.AllFiles() {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, `// want "`)
-				if !ok {
+				const marker = `// want "`
+				var i int
+				if strings.HasPrefix(c.Text, marker) {
+					i = 0
+				} else if strings.HasPrefix(c.Text, "//nolint:") {
+					// Prose mentions of the marker (fixture doc comments)
+					// must not count; only directives carry embedded wants.
+					if i = strings.Index(c.Text, marker); i < 0 {
+						continue
+					}
+				} else {
 					continue
 				}
+				rest := c.Text[i+len(marker):]
 				end := strings.LastIndex(rest, `"`)
 				if end < 0 {
 					continue
@@ -115,13 +163,22 @@ func TestNolintParsing(t *testing.T) {
 	}
 }
 
-// TestByName pins the registry lookup used by the CLI's -checks flag.
+// TestByName pins the registry lookup used by the CLI's -checks flag:
+// known names resolve, unknown names produce an error that names every
+// offender and lists the valid set.
 func TestByName(t *testing.T) {
-	if got := ByName([]string{"maporder", "floateq"}); len(got) != 2 {
-		t.Fatalf("ByName known names: got %d analyzers, want 2", len(got))
+	got, err := ByName([]string{"maporder", "floateq"})
+	if err != nil || len(got) != 2 {
+		t.Fatalf("ByName known names: got %d analyzers, err %v; want 2, nil", len(got), err)
 	}
-	if got := ByName([]string{"maporder", "nosuch"}); got != nil {
-		t.Fatalf("ByName with unknown name should be nil, got %v", got)
+	got, err = ByName([]string{"maporder", "nosuch", "alsonot"})
+	if got != nil || err == nil {
+		t.Fatalf("ByName with unknown names: got %v, err %v; want nil, error", got, err)
+	}
+	for _, frag := range []string{`"nosuch"`, `"alsonot"`, "maporder", "detsource"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("ByName error %q does not mention %s", err, frag)
+		}
 	}
 }
 
@@ -139,25 +196,6 @@ func TestDiagnosticString(t *testing.T) {
 	s := diags[0].String()
 	if !strings.Contains(s, "floateq.go:") || !strings.Contains(s, ": floateq: ") {
 		t.Errorf("unexpected diagnostic format: %q", s)
-	}
-}
-
-// TestLoaderSkipsTests confirms _test.go files are never analysed: the
-// rules target production code only.
-func TestLoaderSkipsTests(t *testing.T) {
-	l := sharedLoader(t)
-	pkg, err := l.LoadDir(".")
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, f := range pkg.Files {
-		name := pkg.Fset.Position(f.Pos()).Filename
-		if strings.HasSuffix(name, "_test.go") {
-			t.Errorf("loader picked up test file %s", name)
-		}
-	}
-	if _, ok := pkg.Types.Scope().Lookup("TestFixtures").(interface{}); ok {
-		t.Error("test declarations leaked into the type-checked package")
 	}
 }
 
@@ -187,5 +225,43 @@ func TestWantCommentsPresent(t *testing.T) {
 		if !hasNolint {
 			t.Errorf("%s fixture has no //nolint case", a.Name)
 		}
+	}
+}
+
+// TestLoaderIncludesTests confirms the default loader folds in-package
+// _test.go files into the package's type information, while a loader
+// with IncludeTests unset reproduces the old production-only view.
+func TestLoaderIncludesTests(t *testing.T) {
+	l := sharedLoader(t)
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", "generics"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.TestFiles) == 0 {
+		t.Fatal("generics fixture: no test files folded in")
+	}
+	if pkg.Types.Scope().Lookup("testOnlyHelper") == nil {
+		t.Error("test-file declaration missing from the combined type info")
+	}
+	for _, f := range pkg.TestFiles {
+		if !pkg.IsTestFile(f.Pos()) {
+			t.Errorf("IsTestFile false for test file %s", pkg.Fset.Position(f.Pos()).Filename)
+		}
+	}
+
+	noTests, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	noTests.IncludeTests = false
+	pkg2, err := noTests.LoadDir(filepath.Join("testdata", "src", "generics"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg2.TestFiles) != 0 {
+		t.Error("IncludeTests=false still loaded test files")
+	}
+	if pkg2.Types.Scope().Lookup("testOnlyHelper") != nil {
+		t.Error("IncludeTests=false leaked test declarations into type info")
 	}
 }

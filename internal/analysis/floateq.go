@@ -16,10 +16,15 @@ import (
 //
 // Comparisons where both operands are constants are allowed (the compiler
 // evaluates those exactly).
+//
+// Test files are exempt (NoTestFiles): this module's tests assert
+// bit-identical outputs across thread counts and seeds, so exact float
+// comparison in a _test.go file is the contract under test, not a bug.
 var FloatEq = &Analyzer{
-	Name: "floateq",
-	Doc:  "flags == / != between float-typed expressions",
-	Run:  runFloatEq,
+	Name:        "floateq",
+	Doc:         "flags == / != between float-typed expressions (production code only)",
+	Run:         runFloatEq,
+	NoTestFiles: true,
 }
 
 func runFloatEq(p *Pass) {

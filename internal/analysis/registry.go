@@ -1,36 +1,62 @@
 package analysis
 
-// All returns every analyzer in the suite, in stable order. Both the
-// comparenb-vet CLI and the selfcheck test run exactly this list, so the
-// command line and the test suite can never disagree about the rules.
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// All returns every analyzer in the suite, in stable (alphabetical)
+// order. Both the comparenb-vet CLI and the selfcheck test run exactly
+// this list, so the command line and the test suite can never disagree
+// about the rules.
 func All() []*Analyzer {
 	return []*Analyzer{
+		CtxLoop,
+		DetSource,
 		ErrCheck,
 		FloatEq,
+		GoroutineJoin,
 		MapOrder,
+		NolintLint,
 		NoPanic,
+		SpanEnd,
 		SyncByValue,
 	}
 }
 
-// ByName returns the named analyzers, or an error listing for unknown
-// names (nil slice means "unknown name present").
-func ByName(names []string) []*Analyzer {
+// ByName returns the named analyzers. Unknown names are an error listing
+// every offender, so the CLI can tell the user exactly what it did not
+// recognise.
+func ByName(names []string) ([]*Analyzer, error) {
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
 	var out []*Analyzer
+	var unknown []string
 	for _, n := range names {
-		found := false
-		for _, a := range All() {
-			if a.Name == n {
-				out = append(out, a)
-				found = true
-				break
-			}
-		}
-		if !found {
-			return nil
+		if a, ok := byName[n]; ok {
+			out = append(out, a)
+		} else {
+			unknown = append(unknown, fmt.Sprintf("%q", n))
 		}
 	}
-	return out
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("unknown analyzer(s) %s; known: %s",
+			strings.Join(unknown, ", "), strings.Join(Names(), ", "))
+	}
+	return out, nil
+}
+
+// Names lists every registered analyzer name, in All() order.
+func Names() []string {
+	var names []string
+	for _, a := range All() {
+		names = append(names, a.Name)
+	}
+	return names
 }
 
 // CheckModule loads every package of the module containing dir and runs
@@ -46,9 +72,5 @@ func CheckModule(dir string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	if err != nil {
 		return nil, err
 	}
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		diags = append(diags, Run(pkg, analyzers)...)
-	}
-	return diags, nil
+	return RunModule(pkgs, analyzers), nil
 }

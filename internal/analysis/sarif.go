@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// This file renders diagnostics for machine consumers: a small stable
+// JSON shape for scripting, and SARIF 2.1.0 for code-scanning UIs. Both
+// use module-root-relative forward-slash paths so output is identical
+// across checkouts — the same property the notebooks themselves are held
+// to.
+
+// jsonFinding is one diagnostic in the -json output.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Findings []jsonFinding `json:"findings"`
+	Count    int           `json:"count"`
+}
+
+// WriteJSON emits diags as indented JSON. Paths are made relative to
+// modDir. Findings is always a (possibly empty) array, never null.
+func WriteJSON(w io.Writer, modDir string, diags []Diagnostic) error {
+	rep := jsonReport{Findings: []jsonFinding{}, Count: len(diags)}
+	for _, d := range diags {
+		rep.Findings = append(rep.Findings, jsonFinding{
+			Analyzer: d.Analyzer,
+			File:     relPath(modDir, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// --- SARIF 2.1.0 (minimal subset) ----------------------------------------
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+const sarifSchemaURI = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+// WriteSARIF emits diags as a SARIF 2.1.0 log with one run. Every
+// analyzer in analyzers appears in the rules table (so code-scanning UIs
+// can show docs for rules with zero findings this run); results
+// reference rules by id.
+func WriteSARIF(w io.Writer, modDir string, analyzers []*Analyzer, diags []Diagnostic) error {
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "warning",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: relPath(modDir, d.Pos.Filename)},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  sarifSchemaURI,
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "comparenb-vet", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

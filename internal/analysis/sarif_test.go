@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func sampleDiags() []Diagnostic {
+	return []Diagnostic{
+		{
+			Analyzer: "detsource",
+			Pos:      token.Position{Filename: "/mod/internal/pipeline/generate.go", Line: 141, Column: 11},
+			Message:  "nondeterminism source time.Now called in GenerateContext",
+		},
+		{
+			Analyzer: "spanend",
+			Pos:      token.Position{Filename: "/mod/internal/engine/cube.go", Line: 7, Column: 2},
+			Message:  "span sp is never ended",
+		},
+	}
+}
+
+// TestWriteJSON pins the -json shape: module-relative slash paths, a
+// findings array that is never null, and a count.
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, "/mod", sampleDiags()); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Findings []map[string]any `json:"findings"`
+		Count    int              `json:"count"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if got.Count != 2 || len(got.Findings) != 2 {
+		t.Fatalf("count = %d, findings = %d; want 2, 2", got.Count, len(got.Findings))
+	}
+	if f := got.Findings[0]; f["file"] != "internal/pipeline/generate.go" || f["analyzer"] != "detsource" || f["line"] != float64(141) {
+		t.Errorf("first finding mis-rendered: %v", f)
+	}
+
+	buf.Reset()
+	if err := WriteJSON(&buf, "/mod", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"findings": []`) {
+		t.Errorf("empty run must render findings as [], got: %s", buf.String())
+	}
+}
+
+// sarifStructuralChecks is the schema subset the emitter must satisfy: the
+// required properties of SARIF 2.1.0 for logs, runs, tools, results and
+// locations, plus the cross-reference that every result's ruleId resolves
+// in the driver's rules table. It is a structural validation (no network,
+// no external schema file), covering every field the emitter writes.
+func sarifStructuralChecks(t *testing.T, data []byte) {
+	t.Helper()
+	var log map[string]any
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if v, _ := log["version"].(string); v != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", v)
+	}
+	if s, _ := log["$schema"].(string); !strings.Contains(s, "sarif-schema-2.1.0") {
+		t.Errorf("$schema %q does not reference the 2.1.0 schema", s)
+	}
+	runs, ok := log["runs"].([]any)
+	if !ok || len(runs) != 1 {
+		t.Fatalf("runs must be a one-element array, got %T len %d", log["runs"], len(runs))
+	}
+	run, _ := runs[0].(map[string]any)
+	tool, _ := run["tool"].(map[string]any)
+	driver, _ := tool["driver"].(map[string]any)
+	if driver == nil {
+		t.Fatal("runs[0].tool.driver missing")
+	}
+	if name, _ := driver["name"].(string); name != "comparenb-vet" {
+		t.Errorf("driver.name = %q", name)
+	}
+	ruleIDs := map[string]bool{}
+	rules, _ := driver["rules"].([]any)
+	for _, r := range rules {
+		rm, _ := r.(map[string]any)
+		id, _ := rm["id"].(string)
+		if id == "" {
+			t.Error("rule without id")
+			continue
+		}
+		desc, _ := rm["shortDescription"].(map[string]any)
+		if txt, _ := desc["text"].(string); txt == "" {
+			t.Errorf("rule %s lacks shortDescription.text", id)
+		}
+		ruleIDs[id] = true
+	}
+	results, ok := run["results"].([]any)
+	if !ok {
+		t.Fatal("runs[0].results must be an array (possibly empty), not absent")
+	}
+	for i, r := range results {
+		rm, _ := r.(map[string]any)
+		rid, _ := rm["ruleId"].(string)
+		if !ruleIDs[rid] {
+			t.Errorf("results[%d].ruleId %q not in driver.rules", i, rid)
+		}
+		msg, _ := rm["message"].(map[string]any)
+		if txt, _ := msg["text"].(string); txt == "" {
+			t.Errorf("results[%d] lacks message.text", i)
+		}
+		locs, _ := rm["locations"].([]any)
+		if len(locs) != 1 {
+			t.Errorf("results[%d] has %d locations, want 1", i, len(locs))
+			continue
+		}
+		loc, _ := locs[0].(map[string]any)
+		phys, _ := loc["physicalLocation"].(map[string]any)
+		art, _ := phys["artifactLocation"].(map[string]any)
+		uri, _ := art["uri"].(string)
+		if uri == "" || strings.HasPrefix(uri, "/") || strings.Contains(uri, "\\") {
+			t.Errorf("results[%d] artifact uri %q must be relative with forward slashes", i, uri)
+		}
+		region, _ := phys["region"].(map[string]any)
+		if line, _ := region["startLine"].(float64); line < 1 {
+			t.Errorf("results[%d] region.startLine = %v, want >= 1", i, line)
+		}
+	}
+}
+
+// TestWriteSARIF validates the emitter against the structural schema
+// check, with findings and empty.
+func TestWriteSARIF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, "/mod", All(), sampleDiags()); err != nil {
+		t.Fatal(err)
+	}
+	sarifStructuralChecks(t, buf.Bytes())
+	if !strings.Contains(buf.String(), "internal/pipeline/generate.go") {
+		t.Error("expected module-relative path in SARIF output")
+	}
+
+	buf.Reset()
+	if err := WriteSARIF(&buf, "/mod", All(), nil); err != nil {
+		t.Fatal(err)
+	}
+	sarifStructuralChecks(t, buf.Bytes())
+	if !strings.Contains(buf.String(), `"results": []`) {
+		t.Error("empty run must render results as [], not null")
+	}
+}

@@ -1,16 +1,21 @@
 package analysis
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
 // TestSelfCheck runs every analyzer over the whole repository, exactly as
-// cmd/comparenb-vet does, and fails on any unsuppressed finding. Because
-// this runs inside go test ./..., the tier-1 gate enforces the project's
-// determinism, numeric-hygiene and error-discipline rules on every future
-// change: a new unsorted map iteration on an output path, a raw float ==,
-// a dropped error or a stray panic in the engine breaks the build.
+// cmd/comparenb-vet does — interprocedural facts spanning the module,
+// test files included, the checked-in baseline applied — and fails on any
+// unsuppressed finding or stale baseline entry. Because this runs inside
+// go test ./..., the tier-1 gate enforces the project's determinism,
+// numeric-hygiene and error-discipline rules on every future change: a
+// new unsorted map iteration on an output path, a helper that quietly
+// starts calling time.Now under the notebook renderer, an unended span or
+// a leaked goroutine breaks the build.
 func TestSelfCheck(t *testing.T) {
 	if testing.Short() {
 		t.Skip("selfcheck type-checks the whole module; skipped in -short mode")
@@ -46,14 +51,28 @@ func TestSelfCheck(t *testing.T) {
 		t.Error("internal/faultinject not among loaded packages; the robustness hooks are unchecked")
 	}
 
-	var failures []string
-	for _, pkg := range pkgs {
-		for _, d := range Run(pkg, All()) {
-			failures = append(failures, d.String())
+	diags := RunModule(pkgs, All())
+
+	var baseline *Baseline
+	blPath := filepath.Join(l.ModDir, BaselineFile)
+	if _, err := os.Stat(blPath); err == nil {
+		baseline, err = LoadBaseline(blPath)
+		if err != nil {
+			t.Fatalf("baseline: %v", err)
 		}
+	}
+	kept, stale := ApplyBaseline(l.ModDir, baseline, diags)
+
+	var failures []string
+	for _, d := range kept {
+		failures = append(failures, d.String())
 	}
 	if len(failures) > 0 {
 		t.Errorf("comparenb-vet found %d unsuppressed finding(s):\n%s",
 			len(failures), strings.Join(failures, "\n"))
+	}
+	for _, e := range stale {
+		t.Errorf("stale baseline entry: %s in %s (%q) no longer matches any finding; remove it",
+			e.Analyzer, e.File, e.Message)
 	}
 }

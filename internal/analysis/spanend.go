@@ -1,0 +1,346 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpanEnd pairs every obs.StartSpan with its End. An unended span is
+// silent data corruption in the trace: the Chrome-trace exporter nests
+// spans by LIFO order per track, so one missing End mis-parents every
+// later span on the track — and the bug only shows up as a garbled
+// timeline long after the code merged.
+//
+// The rule: a span returned by obs.StartSpan must be ended on every path
+// out of the function. Accepted shapes, in the order the analyzer checks
+// them:
+//
+//   - `defer sp.End()` — covers all paths;
+//   - an `sp.End()` call that dominates the exit lexically: it sits in
+//     the same statement list as the StartSpan (every later exit passes
+//     it), or in a statement list enclosing the exit, before the branch
+//     the exit is in.
+//
+// A span that is discarded (`obs.StartSpan(…)` as a bare statement or
+// assigned to _), or whose variable escapes the function (passed on,
+// stored, returned), cannot be tracked; the first two are reported, the
+// escape is skipped. The analysis is lexical, not a full CFG: a `break`
+// or `continue` that jumps over an End is missed, and an End inside a
+// conditional is (correctly) not trusted to cover exits outside it.
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc:  "flags obs spans not ended on every path out of the function",
+	Run:  runSpanEnd,
+}
+
+// isStartSpanCall reports whether call resolves to obs.StartSpan.
+func isStartSpanCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := CalleeFunc(info, call)
+	return fn != nil && fn.FullName() == "comparenb/internal/obs.StartSpan"
+}
+
+func runSpanEnd(p *Pass) {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			spanEndFunc(p, fd)
+		}
+	}
+}
+
+// spanEndFunc checks one function. Closures are analyzed as part of
+// their enclosing declaration: a span started in a closure must be ended
+// within that closure's lexical extent, which the same-list and
+// enclosing-list rules give us for free because the exits considered for
+// a span are only those inside the innermost function literal containing
+// its StartSpan.
+func spanEndFunc(p *Pass, fd *ast.FuncDecl) {
+	parents := buildParents(fd)
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && isStartSpanCall(p.Info, call) {
+				p.Reportf(call.Pos(), "result of obs.StartSpan discarded; the span can never be ended")
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isStartSpanCall(p.Info, call) || i >= len(n.Lhs) {
+					continue
+				}
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok || id.Name == "_" {
+					p.Reportf(call.Pos(), "result of obs.StartSpan discarded; the span can never be ended")
+					continue
+				}
+				obj := p.Info.ObjectOf(id)
+				if obj == nil {
+					continue
+				}
+				spanEndVar(p, fd, parents, n, obj)
+			}
+		}
+		return true
+	})
+}
+
+// spanEndVar checks the span held in obj, started at assign.
+func spanEndVar(p *Pass, fd *ast.FuncDecl, parents map[ast.Node]ast.Node, assign *ast.AssignStmt, obj types.Object) {
+	owner := enclosingFuncNode(parents, assign, fd)
+	var deferred, ends []ast.Stmt
+	escapes := false
+	ast.Inspect(owner, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if isEndCall(p, n.Call, obj) {
+				deferred = append(deferred, n)
+			}
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && isEndCall(p, call, obj) {
+				ends = append(ends, n)
+			}
+		case *ast.Ident:
+			if p.Info.Uses[n] != obj {
+				return true
+			}
+			// A use that is not the receiver of .End() and not the
+			// definition itself: the span escapes our tracking. `_ = sp`
+			// (the silence-the-compiler idiom) hands the span to nobody,
+			// so it does not count as an escape.
+			if !isEndReceiver(parents, n) && n.Pos() != assignLhsPos(assign, obj) && !isBlankAssignUse(parents, n) {
+				escapes = true
+			}
+		}
+		return true
+	})
+	if escapes {
+		return
+	}
+	if len(deferred)+len(ends) == 0 {
+		p.Reportf(assign.Pos(), "span %s is never ended; add defer %s.End() or end it on every path", obj.Name(), obj.Name())
+		return
+	}
+	if len(deferred) > 0 {
+		// Any defer is accepted: conditional defers are rare enough that
+		// trusting them costs less than flagging them.
+		return
+	}
+	spanList := stmtList(parents, assign)
+	for _, exit := range spanExits(parents, owner, assign) {
+		if spanExitCovered(parents, spanList, assign, ends, exit) {
+			continue
+		}
+		p.Reportf(exit.pos, "span %s started at line %d may not be ended on this path; call %s.End() before returning or use defer",
+			obj.Name(), p.Fset.Position(assign.Pos()).Line, obj.Name())
+	}
+}
+
+// spanExit is one way control leaves the function after the span starts.
+type spanExit struct {
+	pos  token.Pos
+	node ast.Node // the return statement, or the body for fall-off-end
+}
+
+// spanExits collects the exits that matter for a span started at assign:
+// return statements after it inside the same function literal or
+// declaration, plus the implicit fall-off-the-end exit.
+func spanExits(parents map[ast.Node]ast.Node, owner ast.Node, assign *ast.AssignStmt) []spanExit {
+	var body *ast.BlockStmt
+	switch o := owner.(type) {
+	case *ast.FuncDecl:
+		body = o.Body
+	case *ast.FuncLit:
+		body = o.Body
+	}
+	var exits []spanExit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && fl != owner {
+			return false // nested closures have their own spans and exits
+		}
+		if ret, ok := n.(*ast.ReturnStmt); ok && ret.Pos() > assign.End() {
+			exits = append(exits, spanExit{pos: ret.Pos(), node: ret})
+		}
+		return true
+	})
+	if len(body.List) == 0 || !terminating(body.List[len(body.List)-1]) {
+		exits = append(exits, spanExit{pos: body.Rbrace, node: body})
+	}
+	return exits
+}
+
+// terminating reports whether the statement always transfers control
+// (the shapes that matter here; anything else counts as falling off).
+func terminating(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.ForStmt:
+		// for {} with no break is endless; treating every for{} as
+		// terminating is close enough for span accounting.
+		return s.Cond == nil
+	}
+	return false
+}
+
+// spanExitCovered reports whether one of the End statements dominates the
+// exit lexically: it shares the span's own statement list and precedes
+// the exit positionally, or its statement list (transitively) contains
+// the exit at a later index.
+func spanExitCovered(parents map[ast.Node]ast.Node, spanList []ast.Stmt, assign *ast.AssignStmt, ends []ast.Stmt, exit spanExit) bool {
+	for _, end := range ends {
+		if end.Pos() <= assign.Pos() || end.Pos() > exit.pos {
+			// An End before the span starts, or after the exit, cannot
+			// run on the path to it. (The implicit fall-off exit sits at
+			// the closing brace, after every End.)
+			continue
+		}
+		endList := stmtListOf(parents, end)
+		if sameList(endList, spanList) {
+			// Same straight line as the StartSpan: every later exit
+			// passes this End — including exits beyond the enclosing
+			// construct when the span lives in a loop body. (Exits
+			// between the start and this End are checked on their own.)
+			return true
+		}
+		// Enclosing-list rule: the End's list transitively contains the
+		// exit at a later index, so the exit's branch runs after it.
+		idxEnd := indexIn(endList, end)
+		if idxEnd < 0 {
+			continue
+		}
+		for i := idxEnd + 1; i < len(endList); i++ {
+			if containsPos(endList[i], exit.pos) {
+				return true
+			}
+		}
+		// Fall-off-the-end exit: covered when the End sits in the
+		// function body's own top-level list.
+		if bl, ok := exit.node.(*ast.BlockStmt); ok && len(bl.List) > 0 && sameList(endList, bl.List) {
+			return true
+		}
+	}
+	return false
+}
+
+// --- small structural helpers -------------------------------------------
+
+// buildParents records each node's parent within the declaration.
+func buildParents(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// enclosingFuncNode walks up to the innermost FuncLit containing n, or
+// returns fd.
+func enclosingFuncNode(parents map[ast.Node]ast.Node, n ast.Node, fd *ast.FuncDecl) ast.Node {
+	for cur := parents[n]; cur != nil; cur = parents[cur] {
+		if fl, ok := cur.(*ast.FuncLit); ok {
+			return fl
+		}
+	}
+	return fd
+}
+
+// stmtList returns the statement list directly containing n (walking up
+// to the nearest BlockStmt or clause body).
+func stmtList(parents map[ast.Node]ast.Node, n ast.Node) []ast.Stmt {
+	for cur := n; cur != nil; cur = parents[cur] {
+		switch parent := parents[cur].(type) {
+		case *ast.BlockStmt:
+			return parent.List
+		case *ast.CaseClause:
+			return parent.Body
+		case *ast.CommClause:
+			return parent.Body
+		}
+	}
+	return nil
+}
+
+// stmtListOf is stmtList for a statement known to sit in a list.
+func stmtListOf(parents map[ast.Node]ast.Node, s ast.Stmt) []ast.Stmt {
+	return stmtList(parents, s)
+}
+
+// sameList reports whether two statement lists are the same slice.
+func sameList(a, b []ast.Stmt) bool {
+	return len(a) > 0 && len(b) > 0 && len(a) == len(b) && a[0] == b[0]
+}
+
+// indexIn finds s in list, or -1.
+func indexIn(list []ast.Stmt, s ast.Stmt) int {
+	for i, x := range list {
+		if x == s {
+			return i
+		}
+	}
+	return -1
+}
+
+// containsPos reports whether pos falls inside n's extent.
+func containsPos(n ast.Node, pos token.Pos) bool {
+	return n.Pos() <= pos && pos <= n.End()
+}
+
+// isBlankAssignUse reports whether id is the sole right-hand side of a
+// `_ = id` assignment.
+func isBlankAssignUse(parents map[ast.Node]ast.Node, id *ast.Ident) bool {
+	as, ok := parents[id].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 || as.Rhs[0] != ast.Expr(id) {
+		return false
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	return ok && lhs.Name == "_"
+}
+
+// isEndReceiver reports whether id is the x in x.End().
+func isEndReceiver(parents map[ast.Node]ast.Node, id *ast.Ident) bool {
+	sel, ok := parents[id].(*ast.SelectorExpr)
+	if !ok || sel.X != id || sel.Sel.Name != "End" {
+		return false
+	}
+	call, ok := parents[sel].(*ast.CallExpr)
+	return ok && call.Fun == sel
+}
+
+// isEndCall reports whether call is obj.End().
+func isEndCall(p *Pass, call *ast.CallExpr, obj types.Object) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && p.Info.Uses[id] == obj
+}
+
+// assignLhsPos returns the position of obj's defining ident in assign.
+func assignLhsPos(assign *ast.AssignStmt, obj types.Object) token.Pos {
+	for _, lhs := range assign.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name == obj.Name() {
+			return id.Pos()
+		}
+	}
+	return token.NoPos
+}

@@ -1,0 +1,8 @@
+// Package buildtags exercises the loader's build-constraint handling:
+// files excluded by //go:build lines or GOOS filename suffixes must never
+// reach the type checker (the excluded files here redeclare Here, so
+// loading them would be a type error).
+package buildtags
+
+// Here is declared in the always-built file.
+func Here() int { return 1 }

@@ -1,0 +1,11 @@
+//go:build comparenb_never_enabled
+
+// Excluded by a tag no build sets: redeclares Here so that accidental
+// inclusion is a loud type-check failure, not a silent pass.
+package buildtags
+
+// Here conflicts with the real declaration on purpose.
+func Here() string { return "tagged out" }
+
+// TaggedOut must not appear in the loaded package's scope.
+func TaggedOut() {}

@@ -1,0 +1,10 @@
+// Excluded everywhere but GOOS=windows by the filename suffix; redeclares
+// Here so accidental inclusion on other platforms fails loudly.
+package buildtags
+
+// Here conflicts with the real declaration on purpose.
+func Here() float64 { return 2.0 }
+
+// WindowsOnly must not appear in the loaded package's scope on other
+// platforms.
+func WindowsOnly() {}

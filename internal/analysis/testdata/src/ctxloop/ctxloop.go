@@ -1,0 +1,99 @@
+// Package ctxloop is the fixture for the context-checkpoint analyzer:
+// unbounded loops in hot packages must poll a context, directly or via a
+// helper that does.
+package ctxloop
+
+import "context"
+
+// badForever spins with no way to observe cancellation.
+func badForever(work func()) {
+	for { // want "unbounded for loop without a context checkpoint"
+		work()
+	}
+}
+
+// badDrain ranges a channel with no checkpoint.
+func badDrain(ch chan int) int {
+	total := 0
+	for v := range ch { // want "range over channel without a context checkpoint"
+		total += v
+	}
+	return total
+}
+
+// goodErrPoll checks ctx.Err each turn.
+func goodErrPoll(ctx context.Context, work func()) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		work()
+	}
+}
+
+// goodSelectDone uses the select-over-Done idiom.
+func goodSelectDone(ctx context.Context, ch chan int) int {
+	total := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return total
+		case v := <-ch:
+			total += v
+		}
+	}
+}
+
+// checkpoint is the polling helper other loops lean on.
+func checkpoint(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// checkpointIndirect polls two calls down.
+func checkpointIndirect(ctx context.Context) error {
+	return checkpoint(ctx)
+}
+
+// goodHelperPoll polls through the helper: the "ctxloop.polls" fact makes
+// the call count as a checkpoint.
+func goodHelperPoll(ctx context.Context, work func()) error {
+	for {
+		if err := checkpoint(ctx); err != nil {
+			return err
+		}
+		work()
+	}
+}
+
+// goodTransitiveHelper polls through two levels of helper.
+func goodTransitiveHelper(ctx context.Context, work func()) error {
+	for {
+		if err := checkpointIndirect(ctx); err != nil {
+			return err
+		}
+		work()
+	}
+}
+
+// goodBounded loops are exempt: a three-clause loop terminates on its own.
+func goodBounded(n int, work func()) {
+	for i := 0; i < n; i++ {
+		work()
+	}
+}
+
+// goodSliceRange is bounded by the slice.
+func goodSliceRange(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+// suppressedForever is a justified spin (e.g. a dedicated signal pump).
+func suppressedForever(work func()) {
+	for { //nolint:ctxloop // fixture: dedicated pump, lifetime == process
+		work()
+	}
+}

@@ -1,0 +1,99 @@
+// Package detsource is the fixture for the determinism-taint analyzer.
+// This package stands in for a hot (output-producing) package; the helper
+// subpackage stands in for cold module code whose taint must arrive here
+// transitively through the facts layer.
+package detsource
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"comparenb/internal/analysis/testdata/src/detsource/helper"
+)
+
+// directClock reads the wall clock in a hot function.
+func directClock() int64 {
+	return time.Now().UnixNano() // want "nondeterminism source time.Now"
+}
+
+// directGlobalRand uses the package-level, globally seeded RNG.
+func directGlobalRand(n int) int {
+	return rand.Intn(n) // want "nondeterminism source math/rand.Intn"
+}
+
+// directEnv reads the process environment.
+func directEnv() string {
+	return os.Getenv("HOME") // want "nondeterminism source os.Getenv"
+}
+
+// directNumCPU observes the machine's core count.
+func directNumCPU() int {
+	return runtime.NumCPU() // want "nondeterminism source runtime.NumCPU"
+}
+
+// pointerFormat renders an address, which differs between runs.
+func pointerFormat(v *int) string {
+	return fmt.Sprintf("%p", v) // want "pointer addresses differ between runs"
+}
+
+// transitiveClock imports helper.Stamp's taint at the call site.
+func transitiveClock() int64 {
+	return helper.Stamp() // want "reaches nondeterminism source time.Now"
+}
+
+// transitiveTwoHops: the source is two calls down (helper.Indirect →
+// helper.Stamp).
+func transitiveTwoHops() int64 {
+	return helper.Indirect() // want "reaches nondeterminism source time.Now"
+}
+
+// transitiveShuffle imports the global-RNG taint.
+func transitiveShuffle(xs []int) {
+	helper.Shuffle(xs) // want "reaches nondeterminism source math/rand.Shuffle"
+}
+
+// transitiveMapOrder: the helper leaks map iteration order into a slice.
+func transitiveMapOrder(m map[string]int) []string {
+	return helper.KeysUnsorted(m) // want "reaches nondeterminism source map iteration order"
+}
+
+// goodSeeded is deterministic: an explicit seed pins the sequence.
+func goodSeeded(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+// goodSeededHelper: seeded randomness in the helper is not a source either.
+func goodSeededHelper(seed int64) int {
+	return helper.SeededPick(seed, 10)
+}
+
+// goodCleanHelper calls a deterministic helper.
+func goodCleanHelper(a, b int) int {
+	return helper.Clean(a, b)
+}
+
+// goodGomaxprocs: thread count is a free variable under the
+// determinism-across-threads gate, so GOMAXPROCS is deliberately clean.
+func goodGomaxprocs() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// goodValueFormat formats values, not pointers.
+func goodValueFormat(v int) string {
+	return fmt.Sprintf("%d", v)
+}
+
+// hotCaller calls a tainted function in the same hot package: the finding
+// lives at directClock's own source line, not here.
+func hotCaller() int64 {
+	return directClock()
+}
+
+// suppressedClock carries a justified suppression and must stay silent.
+func suppressedClock() int64 {
+	return time.Now().UnixNano() //nolint:detsource // fixture: sanctioned timing read
+}

@@ -1,0 +1,50 @@
+// Package helper stands in for cold, non-hot module code: detsource never
+// reports findings here, but the facts layer still records the sources
+// these functions reach, so the fixture package can test transitive
+// taint imported at its call sites.
+package helper
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock; callers in hot packages import the taint.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Shuffle uses the package-level (globally seeded) RNG.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Indirect reaches the clock two hops down.
+func Indirect() int64 {
+	return Stamp() + 1
+}
+
+// Clean is deterministic; calling it taints nobody.
+func Clean(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SeededPick is deterministic given the seed: rand.New + methods are not
+// sources.
+func SeededPick(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+// KeysUnsorted leaks map iteration order into its result; hot callers
+// import the taint as a "map iteration order" source.
+func KeysUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,11 @@
+// External test package: the loader must type-check it as its own
+// Package (XTest) importing the fixture under test.
+package generics_test
+
+import "comparenb/internal/analysis/testdata/src/generics"
+
+// xtestOnlySum exercises the import edge from an external test package
+// back to the package it tests.
+func xtestOnlySum(xs []int) int {
+	return generics.Sum(xs) + len(generics.Doubled(xs))
+}

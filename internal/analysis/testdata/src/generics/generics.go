@@ -1,0 +1,37 @@
+// Package generics exercises the loader on type-parameterised code: the
+// type checker must resolve instantiations in production and test files
+// alike.
+package generics
+
+// Number constrains to the numeric types the fixture instantiates with.
+type Number interface {
+	~int | ~float64
+}
+
+// Pair is a generic container.
+type Pair[T any] struct {
+	A, B T
+}
+
+// Map applies f elementwise.
+func Map[T, U any](xs []T, f func(T) U) []U {
+	out := make([]U, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, f(x))
+	}
+	return out
+}
+
+// Sum folds a numeric slice.
+func Sum[T Number](xs []T) T {
+	var total T
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Doubled pins concrete instantiations in production code.
+func Doubled(xs []int) []int {
+	return Map(xs, func(x int) int { return x * 2 })
+}

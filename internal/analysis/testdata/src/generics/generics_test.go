@@ -1,0 +1,10 @@
+package generics
+
+// testOnlyHelper exists only in the test half of the package; the loader
+// tests assert it appears in the combined type info (and disappears when
+// IncludeTests is off). It instantiates the generics with types the
+// production code never uses.
+func testOnlyHelper(xs []float64) Pair[float64] {
+	halves := Map(xs, func(x float64) float64 { return x / 2 })
+	return Pair[float64]{A: Sum(halves), B: Sum(xs)}
+}

@@ -1,0 +1,27 @@
+// Package nolintlint is the fixture for the suppression-hygiene check:
+// a //nolint directive must name a real analyzer and actually suppress
+// something.
+package nolintlint
+
+// goodUsed: the directive suppresses a live floateq finding, so it is
+// neither stale nor unknown.
+func goodUsed(a, b float64) bool {
+	return a == b //nolint:floateq // fixture: exact equality intended
+}
+
+// stale: the ints below trigger nothing, so the directive suppresses
+// nothing.
+func stale(a, b int) bool {
+	return a == b //nolint:floateq // want "stale //nolint:floateq"
+}
+
+// unknown: no analyzer has this name.
+func unknown(x int) int {
+	return x + 1 //nolint:nosuchcheck // want "unknown analyzer"
+}
+
+// selfSuppressed: naming nolintlint alongside silences the staleness
+// finding — the one-level escape hatch for directives kept deliberately.
+func selfSuppressed(x int) int {
+	return x * 2 //nolint:nopanic,nolintlint // fixture: kept deliberately
+}

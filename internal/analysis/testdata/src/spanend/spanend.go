@@ -1,0 +1,110 @@
+// Package spanend is the fixture for the span-lifecycle analyzer: every
+// span obs.StartSpan returns must be ended on all paths out of the
+// function.
+package spanend
+
+import (
+	"context"
+
+	"comparenb/internal/obs"
+)
+
+// badNeverEnded starts a span and forgets it (`_ = sp` silences the
+// compiler, not the analyzer).
+func badNeverEnded(ctx context.Context, work func()) {
+	sp := obs.StartSpan(ctx, "bad/never") // want "span sp is never ended"
+	work()
+	_ = sp
+}
+
+// badDiscarded drops the span on the floor.
+func badDiscarded(ctx context.Context) {
+	obs.StartSpan(ctx, "bad/discard") // want "result of obs.StartSpan discarded"
+}
+
+// badBlankAssign discards via the blank identifier.
+func badBlankAssign(ctx context.Context) {
+	_ = obs.StartSpan(ctx, "bad/blank") // want "result of obs.StartSpan discarded"
+}
+
+// badEarlyReturn ends the span on the fallthrough path but not when the
+// guard returns early.
+func badEarlyReturn(ctx context.Context, fail bool) error {
+	sp := obs.StartSpan(ctx, "bad/early")
+	if fail {
+		return errFixture // want "may not be ended on this path"
+	}
+	sp.End()
+	return nil
+}
+
+// goodDefer covers every path with one defer.
+func goodDefer(ctx context.Context, work func()) {
+	sp := obs.StartSpan(ctx, "good/defer")
+	defer sp.End()
+	work()
+}
+
+// goodStraightLine ends the span in the same statement list.
+func goodStraightLine(ctx context.Context, work func()) {
+	sp := obs.StartSpan(ctx, "good/line")
+	work()
+	sp.End()
+}
+
+// goodBothBranches ends the span inside the early branch and again on the
+// fallthrough path.
+func goodBothBranches(ctx context.Context, fail bool) error {
+	sp := obs.StartSpan(ctx, "good/branches")
+	if fail {
+		sp.End()
+		return errFixture
+	}
+	sp.End()
+	return nil
+}
+
+// goodPerIteration opens and closes one span per loop turn; the End in the
+// loop body's own list covers the exits beyond the loop.
+func goodPerIteration(ctx context.Context, n int, work func()) {
+	for i := 0; i < n; i++ {
+		sp := obs.StartSpan(ctx, "good/iter")
+		work()
+		sp.End()
+	}
+}
+
+// goodClosure: a span started inside a closure is checked against the
+// closure's own exits.
+func goodClosure(ctx context.Context, run func(func())) {
+	run(func() {
+		sp := obs.StartSpan(ctx, "good/closure")
+		defer sp.End()
+	})
+}
+
+// badClosure: the closure leaks its span even though the enclosing
+// function is clean.
+func badClosure(ctx context.Context, run func(func())) {
+	run(func() {
+		sp := obs.StartSpan(ctx, "bad/closure") // want "span sp is never ended"
+		_ = sp
+	})
+}
+
+// escaped spans are beyond lexical tracking and deliberately skipped.
+func escaped(ctx context.Context) {
+	sp := obs.StartSpan(ctx, "escape")
+	stash(sp)
+}
+
+// suppressedLeak is a justified leak (process-lifetime span).
+func suppressedLeak(ctx context.Context, work func()) {
+	sp := obs.StartSpan(ctx, "good/suppressed") //nolint:spanend // fixture: process-lifetime span
+	work()
+	_ = sp
+}
+
+var errFixture = context.Canceled
+
+func stash(obs.Span) {}

@@ -127,7 +127,7 @@ func assertCubesEqual(t *testing.T, want, got *Cube) {
 		}
 		for m := 0; m < want.Relation().NumMeasures(); m++ {
 			for _, agg := range []Agg{Sum, Min, Max} {
-				//nolint:floateq // bit-identity across thread counts is the contract under test
+				// exact: bit-identity across thread counts is the contract under test
 				if want.Value(g, m, agg) != got.Value(g, m, agg) {
 					t.Fatalf("group %d measure %d agg %v differs", g, m, agg)
 				}

@@ -86,10 +86,10 @@ func TestEarlyStopPrefixMatchesFullTest(t *testing.T) {
 	}
 	pp := NewPairPermSeeded(len(xs), len(ys), nperm, seed, 3)
 	obsF, pF := pp.PValueThreads(pl, MeanDiff, 3)
-	if obsE != obsF { //nolint:floateq // bit-identity is the contract under test
+	if obsE != obsF { // exact: bit-identity is the contract under test
 		t.Errorf("observed statistic differs: early %v, full %v", obsE, obsF)
 	}
-	if pE != pF { //nolint:floateq // bit-identity is the contract under test
+	if pE != pF { // exact: bit-identity is the contract under test
 		t.Errorf("untruncated early-stop p = %v differs from full kernel p = %v", pE, pF)
 	}
 }
@@ -102,7 +102,7 @@ func TestEarlyStopDeterministic(t *testing.T) {
 	if err1 != nil || err2 != nil {
 		t.Fatal(err1, err2)
 	}
-	if used1 != used2 || p1 != p2 { //nolint:floateq // determinism is the contract under test
+	if used1 != used2 || p1 != p2 { // exact: determinism is the contract under test
 		t.Errorf("two identical runs disagree: (%v, %d) vs (%v, %d)", p1, used1, p2, used2)
 	}
 }

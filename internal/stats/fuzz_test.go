@@ -81,7 +81,7 @@ func FuzzPValue(f *testing.F) {
 
 		obs, pv := p.PValueThreads(pooled, stat, 1)
 		obs3, pv3 := p.PValueThreads(pooled, stat, 3)
-		//nolint:floateq // thread-count independence is an exact, bit-level contract
+		// exact: thread-count independence is an exact, bit-level contract
 		if obs != obs3 || pv != pv3 {
 			t.Fatalf("thread dependence: (%v,%v) threads=1 vs (%v,%v) threads=3", obs, pv, obs3, pv3)
 		}
@@ -135,7 +135,7 @@ func FuzzTTest(f *testing.F) {
 			t.Fatalf("WelchT p-value out of range: %+v", w)
 		}
 		rev := WelchT(y, x)
-		//nolint:floateq // argument symmetry of Welch's t is exact: the statistic only negates
+		// exact: argument symmetry of Welch's t is exact: the statistic only negates
 		if w.P != rev.P {
 			t.Fatalf("WelchT asymmetric: p=%v vs reversed p=%v", w.P, rev.P)
 		}
@@ -148,7 +148,7 @@ func FuzzTTest(f *testing.F) {
 			t.Fatalf("PairedT p-value out of range: %+v", pt)
 		}
 		self := PairedT(x, x)
-		//nolint:floateq // identical samples give exactly p = 1 by the degenerate-input contract
+		// exact: identical samples give exactly p = 1 by the degenerate-input contract
 		if self.P != 1 {
 			t.Fatalf("PairedT(x, x).P = %v, want 1", self.P)
 		}

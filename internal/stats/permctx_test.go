@@ -35,7 +35,7 @@ func TestCtxVariantsMatchUncancelled(t *testing.T) {
 			if err != nil {
 				t.Fatalf("threads=%d stat=%v: unexpected error %v", threads, stat, err)
 			}
-			//nolint:floateq // determinism-across-threads is an exact, bit-level contract
+			// exact: determinism-across-threads is an exact, bit-level contract
 			if wObs != gObs || wPV != gPV {
 				t.Fatalf("threads=%d stat=%v: (%v,%v) != legacy (%v,%v)",
 					threads, stat, gObs, gPV, wObs, wPV)

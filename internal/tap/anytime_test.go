@@ -67,7 +67,7 @@ func TestSolveAnytimeGenerousBudgetIsExact(t *testing.T) {
 	if res.Gap != 0 {
 		t.Errorf("generous budget reports gap %.6f", res.Gap)
 	}
-	if res.Solution.TotalInterest != exact.TotalInterest { //nolint:floateq // same deterministic search, bit-identical result
+	if res.Solution.TotalInterest != exact.TotalInterest { // exact: same deterministic search, bit-identical result
 		t.Errorf("anytime %.9f != exact %.9f", res.Solution.TotalInterest, exact.TotalInterest)
 	}
 }

@@ -110,7 +110,7 @@ func FuzzInstance(f *testing.F) {
 			t.Fatalf("Recall out of range: %v", r)
 		}
 		if len(exact.Order) > 0 {
-			//nolint:floateq // recall of a solution against itself is exactly 1 by construction
+			// exact: recall of a solution against itself is exactly 1 by construction
 			if r := Recall(exact, exact); r != 1 {
 				t.Fatalf("Recall(exact, exact) = %v, want 1", r)
 			}
