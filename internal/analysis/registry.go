@@ -14,6 +14,7 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		CtxLoop,
 		DetSource,
+		EncodedEq,
 		ErrCheck,
 		FloatEq,
 		GoroutineJoin,

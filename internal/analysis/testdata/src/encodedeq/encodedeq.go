@@ -1,0 +1,61 @@
+// Package encodedeq is the fixture for the encodedeq analyzer. The
+// helper subpackage stands in for internal/table; calls into it that
+// return float64 are decode results whose equality must go through
+// math.Float64bits.
+package encodedeq
+
+import (
+	"math"
+
+	"comparenb/internal/analysis/testdata/src/encodedeq/helper"
+)
+
+// badInterfaceEq compares a decode through the interface method.
+func badInterfaceEq(m helper.Meas, want float64) bool {
+	return m.Value(3) == want // want "== Value against a decoded measure value"
+}
+
+// badConcreteNeq flags the concrete method and the != operator too.
+func badConcreteNeq(r *helper.Raw, want float64) bool {
+	return want != r.Value(0) // want "!= Value against a decoded measure value"
+}
+
+// badFuncEq flags package-level decode helpers, parens notwithstanding.
+func badFuncEq(m helper.Meas) bool {
+	return (helper.First(m)) == 0 // want "== First against a decoded measure value"
+}
+
+// badBothSides compares two decode results directly.
+func badBothSides(a, b helper.Meas) bool {
+	return a.Value(1) == b.Value(1) // want "== Value against a decoded measure value"
+}
+
+// goodBits is the blessed idiom: bit-level equality sees NaN payloads
+// and the sign of zero.
+func goodBits(m helper.Meas, want float64) bool {
+	return math.Float64bits(m.Value(3)) == math.Float64bits(want)
+}
+
+// goodInt compares a non-float result from the decode package.
+func goodInt(m helper.Meas) bool {
+	return helper.Count(m) == 0
+}
+
+// goodOrdered relational operators are untouched; ordering on decoded
+// values is well-defined wherever the raw kernel orders too.
+func goodOrdered(m helper.Meas, lim float64) bool {
+	return m.Value(0) < lim
+}
+
+// goodLocal compares floats produced outside the decode package: that is
+// floateq's beat, not this analyzer's.
+func goodLocal(a, b float64) bool {
+	//nolint:floateq // fixture: exact tie-break stands in for justified use
+	return a == b
+}
+
+// suppressed documents a value-level comparison on purpose.
+func suppressed(m helper.Meas, want float64) bool {
+	//nolint:encodedeq // NaN-free by construction in this fixture
+	return m.Value(2) == want
+}

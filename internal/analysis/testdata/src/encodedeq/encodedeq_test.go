@@ -1,0 +1,12 @@
+// Fixture _test.go: unlike floateq, encodedeq covers test files — a
+// differential test comparing decoded values with == silently passes
+// NaN regressions, which is exactly what such tests exist to catch.
+package encodedeq
+
+import "comparenb/internal/analysis/testdata/src/encodedeq/helper"
+
+// assertRoundTrip is the anti-pattern: a test helper checking decode
+// output with value equality.
+func assertRoundTrip(m helper.Meas, want float64) bool {
+	return m.Value(7) == want // want "== Value against a decoded measure value"
+}

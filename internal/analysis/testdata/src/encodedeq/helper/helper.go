@@ -1,0 +1,29 @@
+// Package helper stands in for internal/table's compressed columnar
+// layer: encodedeq treats its float64-returning functions as decode
+// calls whose results must be compared bit-for-bit.
+package helper
+
+// Meas mirrors table.MeasColumn: an encoded measure column decoding to
+// float64 on demand.
+type Meas interface {
+	Value(i int) float64
+	Len() int
+}
+
+// Raw is a concrete column, so method calls resolve to the concrete
+// *types.Func rather than the interface method.
+type Raw struct {
+	Vals []float64
+}
+
+// Value decodes row i.
+func (r *Raw) Value(i int) float64 { return r.Vals[i] }
+
+// Len is the row count.
+func (r *Raw) Len() int { return len(r.Vals) }
+
+// First decodes row 0 via a package-level function.
+func First(m Meas) float64 { return m.Value(0) }
+
+// Count returns an int: not a decode result, never flagged.
+func Count(m Meas) int { return m.Len() }

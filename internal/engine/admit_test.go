@@ -53,7 +53,11 @@ func TestAdmitEvictsLargestFirstToFit(t *testing.T) {
 	rel := randomRelation(3, []int{6, 6, 6}, 1, 4000, 5)
 	big := BuildCube(rel, []int{0, 1, 2})
 	cc := NewCubeCache(0)
-	cc.SetMemBudget(big.MemoryFootprint()) // room for roughly one big cube
+	// Room for roughly one big cube. The relation is large enough that
+	// builds run on the encoded path, whose retained payload also charges
+	// against the budget — budget for it explicitly so the cube math
+	// below is unchanged.
+	cc.SetMemBudget(big.MemoryFootprint() + int64(rel.Encoded().RetainedBytes()))
 	for _, attrs := range [][]int{{0, 1, 2}, {0, 1}, {0, 2}, {0}} {
 		// BuildThrough, not GetOrBuild: rollups of the wide cube would
 		// change which entries exist depending on eviction timing.

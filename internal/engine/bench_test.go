@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -26,6 +27,20 @@ func BenchmarkBuildCube4Attrs(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		BuildCube(rel, []int{0, 1, 2, 3})
+	}
+}
+
+// BenchmarkBuildCube4AttrsRaw pins the raw float64 kernel (the
+// -no-compress path) on the same fixture as BenchmarkBuildCube4Attrs, so
+// the encoded kernels' speedup stays measurable after they became the
+// default.
+func BenchmarkBuildCube4AttrsRaw(b *testing.B) {
+	rel := benchRelation(b, 50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildCubeParallelOptsCtx(context.Background(), rel, []int{0, 1, 2, 3}, 1, BuildOptions{NoEncode: true}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

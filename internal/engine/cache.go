@@ -27,6 +27,11 @@ type CacheStats struct {
 	Entries        int   `json:"entries"`
 	AdmitEvictions int64 `json:"admit_evictions,omitempty"`
 	AdmitRefusals  int64 `json:"admit_refusals,omitempty"`
+	// EncodedBytes is the retained payload of encoded relations whose
+	// builds went through this cache (see table.EncodedRelation). It is
+	// charged against the hard memory budget at admission time and stays
+	// zero — and absent from JSON — when no build used the encoded path.
+	EncodedBytes int64 `json:"encoded_bytes,omitempty"`
 }
 
 // cacheKey identifies a cube: the relation identity plus the canonical
@@ -64,6 +69,15 @@ type CubeCache struct {
 	bytes     int64 // current footprint, guarded by mu
 	nEntries  int   // len(entries), guarded by mu
 
+	// noEncode forces every build issued through this cache onto the raw
+	// float64 kernels (pipeline Config.NoCompress / -no-compress).
+	noEncode bool
+	// encSeen/encBytes track the retained payload of relations whose
+	// builds used the encoded path, so the hard memory budget sees the
+	// compressed columns as part of the engine's footprint. Guarded by mu.
+	encSeen  map[*table.Relation]bool
+	encBytes int64
+
 	// Counters live in obs handles so the cache is its own single source
 	// of truth for hit/rollup/miss/evict accounting: NewCubeCache starts
 	// them standalone, Instrument rebinds them into a run's registry, and
@@ -82,6 +96,7 @@ func NewCubeCache(budget int64) *CubeCache {
 	return &CubeCache{
 		budget:         budget,
 		entries:        make(map[cacheKey]*cacheEntry),
+		encSeen:        make(map[*table.Relation]bool),
 		hits:           obs.NewCounter(),
 		rollupHits:     obs.NewCounter(),
 		misses:         obs.NewCounter(),
@@ -108,6 +123,39 @@ func (cc *CubeCache) Instrument(reg *obs.Registry) {
 	cc.evictions = reg.Counter("engine_cache_evictions")
 	cc.admitEvictions = reg.Counter("engine_cache_admit_evictions")
 	cc.admitRefusals = reg.Counter("engine_cache_admit_refusals")
+}
+
+// SetNoEncode routes every subsequent build issued through the cache onto
+// the raw float64 kernels. Results are bit-identical either way (the
+// encoded kernels are differential-tested against the raw path), so this
+// is purely a performance/debugging escape hatch.
+func (cc *CubeCache) SetNoEncode(b bool) {
+	cc.mu.Lock()
+	cc.noEncode = b
+	cc.mu.Unlock()
+}
+
+// buildOpts snapshots the cache's kernel options for one build.
+func (cc *CubeCache) buildOpts() BuildOptions {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return BuildOptions{NoEncode: cc.noEncode}
+}
+
+// noteEncodedLocked charges the retained payload of rel's encoded view
+// against the cache's admission accounting, once per relation. Callers
+// hold cc.mu and call this after a build, when any lazy encode has
+// already happened (EncodedCached never triggers one).
+func (cc *CubeCache) noteEncodedLocked(rel *table.Relation) {
+	if cc.encSeen[rel] {
+		return
+	}
+	enc := rel.EncodedCached()
+	if enc == nil {
+		return
+	}
+	cc.encSeen[rel] = true
+	cc.encBytes += int64(enc.RetainedBytes())
 }
 
 // attrsKey canonicalises a sorted attribute set as a string map key.
@@ -275,5 +323,6 @@ func (cc *CubeCache) Stats() CacheStats {
 		Entries:        cc.nEntries,
 		AdmitEvictions: cc.admitEvictions.Value(),
 		AdmitRefusals:  cc.admitRefusals.Value(),
+		EncodedBytes:   cc.encBytes,
 	}
 }

@@ -2,7 +2,6 @@ package engine
 
 import (
 	"context"
-	"sort"
 
 	"comparenb/internal/faultinject"
 	"comparenb/internal/obs"
@@ -16,14 +15,17 @@ import (
 // partial. When ctx is never cancelled the output is bit-identical to
 // BuildCubeParallel's for every thread count — the checkpoints read,
 // never perturb, the fixed shard layout and merge order.
+//
+// Large relations route through the encoded kernels of encube.go by
+// default; BuildCubeParallelOptsCtx exposes the switch.
 func BuildCubeParallelCtx(ctx context.Context, rel *table.Relation, attrs []int, threads int) (*Cube, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	sorted := append([]int(nil), attrs...)
-	sort.Ints(sorted)
-	mustUniqueAttrs(sorted)
+	return BuildCubeParallelOptsCtx(ctx, rel, attrs, threads, BuildOptions{})
+}
 
+// buildCubeRawCtx is the raw float64 build path: attrs arrive sorted and
+// validated. It is both the fallback for degenerate encodings and the
+// reference the encoded kernels are tested bit-identical against.
+func buildCubeRawCtx(ctx context.Context, rel *table.Relation, sorted []int, threads int) (*Cube, error) {
 	cols := make([][]int32, len(sorted))
 	for i, a := range sorted {
 		cols[i] = rel.CatCol(a)
@@ -137,7 +139,7 @@ func (cc *CubeCache) GetOrBuildCtx(ctx context.Context, rel *table.Relation, att
 		sp.End()
 	} else {
 		var err error
-		cube, err = BuildCubeParallelCtx(ctx, rel, sorted, threads)
+		cube, err = BuildCubeParallelOptsCtx(ctx, rel, sorted, threads, cc.buildOpts())
 		if err != nil {
 			return nil, err
 		}
@@ -153,6 +155,7 @@ func (cc *CubeCache) GetOrBuildCtx(ctx context.Context, rel *table.Relation, att
 		cc.rollupHits.Inc()
 	} else {
 		cc.misses.Inc()
+		cc.noteEncodedLocked(rel)
 	}
 	cc.admitInsertLocked(key, cube, sorted, admitted)
 	return cube, nil
@@ -173,7 +176,7 @@ func (cc *CubeCache) BuildThroughCtx(ctx context.Context, rel *table.Relation, a
 	cc.mu.Unlock()
 
 	admitted := cc.admitPrepare(rel, sorted)
-	cube, err := BuildCubeParallelCtx(ctx, rel, sorted, threads)
+	cube, err := BuildCubeParallelOptsCtx(ctx, rel, sorted, threads, cc.buildOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -185,6 +188,7 @@ func (cc *CubeCache) BuildThroughCtx(ctx context.Context, rel *table.Relation, a
 		return e.cube, nil
 	}
 	cc.misses.Inc()
+	cc.noteEncodedLocked(rel)
 	cc.admitInsertLocked(key, cube, sorted, admitted)
 	return cube, nil
 }

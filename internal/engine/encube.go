@@ -1,0 +1,785 @@
+// Encoded cube kernels: the sharded cube build specialised to the
+// compressed columnar layer of internal/table. Group keys are computed by
+// fusing the mixed radix directly over blocks of unpacked dictionary codes
+// (no per-row key slice, no per-row indexer call), and measures accumulate
+// from encoded blocks — exactly-integer columns entirely in int64.
+//
+// The kernels preserve every invariant of the raw float64 path: the fixed
+// shard width (buildShardRows), first-occurrence group order, in-order
+// shard merge, and SQL NULL semantics for NaN. Output is bit-identical to
+// the raw path at every thread count; see docs/PERFORMANCE.md ("Encoded
+// columnar storage") for the argument.
+//
+// Memory layout: shard accumulators pack each group's statistics into one
+// contiguous line ([sum,min,max] per measure), so the random-access writes
+// of the scan touch one cache line per group instead of one per statistic.
+// The global merge target keeps separate per-statistic arrays, which are
+// handed to the Cube without copying.
+package engine
+
+import (
+	"context"
+	"math"
+	"sort"
+
+	"comparenb/internal/faultinject"
+	"comparenb/internal/obs"
+	"comparenb/internal/table"
+)
+
+// minEncodeRows gates the encoded kernels: relations with fewer rows build
+// from raw columns, where encoding overhead would not pay for itself. A var
+// so tests can lower it to exercise the encoded path on small fixtures.
+var minEncodeRows = 2048
+
+// encBlock is the number of rows unpacked per kernel block. The scratch
+// working set (codes + cells + gids + one value buffer) stays around 36 KiB
+// per worker — well inside L1/L2 — and is reused across every block and
+// shard a worker scans.
+const encBlock = 1024
+
+// maxEncCapHint bounds the preallocation of group-indexed arrays. Group
+// counts above the hint fall back to append growth, which only costs when
+// a relation has more distinct groups than this.
+const maxEncCapHint = 1 << 16
+
+// BuildOptions selects between the encoded and raw cube kernels.
+type BuildOptions struct {
+	// NoEncode forces the raw float64 path (the -no-compress escape
+	// hatch). Results are bit-identical either way; this is a
+	// performance/debugging knob, not a semantic one.
+	NoEncode bool
+}
+
+// BuildCubeParallelOptsCtx is BuildCubeParallelCtx with explicit kernel
+// options. The encoded kernels engage when the relation is large enough
+// (minEncodeRows), the composite code space fits uint64 (the string-keyed
+// indexer regime has no encoded equivalent), and the lazy encode was not
+// fault-injected; anything else falls back to the raw path.
+func BuildCubeParallelOptsCtx(ctx context.Context, rel *table.Relation, attrs []int, threads int, opts BuildOptions) (*Cube, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sorted := append([]int(nil), attrs...)
+	sort.Ints(sorted)
+	mustUniqueAttrs(sorted)
+
+	if !opts.NoEncode && rel.NumRows() >= minEncodeRows {
+		if radix, ok := mixedRadix(rel, sorted); ok {
+			if enc := rel.Encoded(); enc != nil {
+				if reg := obs.FromContext(ctx); reg != nil {
+					reg.Counter("engine_cube_build_encoded").Inc()
+				}
+				return buildCubeEncodedCtx(ctx, rel, enc, sorted, radix, threads)
+			}
+		}
+	}
+	if reg := obs.FromContext(ctx); reg != nil {
+		reg.Counter("engine_cube_build_raw").Inc()
+	}
+	return buildCubeRawCtx(ctx, rel, sorted, threads)
+}
+
+// encMeasKind classifies how the encoded kernels accumulate one measure.
+type encMeasKind uint8
+
+const (
+	// encMeasRaw: the float64 slice shared with the relation; accumulate
+	// exactly like the raw path.
+	encMeasRaw encMeasKind = iota
+	// encMeasDecode: an integer encoding whose sums are not provably
+	// exact; decode blocks to float64 and accumulate like the raw path.
+	encMeasDecode
+	// encMeasConst: one shared bit pattern for every row.
+	encMeasConst
+	// encMeasIntExact: an integer encoding with SumExact; accumulate
+	// count/delta-sum/delta-min/delta-max in int64 and convert once at
+	// the end (bit-identical by the exact-integer argument).
+	encMeasIntExact
+)
+
+// encPlan is the per-measure kernel plan of one encoded build.
+type encPlan struct {
+	kind     encMeasKind
+	vals     []float64        // encMeasRaw: shared with the relation
+	col      table.MeasColumn // encMeasDecode
+	im       table.IntMeas    // encMeasIntExact
+	base     int64            // encMeasIntExact
+	constV   float64          // encMeasConst
+	constNaN bool             // encMeasConst
+	off      int              // offset of this measure's line slot (fstats or istats)
+}
+
+// encLayout fixes the packed statistics layout of one build: float-
+// accumulated measures share fstats lines of width fw, int-exact measures
+// share istats lines of width iw.
+type encLayout struct {
+	plans []encPlan
+	fw    int       // floats per group line: 3 * (# float-accumulated measures)
+	iw    int       // uint64s per group line: 3 * (# int-exact measures)
+	finit []float64 // one empty float line: sum=0, min=NaN, max=NaN
+	iinit []uint64  // one empty int line: sum=0, min=^0, max=0
+}
+
+func planMeasures(rel *table.Relation, enc *table.EncodedRelation) *encLayout {
+	l := &encLayout{plans: make([]encPlan, rel.NumMeasures())}
+	for m := range l.plans {
+		switch c := enc.Meas(m).(type) {
+		case table.ConstMeas:
+			v := math.Float64frombits(c.ConstBits())
+			l.plans[m] = encPlan{kind: encMeasConst, constV: v, constNaN: math.IsNaN(v), off: l.fw}
+			l.fw += 3
+		case table.IntMeas:
+			if c.SumExact() {
+				l.plans[m] = encPlan{kind: encMeasIntExact, im: c, base: c.Base(), off: l.iw}
+				l.iw += 3
+			} else {
+				l.plans[m] = encPlan{kind: encMeasDecode, col: c, off: l.fw}
+				l.fw += 3
+			}
+		default:
+			l.plans[m] = encPlan{kind: encMeasRaw, vals: rel.MeasCol(m), off: l.fw}
+			l.fw += 3
+		}
+	}
+	l.finit = make([]float64, l.fw)
+	for j := 0; j < l.fw; j += 3 {
+		l.finit[j+1] = math.NaN()
+		l.finit[j+2] = math.NaN()
+	}
+	l.iinit = make([]uint64, l.iw)
+	for j := 0; j < l.iw; j += 3 {
+		l.iinit[j+1] = ^uint64(0)
+	}
+	return l
+}
+
+// encScratch is one worker's reusable block buffers.
+type encScratch struct {
+	codes [][]int32 // per key position
+	cells []uint64
+	gids  []int32
+	dbuf  []uint64  // deltas, int-exact measures only
+	vbuf  []float64 // decoded values, decode measures only
+}
+
+func newEncScratch(stride int, l *encLayout) *encScratch {
+	sc := &encScratch{
+		codes: make([][]int32, stride),
+		cells: make([]uint64, encBlock),
+		gids:  make([]int32, encBlock),
+	}
+	for k := range sc.codes {
+		sc.codes[k] = make([]int32, encBlock)
+	}
+	for _, p := range l.plans {
+		if p.kind == encMeasIntExact && sc.dbuf == nil {
+			sc.dbuf = make([]uint64, encBlock)
+		}
+		if p.kind == encMeasDecode && sc.vbuf == nil {
+			sc.vbuf = make([]float64, encBlock)
+		}
+	}
+	return sc
+}
+
+func encCapHint(rows int, cells uint64) int {
+	h := rows
+	if cells < uint64(h) {
+		h = int(cells)
+	}
+	if h > maxEncCapHint {
+		h = maxEncCapHint
+	}
+	return h
+}
+
+// encShard is a shard's private partial aggregate with packed per-group
+// statistics lines. Arrays are preallocated at the group-count upper
+// bound, so hot-path appends never reallocate for typical shapes.
+type encShard struct {
+	stride int
+	dense  []int32 // cell → group+1 (0 = unassigned) when cells is small
+	m      map[uint64]int32
+	cells  []uint64 // cells[g] = composite cell of group g
+
+	keyData []int32
+	counts  []int64
+	fstats  []float64 // group g: fstats[g*fw : (g+1)*fw]
+	istats  []uint64  // group g: istats[g*iw : (g+1)*iw]
+	l       *encLayout
+	n       int
+	rows    int
+}
+
+func newEncShard(l *encLayout, stride int, cells uint64, capHint int) *encShard {
+	s := &encShard{stride: stride, l: l}
+	if cells <= maxDenseCells {
+		s.dense = make([]int32, cells)
+	} else {
+		s.m = make(map[uint64]int32, capHint)
+	}
+	s.cells = make([]uint64, 0, capHint)
+	s.keyData = make([]int32, 0, capHint*stride)
+	s.counts = make([]int64, 0, capHint)
+	s.fstats = make([]float64, 0, capHint*l.fw)
+	s.istats = make([]uint64, 0, capHint*l.iw)
+	return s
+}
+
+// addGroup assigns the next group id to cell, taking the key from position
+// i of the unpacked code buffers. Returns the 1-based id.
+func (s *encShard) addGroup(cell uint64, codes [][]int32, i int) int32 {
+	for k := 0; k < s.stride; k++ {
+		s.keyData = append(s.keyData, codes[k][i])
+	}
+	s.cells = append(s.cells, cell)
+	s.counts = append(s.counts, 0)
+	s.fstats = append(s.fstats, s.l.finit...)
+	s.istats = append(s.istats, s.l.iinit...)
+	s.n++
+	id := int32(s.n)
+	if s.dense != nil {
+		s.dense[cell] = id
+	} else {
+		s.m[cell] = id - 1
+	}
+	return id
+}
+
+// reset clears the accumulator for reuse on the next shard (serial build).
+// The dense table is wiped via the group cell list, so the cost is
+// O(groups), not O(cells).
+func (s *encShard) reset() {
+	if s.dense != nil {
+		for _, cell := range s.cells {
+			s.dense[cell] = 0
+		}
+	} else {
+		clear(s.m)
+	}
+	s.cells = s.cells[:0]
+	s.keyData = s.keyData[:0]
+	s.counts = s.counts[:0]
+	s.fstats = s.fstats[:0]
+	s.istats = s.istats[:0]
+	s.n = 0
+	s.rows = 0
+}
+
+// scan aggregates rows [lo, hi) into the shard, block by block, in row
+// order — the same visit order as the raw path's cubeAccum.scan.
+func (s *encShard) scan(b *encBuilder, sc *encScratch, lo, hi int) {
+	for blo := lo; blo < hi; blo += encBlock {
+		bhi := blo + encBlock
+		if bhi > hi {
+			bhi = hi
+		}
+		s.scanBlock(b, sc, blo, bhi)
+	}
+	s.rows += hi - lo
+}
+
+func (s *encShard) scanBlock(b *encBuilder, sc *encScratch, blo, bhi int) {
+	bn := bhi - blo
+	for k, c := range b.cats {
+		c.UnpackCodes(sc.codes[k][:bn], blo, bhi)
+	}
+
+	// Fused mixed-radix: composite cells for the whole block. The first
+	// key position assigns (no zeroing pass), the rest accumulate.
+	cells := sc.cells[:bn]
+	if len(b.cats) == 0 {
+		for i := range cells {
+			cells[i] = 0
+		}
+	}
+	for k := range b.cats {
+		rk := b.radix[k]
+		ck := sc.codes[k]
+		if k == 0 {
+			for i := 0; i < bn; i++ {
+				cells[i] = uint64(uint32(ck[i])) * rk
+			}
+			continue
+		}
+		for i := 0; i < bn; i++ {
+			cells[i] += uint64(uint32(ck[i])) * rk
+		}
+	}
+
+	// Group ids, assigning fresh ids in first-occurrence order.
+	gids := sc.gids[:bn]
+	if s.dense != nil {
+		for i, cell := range cells {
+			id := s.dense[cell]
+			if id == 0 {
+				id = s.addGroup(cell, sc.codes, i)
+			}
+			gids[i] = id - 1
+		}
+	} else {
+		for i, cell := range cells {
+			id, ok := s.m[cell]
+			if !ok {
+				id = s.addGroup(cell, sc.codes, i) - 1
+			}
+			gids[i] = id
+		}
+	}
+
+	counts := s.counts
+	for _, g := range gids {
+		counts[g]++
+	}
+
+	for m := range s.l.plans {
+		p := &s.l.plans[m]
+		switch p.kind {
+		case encMeasRaw:
+			accumFloatBlock(s.fstats, s.l.fw, p.off, p.vals[blo:bhi], gids)
+		case encMeasDecode:
+			p.col.UnpackValues(sc.vbuf[:bn], blo, bhi)
+			accumFloatBlock(s.fstats, s.l.fw, p.off, sc.vbuf[:bn], gids)
+		case encMeasConst:
+			if p.constNaN {
+				continue // NaN rows are counted but never aggregated
+			}
+			accumConstBlock(s.fstats, s.l.fw, p.off, p.constV, gids)
+		case encMeasIntExact:
+			p.im.UnpackDeltas(sc.dbuf[:bn], blo, bhi)
+			accumDeltaBlock(s.istats, s.l.iw, p.off, sc.dbuf[:bn], gids)
+		}
+	}
+}
+
+// accumFloatBlock replays the raw path's per-row float accumulation over
+// one block: same values, same order, same NaN skip — bit-identical. Each
+// group's [sum,min,max] slot is contiguous, so a row touches one line.
+func accumFloatBlock(stats []float64, fw, off int, vals []float64, gids []int32) {
+	for i, v := range vals {
+		if math.IsNaN(v) {
+			continue
+		}
+		p := int(gids[i])*fw + off
+		st := stats[p : p+3 : p+3]
+		st[0] += v
+		if math.IsNaN(st[1]) || v < st[1] {
+			st[1] = v
+		}
+		if math.IsNaN(st[2]) || v > st[2] {
+			st[2] = v
+		}
+	}
+}
+
+func accumConstBlock(stats []float64, fw, off int, v float64, gids []int32) {
+	for _, g := range gids {
+		p := int(g)*fw + off
+		st := stats[p : p+3 : p+3]
+		st[0] += v
+		if math.IsNaN(st[1]) || v < st[1] {
+			st[1] = v
+		}
+		if math.IsNaN(st[2]) || v > st[2] {
+			st[2] = v
+		}
+	}
+}
+
+func accumDeltaBlock(stats []uint64, iw, off int, deltas []uint64, gids []int32) {
+	for i, d := range deltas {
+		p := int(gids[i])*iw + off
+		st := stats[p : p+3 : p+3]
+		st[0] += d // delta sum in wrapping uint64 ≡ int64
+		if d < st[1] {
+			st[1] = d
+		}
+		if d > st[2] {
+			st[2] = d
+		}
+	}
+}
+
+// toCube materialises a single-shard build: the packed statistics unpack
+// into the Cube's per-statistic arrays bit-for-bit.
+func (s *encShard) toCube(rel *table.Relation, sorted []int) *Cube {
+	n := s.n
+	l := s.l
+	sums := make([][]float64, len(l.plans))
+	mins := make([][]float64, len(l.plans))
+	maxs := make([][]float64, len(l.plans))
+	for m := range l.plans {
+		p := &l.plans[m]
+		sm := make([]float64, n)
+		mn := make([]float64, n)
+		mx := make([]float64, n)
+		if p.kind == encMeasIntExact {
+			base := p.base
+			for g := 0; g < n; g++ {
+				st := s.istats[g*l.iw+p.off:]
+				sm[g] = float64(base*s.counts[g] + int64(st[0]))
+				mn[g] = float64(base + int64(st[1]))
+				mx[g] = float64(base + int64(st[2]))
+			}
+		} else {
+			for g := 0; g < n; g++ {
+				st := s.fstats[g*l.fw+p.off:]
+				sm[g] = st[0]
+				mn[g] = st[1]
+				mx[g] = st[2]
+			}
+		}
+		sums[m], mins[m], maxs[m] = sm, mn, mx
+	}
+	return &Cube{
+		rel: rel, attrs: sorted, stride: s.stride,
+		keyData: s.keyData, counts: s.counts,
+		sums: sums, mins: mins, maxs: maxs,
+		SourceRows: s.rows,
+	}
+}
+
+// encGlobal is the merge target of a multi-shard build. Statistics live in
+// separate per-statistic arrays — exactly the Cube's own layout, so toCube
+// hands them over without copying. Arrays are slot-dense: fs[j] is the sum
+// array of the j-th float-accumulated measure (slot j covers line offset
+// 3j of the shard's fstats), is[j] of the j-th int-exact measure — the
+// merge loops run over exactly the slots that exist, branch-free.
+type encGlobal struct {
+	stride int
+	dense  []int32
+	m      map[uint64]int32
+
+	keyData      []int32
+	counts       []int64
+	fs, fmn, fmx [][]float64
+	is           [][]int64
+	imn, imx     [][]uint64 // delta domain (monotone in the value)
+	l            *encLayout
+	n            int
+	rows         int
+}
+
+func newEncGlobal(l *encLayout, stride int, cells uint64, capHint int) *encGlobal {
+	g := &encGlobal{stride: stride, l: l}
+	if cells <= maxDenseCells {
+		g.dense = make([]int32, cells)
+	} else {
+		g.m = make(map[uint64]int32, capHint)
+	}
+	g.keyData = make([]int32, 0, capHint*stride)
+	g.counts = make([]int64, 0, capHint)
+	nf, ni := l.fw/3, l.iw/3
+	g.fs = make([][]float64, nf)
+	g.fmn = make([][]float64, nf)
+	g.fmx = make([][]float64, nf)
+	for j := range g.fs {
+		g.fs[j] = make([]float64, 0, capHint)
+		g.fmn[j] = make([]float64, 0, capHint)
+		g.fmx[j] = make([]float64, 0, capHint)
+	}
+	g.is = make([][]int64, ni)
+	g.imn = make([][]uint64, ni)
+	g.imx = make([][]uint64, ni)
+	for j := range g.is {
+		g.is[j] = make([]int64, 0, capHint)
+		g.imn[j] = make([]uint64, 0, capHint)
+		g.imx[j] = make([]uint64, 0, capHint)
+	}
+	return g
+}
+
+// initFrom seeds an empty global accumulator from the first shard. It is
+// merge specialised to the empty target — every group is new, ids land in
+// shard order — so the group data copies over in bulk, with no lookups.
+func (a *encGlobal) initFrom(s *encShard) {
+	l := a.l
+	a.keyData = append(a.keyData, s.keyData...)
+	a.counts = append(a.counts, s.counts[:s.n]...)
+	for j := range a.fs {
+		o := 3 * j
+		fs, fmn, fmx := a.fs[j], a.fmn[j], a.fmx[j]
+		for g := 0; g < s.n; g++ {
+			st := s.fstats[g*l.fw+o:]
+			fs = append(fs, st[0])
+			fmn = append(fmn, st[1])
+			fmx = append(fmx, st[2])
+		}
+		a.fs[j], a.fmn[j], a.fmx[j] = fs, fmn, fmx
+	}
+	for j := range a.is {
+		o := 3 * j
+		is, imn, imx := a.is[j], a.imn[j], a.imx[j]
+		for g := 0; g < s.n; g++ {
+			st := s.istats[g*l.iw+o:]
+			is = append(is, int64(st[0]))
+			imn = append(imn, st[1])
+			imx = append(imx, st[2])
+		}
+		a.is[j], a.imn[j], a.imx[j] = is, imn, imx
+	}
+	if a.dense != nil {
+		for sg, cell := range s.cells[:s.n] {
+			a.dense[cell] = int32(sg + 1)
+		}
+	} else {
+		for sg, cell := range s.cells[:s.n] {
+			a.m[cell] = int32(sg)
+		}
+	}
+	a.n = s.n
+	a.rows = s.rows
+}
+
+// merge folds a shard partial into the global accumulator, in ascending
+// shard order — the same discipline, and the same float operation order,
+// as the raw path's cubeAccum.merge. A first-seen group adopts the shard's
+// statistics wholesale, which is bit-identical to merging into the empty
+// stats: min/max start NaN, and a shard sum is never -0.0 (it starts from
+// +0.0, and IEEE addition from +0.0 cannot produce -0.0), so copying it
+// equals adding it to +0.0.
+func (a *encGlobal) merge(s *encShard) {
+	l := a.l
+	for sg := 0; sg < s.n; sg++ {
+		cell := s.cells[sg]
+		var g int32
+		if a.dense != nil {
+			id := a.dense[cell]
+			if id == 0 {
+				a.addGroupFromShard(cell, s, sg)
+				continue
+			}
+			g = id - 1
+		} else {
+			id, ok := a.m[cell]
+			if !ok {
+				a.addGroupFromShard(cell, s, sg)
+				continue
+			}
+			g = id
+		}
+		sf := s.fstats[sg*l.fw : (sg+1)*l.fw]
+		a.counts[g] += s.counts[sg]
+		for j := range a.fs {
+			o := 3 * j
+			a.fs[j][g] += sf[o]
+			if v := sf[o+1]; !math.IsNaN(v) && (math.IsNaN(a.fmn[j][g]) || v < a.fmn[j][g]) {
+				a.fmn[j][g] = v
+			}
+			if v := sf[o+2]; !math.IsNaN(v) && (math.IsNaN(a.fmx[j][g]) || v > a.fmx[j][g]) {
+				a.fmx[j][g] = v
+			}
+		}
+		if l.iw == 0 {
+			continue
+		}
+		si := s.istats[sg*l.iw : (sg+1)*l.iw]
+		for j := range a.is {
+			o := 3 * j
+			a.is[j][g] += int64(si[o])
+			if d := si[o+1]; d < a.imn[j][g] {
+				a.imn[j][g] = d
+			}
+			if d := si[o+2]; d > a.imx[j][g] {
+				a.imx[j][g] = d
+			}
+		}
+	}
+	a.rows += s.rows
+}
+
+// addGroupFromShard appends a fresh group carrying shard group sg's
+// statistics directly — one write per statistic instead of an empty
+// append immediately overwritten.
+func (a *encGlobal) addGroupFromShard(cell uint64, s *encShard, sg int) {
+	l := a.l
+	a.keyData = append(a.keyData, s.keyData[sg*s.stride:(sg+1)*s.stride]...)
+	a.counts = append(a.counts, s.counts[sg])
+	sf := s.fstats[sg*l.fw:]
+	for j := range a.fs {
+		o := 3 * j
+		a.fs[j] = append(a.fs[j], sf[o])
+		a.fmn[j] = append(a.fmn[j], sf[o+1])
+		a.fmx[j] = append(a.fmx[j], sf[o+2])
+	}
+	if l.iw > 0 {
+		si := s.istats[sg*l.iw:]
+		for j := range a.is {
+			o := 3 * j
+			a.is[j] = append(a.is[j], int64(si[o]))
+			a.imn[j] = append(a.imn[j], si[o+1])
+			a.imx[j] = append(a.imx[j], si[o+2])
+		}
+	}
+	a.n++
+	id := int32(a.n)
+	if a.dense != nil {
+		a.dense[cell] = id
+	} else {
+		a.m[cell] = id - 1
+	}
+}
+
+// toCube finalises the global accumulator. Float-accumulated measures hand
+// their arrays over directly; int-exact measures materialise sum/min/max
+// from the integer state (exact, hence bit-identical to float
+// accumulation).
+func (a *encGlobal) toCube(rel *table.Relation, sorted []int) *Cube {
+	n := a.n
+	nm := len(a.l.plans)
+	sums := make([][]float64, nm)
+	mins := make([][]float64, nm)
+	maxs := make([][]float64, nm)
+	for m := range a.l.plans {
+		p := &a.l.plans[m]
+		j := p.off / 3
+		if p.kind != encMeasIntExact {
+			sums[m], mins[m], maxs[m] = a.fs[j], a.fmn[j], a.fmx[j]
+			continue
+		}
+		sm := make([]float64, n)
+		mn := make([]float64, n)
+		mx := make([]float64, n)
+		base := p.base
+		is, imn, imx := a.is[j], a.imn[j], a.imx[j]
+		for g := 0; g < n; g++ {
+			sm[g] = float64(base*a.counts[g] + is[g])
+			mn[g] = float64(base + int64(imn[g]))
+			mx[g] = float64(base + int64(imx[g]))
+		}
+		sums[m], mins[m], maxs[m] = sm, mn, mx
+	}
+	return &Cube{
+		rel: rel, attrs: sorted, stride: a.stride,
+		keyData: a.keyData, counts: a.counts,
+		sums: sums, mins: mins, maxs: maxs,
+		SourceRows: a.rows,
+	}
+}
+
+// encBuilder carries the immutable inputs of one encoded build.
+type encBuilder struct {
+	rel   *table.Relation
+	enc   *table.EncodedRelation
+	attrs []int
+	cats  []table.CatColumn
+	l     *encLayout
+	radix []uint64
+	cells uint64
+}
+
+// buildCubeEncodedCtx is the encoded counterpart of buildCubeRawCtx: same
+// shard layout, same faultinject site, same cancellation points, same
+// in-order merge — different kernels.
+func buildCubeEncodedCtx(ctx context.Context, rel *table.Relation, enc *table.EncodedRelation, sorted []int, radix []uint64, threads int) (*Cube, error) {
+	cells := uint64(1)
+	for _, at := range sorted {
+		d := uint64(rel.DomSize(at))
+		if d == 0 {
+			d = 1
+		}
+		cells *= d // mixedRadix already proved this cannot overflow
+	}
+	b := &encBuilder{
+		rel: rel, enc: enc, attrs: sorted,
+		cats:  make([]table.CatColumn, len(sorted)),
+		l:     planMeasures(rel, enc),
+		radix: radix, cells: cells,
+	}
+	for k, at := range sorted {
+		b.cats[k] = enc.Cat(at)
+	}
+
+	sp := obs.StartSpan(ctx, "engine/cube/build")
+	defer sp.End()
+
+	n := rel.NumRows()
+	numShards := (n + buildShardRows - 1) / buildShardRows
+
+	scanShard := func(ctx context.Context, s int, acc *encShard, sc *encScratch) {
+		ssp := obs.StartSpan(ctx, "engine/cube/shard")
+		defer ssp.End()
+		lo := s * buildShardRows
+		hi := lo + buildShardRows
+		if hi > n {
+			hi = n
+		}
+		acc.scan(b, sc, lo, hi)
+	}
+
+	if numShards <= 1 {
+		faultinject.Fire(faultinject.EngineCubeShard)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		acc := newEncShard(b.l, len(sorted), cells, encCapHint(n, cells))
+		sc := newEncScratch(len(sorted), b.l)
+		acc.scan(b, sc, 0, n)
+		return acc.toCube(rel, sorted), nil
+	}
+
+	if threads > numShards {
+		threads = numShards
+	}
+	if threads <= 1 {
+		// Serial: one shard accumulator, reset and reused across shards
+		// (the dense table is wiped via the group cell list), merged into
+		// the global accumulator after each shard — the same shard-order
+		// accumulation as batching the merges, with a fraction of the
+		// allocations.
+		sc := newEncScratch(len(sorted), b.l)
+		shard := newEncShard(b.l, len(sorted), cells, encCapHint(buildShardRows, cells))
+		global := newEncGlobal(b.l, len(sorted), cells, encCapHint(n, cells))
+		for s := 0; s < numShards; s++ {
+			faultinject.Fire(faultinject.EngineCubeShard)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			shard.reset()
+			scanShard(ctx, s, shard, sc)
+			if s == 0 {
+				global.initFrom(shard)
+			} else {
+				global.merge(shard)
+			}
+		}
+		return global.toCube(rel, sorted), nil
+	}
+
+	shards := make([]*encShard, numShards)
+	done := make(chan struct{}, threads)
+	for w := 0; w < threads; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			wctx := obs.ForkTrack(ctx, "cube-shard")
+			sc := newEncScratch(len(sorted), b.l)
+			for s := w; s < numShards; s += threads {
+				faultinject.Fire(faultinject.EngineCubeShard)
+				if wctx.Err() != nil {
+					return
+				}
+				lo := s * buildShardRows
+				hi := lo + buildShardRows
+				if hi > n {
+					hi = n
+				}
+				acc := newEncShard(b.l, len(sorted), cells, encCapHint(hi-lo, cells))
+				scanShard(wctx, s, acc, sc)
+				shards[s] = acc
+			}
+		}(w)
+	}
+	for w := 0; w < threads; w++ {
+		<-done
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	global := newEncGlobal(b.l, len(sorted), cells, encCapHint(n, cells))
+	global.initFrom(shards[0])
+	for _, s := range shards[1:] {
+		global.merge(s)
+	}
+	return global.toCube(rel, sorted), nil
+}

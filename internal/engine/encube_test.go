@@ -1,0 +1,174 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"comparenb/internal/faultinject"
+	"comparenb/internal/obs"
+	"comparenb/internal/table"
+)
+
+// mixedRelation builds a relation whose measures land in every encoded
+// kernel regime at once: a raw float column, an exactly-summable small-int
+// column, a constant, an arithmetic sequence, a column with NaN holes, and
+// one with -0.0 (which must force the raw fallback bit-for-bit).
+func mixedRelation(rows int, seed int64) *table.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	b := table.NewBuilder("mixed",
+		[]string{"region", "product", "channel"},
+		[]string{"score", "units", "flat", "day", "gappy", "negz"})
+	cats := make([]string, 3)
+	meas := make([]float64, 6)
+	negZero := math.Copysign(0, -1)
+	for i := 0; i < rows; i++ {
+		cats[0] = string(rune('a' + rng.Intn(9)))
+		cats[1] = string(rune('A' + rng.Intn(23)))
+		cats[2] = string(rune('0' + rng.Intn(4)))
+		meas[0] = rng.NormFloat64() * 1e3
+		meas[1] = float64(rng.Intn(500))
+		meas[2] = 42.5
+		meas[3] = float64(100 + 2*i)
+		meas[4] = float64(rng.Intn(50))
+		if rng.Intn(7) == 0 {
+			meas[4] = math.NaN()
+		}
+		meas[5] = float64(rng.Intn(3))
+		if rng.Intn(11) == 0 {
+			meas[5] = negZero
+		}
+		b.AddRow(cats, meas)
+	}
+	return b.Build()
+}
+
+// TestEncodedCubeBitIdenticalToRaw is the differential gate of the encoded
+// kernels: on a multi-shard relation spanning every measure regime, the
+// encoded build must equal the raw build bit-for-bit, at every thread
+// count, for single- and multi-attribute group-bys.
+func TestEncodedCubeBitIdenticalToRaw(t *testing.T) {
+	rows := 2*buildShardRows + 777 // 3 shards, last partial
+	rel := mixedRelation(rows, 17)
+	if rel.Encoded() == nil {
+		t.Fatal("fixture relation failed to encode")
+	}
+	ctx := context.Background()
+	for _, attrs := range [][]int{{0}, {2}, {0, 1}, {0, 1, 2}} {
+		raw, err := BuildCubeParallelOptsCtx(ctx, rel, attrs, 1, BuildOptions{NoEncode: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, threads := range []int{1, 2, 8} {
+			enc, err := BuildCubeParallelOptsCtx(ctx, rel, attrs, threads, BuildOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireCubesBitIdentical(t, "encoded vs raw", raw, enc)
+		}
+	}
+}
+
+// TestEncodedCubeSingleShard covers the single-shard materialisation path
+// (rows between minEncodeRows and buildShardRows).
+func TestEncodedCubeSingleShard(t *testing.T) {
+	rel := mixedRelation(minEncodeRows+137, 3)
+	raw, err := BuildCubeParallelOptsCtx(context.Background(), rel, []int{0, 1}, 1, BuildOptions{NoEncode: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := BuildCubeParallelOptsCtx(context.Background(), rel, []int{0, 1}, 4, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireCubesBitIdentical(t, "single shard", raw, enc)
+}
+
+// TestEncodedKernelGate pins when the encoded path engages: the obs
+// counters distinguish the two kernels, small relations and NoEncode use
+// raw, and large encodable relations use the encoded kernels.
+func TestEncodedKernelGate(t *testing.T) {
+	reg := obs.New()
+	ctx := obs.NewContext(context.Background(), reg)
+	count := func(name string) int64 {
+		return reg.Counter(name).Value()
+	}
+
+	small := randomRelation(2, []int{4, 4}, 1, minEncodeRows-1, 1)
+	if _, err := BuildCubeParallelOptsCtx(ctx, small, []int{0}, 1, BuildOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := count("engine_cube_build_raw"); got != 1 {
+		t.Fatalf("small relation: raw builds = %d, want 1", got)
+	}
+
+	big := randomRelation(2, []int{4, 4}, 1, minEncodeRows, 1)
+	if _, err := BuildCubeParallelOptsCtx(ctx, big, []int{0}, 1, BuildOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := count("engine_cube_build_encoded"); got != 1 {
+		t.Fatalf("large relation: encoded builds = %d, want 1", got)
+	}
+
+	if _, err := BuildCubeParallelOptsCtx(ctx, big, []int{0}, 1, BuildOptions{NoEncode: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got := count("engine_cube_build_raw"); got != 2 {
+		t.Fatalf("NoEncode: raw builds = %d, want 2", got)
+	}
+}
+
+// TestEncodeAbortFallsBackToRawKernel: a fault-injected encode abort must
+// leave builds on the raw path with identical results — degradation, not
+// failure.
+func TestEncodeAbortFallsBackToRawKernel(t *testing.T) {
+	rel := mixedRelation(minEncodeRows+50, 29)
+	restore := faultinject.Set(faultinject.TableEncodeColumn,
+		//nolint:nopanic // injected fault: EncodeAbort is the codec's sanctioned abort signal
+		faultinject.Always(func() { panic(table.EncodeAbort{Reason: "test"}) }))
+	defer restore()
+
+	reg := obs.New()
+	ctx := obs.NewContext(context.Background(), reg)
+	got, err := BuildCubeParallelOptsCtx(ctx, rel, []int{0, 1}, 2, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.Counter("engine_cube_build_raw").Value(); n != 1 {
+		t.Fatalf("raw builds = %d, want 1 (encode aborted)", n)
+	}
+	want, err := BuildCubeParallelOptsCtx(ctx, rel, []int{0, 1}, 1, BuildOptions{NoEncode: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireCubesBitIdentical(t, "aborted encode", want, got)
+}
+
+// TestCacheChargesEncodedBytes: after a build that used the encoded path,
+// the cache stats expose the retained payload, and it is charged once per
+// relation no matter how many cubes build from it.
+func TestCacheChargesEncodedBytes(t *testing.T) {
+	rel := mixedRelation(minEncodeRows+10, 41)
+	cc := NewCubeCache(0)
+	cc.GetOrBuild(rel, []int{0}, 1)
+	cc.GetOrBuild(rel, []int{1}, 1)
+	enc := rel.EncodedCached()
+	if enc == nil {
+		t.Fatal("builds above minEncodeRows left no cached encoding")
+	}
+	if got, want := cc.Stats().EncodedBytes, int64(enc.RetainedBytes()); got != want {
+		t.Fatalf("EncodedBytes = %d, want %d (charged once)", got, want)
+	}
+
+	off := NewCubeCache(0)
+	off.SetNoEncode(true)
+	rel2 := mixedRelation(minEncodeRows+10, 43)
+	off.GetOrBuild(rel2, []int{0}, 1)
+	if got := off.Stats().EncodedBytes; got != 0 {
+		t.Fatalf("EncodedBytes = %d with SetNoEncode(true), want 0", got)
+	}
+	if rel2.EncodedCached() != nil {
+		t.Error("SetNoEncode cache still triggered a lazy encode")
+	}
+}

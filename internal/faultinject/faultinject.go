@@ -66,6 +66,13 @@ const (
 	// cube cache (engine.CubeCache with a mem budget set), before the
 	// estimate is compared against the budget.
 	CacheAdmit = "engine.cache.admit"
+	// TableEncodeColumn fires once per column of the lazy relation
+	// encoding pass (table.(*Relation).Encoded), before the column is
+	// scanned and encoded. A hook that panics table.EncodeAbort aborts
+	// the encode permanently — Encoded recovers it, pins the relation to
+	// nil, and the engine falls back to the raw float64 kernels. Any
+	// other panic value propagates.
+	TableEncodeColumn = "table.encode.column"
 )
 
 // Hook is a registered fault handler. It runs synchronously inside the

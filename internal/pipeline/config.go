@@ -203,6 +203,13 @@ type Config struct {
 	// and MemBudget are set, WSC planning respects the smaller.
 	MemBudget int64
 
+	// NoCompress disables the compressed columnar storage layer: every
+	// cube builds from raw float64/int32 columns instead of the encoded
+	// kernels. Outputs are bit-identical either way — the flag exists to
+	// measure the encoding's effect and as an escape hatch, and is
+	// recorded in the run report when set.
+	NoCompress bool
+
 	// IncludeHypotheses adds, after each notebook query, a code cell with
 	// the hypothesis query (Figure 3 form) for each insight the query
 	// evidences — so a skeptical reader can re-check support in SQL.

@@ -198,6 +198,7 @@ func GenerateContext(ctx context.Context, rel *table.Relation, cfg Config) (*Res
 	gov.StartPhase(governor.Hypo)
 	res.cache = engine.NewCubeCache(cfg.CubeCacheBudget)
 	res.cache.Instrument(reg)
+	res.cache.SetNoEncode(cfg.NoCompress)
 	if cfg.MemBudget > 0 {
 		res.cache.SetMemBudget(cfg.MemBudget)
 	}
@@ -213,6 +214,15 @@ func GenerateContext(ctx context.Context, rel *table.Relation, cfg Config) (*Res
 	// a pure function of the deterministic entry set, never of scheduling.
 	res.cache.Trim()
 	cs := res.cache.Stats()
+	// Compression bookkeeping, read single-threaded at the phase boundary:
+	// gauges, not counters, because whether the lazy encode ran at all
+	// depends on relation size and the NoCompress flag, and gauges record
+	// the final state without double-counting.
+	if enc := rel.EncodedCached(); enc != nil && !cfg.NoCompress {
+		reg.Gauge("table_encode_columns").Set(int64(len(enc.ColumnStats())))
+		reg.Gauge("table_encode_bytes_raw").Set(int64(enc.RawBytes()))
+		reg.Gauge("table_encode_bytes_encoded").Set(int64(enc.EncodedBytes()))
+	}
 	res.Queries = queries
 	res.Insights = final
 	res.Counts.CubesBuilt = int(cs.Misses)

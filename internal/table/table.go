@@ -10,6 +10,8 @@ package table
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Kind distinguishes the two attribute families of the paper's schema.
@@ -46,6 +48,12 @@ type Relation struct {
 
 	measNames []string
 	measCols  [][]float64
+
+	// Lazily built compressed view; see Encoded in encode.go. Guarded by
+	// encodeOnce so concurrent first readers encode at most once.
+	encodeOnce sync.Once
+	encodeDone atomic.Bool
+	encoded    *EncodedRelation
 }
 
 // Name returns the relation name (e.g. the CSV base name).
