@@ -1,0 +1,145 @@
+// Command comparenbd is the long-lived notebook-generation daemon: it
+// serves the internal/server HTTP API, loading relations once and
+// running concurrent notebook-generation jobs against one shared cube
+// cache.
+//
+//	comparenbd -addr 127.0.0.1:8080 -load covid=covid.csv
+//
+// Shutdown is two-stage: the first SIGINT/SIGTERM drains (no new
+// admissions, queued jobs fail with 503, running jobs finish), a second
+// signal hard-cancels running jobs. See docs/SERVER.md for the API.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"comparenb/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "comparenbd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var preloads []string
+	var (
+		addr          = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		addrFile      = flag.String("addr-file", "", "write the actual listen address to this file once bound (for scripts using -addr :0)")
+		maxConc       = flag.Int("max-concurrent", 2, "job worker count: notebook generations running at once")
+		queueDepth    = flag.Int("queue-depth", 64, "global admission queue bound; beyond it requests are shed with 429")
+		tenantConc    = flag.Int("tenant-concurrent", 0, "per-tenant running-job cap (0 = max-concurrent)")
+		tenantQueue   = flag.Int("tenant-queue-depth", 0, "per-tenant queue share (0 = queue-depth)")
+		jobTimeBudget = flag.Duration("job-time-budget", 0, "cap on each job's soft TimeBudget, e.g. 30s (0 = requests choose freely)")
+		jobThreads    = flag.Int("job-threads", 0, "cap on per-job worker threads (0 = uncapped)")
+		cacheBudget   = flag.Int64("cache-budget", 256<<20, "shared cube-cache soft budget in bytes")
+		memBudget     = flag.Int64("mem-budget", 0, "shared cube-cache hard admission budget in bytes (0 = disarmed)")
+		noCompress    = flag.Bool("no-compress", false, "disable the compressed columnar layer daemon-wide")
+		maxUpload     = flag.Int64("max-upload", 32<<20, "CSV upload size bound in bytes")
+		maxRelations  = flag.Int("max-relations", 64, "session registry bound")
+		maxRows       = flag.Int("max-rows", 1<<20, "row bound per loaded relation")
+		drainTimeout  = flag.Duration("drain-timeout", 0, "how long a drain waits for running jobs before hard-cancelling them (0 = indefinitely)")
+	)
+	flag.Func("load", "preload a relation at startup, as name=path (repeatable)", func(v string) error {
+		preloads = append(preloads, v)
+		return nil
+	})
+	flag.Parse()
+
+	srv := server.New(server.Options{
+		MaxConcurrent:    *maxConc,
+		QueueDepth:       *queueDepth,
+		TenantConcurrent: *tenantConc,
+		TenantQueueDepth: *tenantQueue,
+		JobTimeBudget:    *jobTimeBudget,
+		JobThreads:       *jobThreads,
+		CacheBudget:      *cacheBudget,
+		CacheMemBudget:   *memBudget,
+		NoCompress:       *noCompress,
+		MaxUploadBytes:   *maxUpload,
+		MaxRelations:     *maxRelations,
+		MaxRows:          *maxRows,
+		DrainTimeout:     *drainTimeout,
+	})
+	for _, p := range preloads {
+		name, path, ok := strings.Cut(p, "=")
+		if !ok {
+			return fmt.Errorf("-load %q: want name=path", p)
+		}
+		if err := srv.LoadRelationFile(name, path); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "comparenbd: preloaded relation %q from %s\n", name, path)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "comparenbd: listening on %s\n", ln.Addr())
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			return err
+		}
+	}
+
+	runCtx, cancelRun := context.WithCancel(context.Background())
+	defer cancelRun()
+	runDone := make(chan error, 1)
+	go func() { runDone <- srv.Run(runCtx) }()
+
+	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-serveErr:
+		cancelRun()
+		<-runDone
+		return fmt.Errorf("serve: %w", err)
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "comparenbd: %v: draining (queued jobs fail, running jobs finish; signal again to hard-stop)\n", sig)
+	}
+
+	// Drain: stop admitting jobs, then stop accepting connections once
+	// in-flight requests (including SSE streams of finishing jobs) end.
+	cancelRun()
+	shutErr := make(chan error, 1)
+	go func() { shutErr <- hs.Shutdown(context.Background()) }()
+
+	for drained := false; !drained; {
+		select {
+		case <-sigCh:
+			fmt.Fprintln(os.Stderr, "comparenbd: second signal: hard-cancelling running jobs")
+			srv.HardStop()
+			_ = hs.Close() // tears down SSE streams; Shutdown result below is the one reported
+		case err := <-runDone:
+			if err != nil {
+				return err
+			}
+			drained = true
+		}
+	}
+	_ = hs.Close() // unblock Shutdown if SSE clients linger past the drain
+	<-shutErr
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "comparenbd: drained, bye")
+	return nil
+}

@@ -1,0 +1,336 @@
+// Command loadgen drives a running comparenbd with concurrent notebook
+// jobs and reports latency percentiles and shed rate as JSON — the load
+// half of scripts/loadtest.sh.
+//
+//	comparenbd -addr 127.0.0.1:0 -addr-file /tmp/addr &
+//	loadgen -addr "$(cat /tmp/addr)" -tenants 3 -jobs 4 -out bench.json
+//
+// loadgen uploads its own deterministic dataset (internal/datagen Tiny),
+// fires tenants × jobs requests at once, polls each job to a terminal
+// state, and can download one finished job's trace and metrics artifacts
+// for obscheck validation (-trace-out / -metrics-out).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"comparenb/internal/datagen"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// jobOutcome is one request's fate as seen by the client.
+type jobOutcome struct {
+	state   string // done | failed | cancelled | shed
+	jobID   string
+	latency time.Duration // POST to terminal status
+}
+
+type benchLatency struct {
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+type benchCache struct {
+	Hits       int64 `json:"hits"`
+	RollupHits int64 `json:"rollup_hits"`
+	Misses     int64 `json:"misses"`
+	Evictions  int64 `json:"evictions"`
+}
+
+type benchOut struct {
+	Addr          string       `json:"addr"`
+	Tenants       int          `json:"tenants"`
+	JobsPerTenant int          `json:"jobs_per_tenant"`
+	Rows          int          `json:"rows"`
+	Perms         int          `json:"perms"`
+	Requests      int          `json:"requests"`
+	Completed     int          `json:"completed"`
+	Shed          int          `json:"shed"`
+	Failed        int          `json:"failed"`
+	WallMS        int64        `json:"wall_ms"`
+	JobsPerSecond float64      `json:"jobs_per_second"`
+	ShedRate      float64      `json:"shed_rate"`
+	Latency       benchLatency `json:"latency"`
+	Cache         benchCache   `json:"cache"`
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", "", "daemon address, host:port or http://host:port (required)")
+		tenants    = flag.Int("tenants", 3, "concurrent tenants")
+		jobs       = flag.Int("jobs", 4, "jobs per tenant, all submitted at once")
+		rows       = flag.Int("rows", 400, "rows of the generated dataset")
+		queries    = flag.Int("queries", 5, "notebook size per job")
+		perms      = flag.Int("perms", 100, "permutations per statistical test")
+		seed       = flag.Int64("seed", 1, "dataset and pipeline seed")
+		relation   = flag.String("relation", "loadgen", "relation name to upload under")
+		out        = flag.String("out", "", "write the JSON results here (default stdout)")
+		traceOut   = flag.String("trace-out", "", "download one finished job's Chrome trace to this file")
+		metricsOut = flag.String("metrics-out", "", "download the same job's metrics exposition to this file")
+		pollEvery  = flag.Duration("poll", 15*time.Millisecond, "job status poll interval")
+	)
+	flag.Parse()
+	if *addr == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	base := *addr
+	if !strings.HasPrefix(base, "http") {
+		base = "http://" + base
+	}
+	cl := &client{base: base, http: &http.Client{Timeout: 5 * time.Minute}}
+
+	ds, err := datagen.Tiny(*seed, *rows)
+	if err != nil {
+		return err
+	}
+	var csv bytes.Buffer
+	if err := ds.Rel.WriteCSV(&csv); err != nil {
+		return err
+	}
+	if err := cl.upload(*relation, csv.Bytes()); err != nil {
+		return err
+	}
+
+	total := *tenants * *jobs
+	outcomes := make([]jobOutcome, total)
+	begin := time.Now()
+	var wg sync.WaitGroup
+	for t := 0; t < *tenants; t++ {
+		for k := 0; k < *jobs; k++ {
+			wg.Add(1)
+			go func(t, k int) {
+				defer wg.Done()
+				tenant := "tenant-" + strconv.Itoa(t)
+				// Distinct seeds keep jobs from being pure cache replays
+				// of one another while staying deterministic.
+				jobSeed := *seed + int64(k)
+				outcomes[t**jobs+k] = cl.oneJob(tenant, *relation, *queries, *perms, jobSeed, *pollEvery)
+			}(t, k)
+		}
+	}
+	wg.Wait()
+	wall := time.Since(begin)
+
+	res := benchOut{
+		Addr: base, Tenants: *tenants, JobsPerTenant: *jobs,
+		Rows: *rows, Perms: *perms, Requests: total, WallMS: wall.Milliseconds(),
+	}
+	var latencies []time.Duration
+	var doneID string
+	for _, o := range outcomes {
+		switch o.state {
+		case "done":
+			res.Completed++
+			latencies = append(latencies, o.latency)
+			doneID = o.jobID
+		case "shed":
+			res.Shed++
+		default:
+			res.Failed++
+		}
+	}
+	res.ShedRate = float64(res.Shed) / float64(total)
+	if wall > 0 {
+		res.JobsPerSecond = float64(res.Completed) / wall.Seconds()
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	res.Latency = benchLatency{
+		P50MS: percentileMS(latencies, 0.50),
+		P95MS: percentileMS(latencies, 0.95),
+		P99MS: percentileMS(latencies, 0.99),
+	}
+	if err := cl.cacheCounters(&res.Cache); err != nil {
+		return err
+	}
+
+	if doneID != "" {
+		if *traceOut != "" {
+			if err := cl.download("/v1/jobs/"+doneID+"/result?format=trace", *traceOut); err != nil {
+				return err
+			}
+		}
+		if *metricsOut != "" {
+			if err := cl.download("/v1/jobs/"+doneID+"/result?format=metrics", *metricsOut); err != nil {
+				return err
+			}
+		}
+	} else if *traceOut != "" || *metricsOut != "" {
+		return fmt.Errorf("no job completed; cannot download trace/metrics artifacts")
+	}
+
+	enc, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(*out, enc, 0o644)
+}
+
+// percentileMS is the nearest-rank percentile in milliseconds (0 when
+// nothing completed).
+func percentileMS(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+type client struct {
+	base string
+	http *http.Client
+}
+
+func (c *client) upload(name string, csv []byte) error {
+	req, err := http.NewRequest("POST", c.base+"/v1/relations?name="+name, bytes.NewReader(csv))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "text/csv")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	// 409 means a previous loadgen run already loaded it; reuse it.
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusConflict {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("upload: %s: %s", resp.Status, body)
+	}
+	return nil
+}
+
+// oneJob submits one notebook job and follows it to a terminal state.
+func (c *client) oneJob(tenant, relation string, queries, perms int, seed int64, poll time.Duration) jobOutcome {
+	begin := time.Now()
+	reqBody, err := json.Marshal(map[string]any{
+		"relation": relation,
+		"tenant":   tenant,
+		"queries":  queries,
+		"perms":    perms,
+		"seed":     seed,
+	})
+	if err != nil {
+		return jobOutcome{state: "failed"}
+	}
+	resp, err := c.http.Post(c.base+"/v1/notebooks", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		return jobOutcome{state: "failed"}
+	}
+	var admit struct {
+		JobID string `json:"job_id"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&admit)
+	_ = resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return jobOutcome{state: "shed"}
+	}
+	if err != nil || resp.StatusCode != http.StatusAccepted {
+		return jobOutcome{state: "failed"}
+	}
+	for {
+		var st struct {
+			State string `json:"state"`
+		}
+		if err := c.getJSON("/v1/jobs/"+admit.JobID, &st); err != nil {
+			return jobOutcome{state: "failed", jobID: admit.JobID}
+		}
+		switch st.State {
+		case "done", "failed", "cancelled":
+			return jobOutcome{state: st.State, jobID: admit.JobID, latency: time.Since(begin)}
+		}
+		time.Sleep(poll)
+	}
+}
+
+func (c *client) getJSON(path string, v any) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func (c *client) download(path, dst string) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", path, resp.Status)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(dst, data, 0o644)
+}
+
+// cacheCounters scrapes the shared cache's counters from /metrics.
+func (c *client) cacheCounters(out *benchCache) error {
+	resp, err := c.http.Get(c.base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			continue
+		}
+		switch name {
+		case "comparenb_engine_cache_hits_total":
+			out.Hits = n
+		case "comparenb_engine_cache_rollup_hits_total":
+			out.RollupHits = n
+		case "comparenb_engine_cache_misses_total":
+			out.Misses = n
+		case "comparenb_engine_cache_evictions_total":
+			out.Evictions = n
+		}
+	}
+	return nil
+}

@@ -31,9 +31,11 @@ var CtxLoop = &Analyzer{
 const ctxPollsFact = "ctxloop.polls"
 
 // ctxLoopScope reports whether the checkpoint discipline applies to the
-// package (the same hot set as detsource).
+// package: detsource's hot set plus the server package, whose accept /
+// dispatch / streaming loops are exactly the unbounded loops that must
+// poll their context to make shutdown and disconnect effective.
 func ctxLoopScope(pkgPath string) bool {
-	return detScope(pkgPath)
+	return concScope(pkgPath)
 }
 
 // isContextType reports whether t is context.Context.

@@ -85,6 +85,23 @@ func detScope(pkgPath string) bool {
 	return strings.Contains(pkgPath, "testdata/src/") && !strings.HasSuffix(pkgPath, "/helper")
 }
 
+// concHotPkgs extends the concurrency-discipline analyzers (ctxloop,
+// goroutinejoin) beyond the determinism hot set: the server's goroutines
+// are long-lived by design, so an unjoined goroutine or a loop that never
+// polls its context is a daemon-lifetime leak there, not a phase-lifetime
+// one. detsource deliberately does NOT use this set — the serving layer
+// may read the wall clock (latencies, queue waits); determinism of the
+// notebook bytes is enforced where they are produced, in the pipeline.
+var concHotPkgs = map[string]bool{
+	"comparenb/internal/server": true,
+}
+
+// concScope reports whether the concurrency-discipline analyzers report
+// findings for pkgPath: the determinism hot set plus the server.
+func concScope(pkgPath string) bool {
+	return detScope(pkgPath) || concHotPkgs[pkgPath]
+}
+
 // detSourceKind classifies a statically resolved callee as a
 // nondeterminism source; empty string means clean.
 func detSourceKind(fn *types.Func, inTimeExempt bool) string {

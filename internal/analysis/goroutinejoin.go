@@ -155,9 +155,11 @@ func runGoroutineJoin(p *Pass) {
 }
 
 // runGoroutineJoinCalls flags hot-package calls to functions carrying
-// the unjoined fact when the caller does not join either.
+// the unjoined fact when the caller does not join either. Scope is the
+// determinism hot set plus the server package (concScope): a leaked
+// goroutine in the serving path outlives not just a phase but the daemon.
 func runGoroutineJoinCalls(p *Pass) {
-	if !detScope(p.Path) {
+	if !concScope(p.Path) {
 		return
 	}
 	for _, file := range p.Files {

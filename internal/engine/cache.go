@@ -34,6 +34,24 @@ type CacheStats struct {
 	EncodedBytes int64 `json:"encoded_bytes,omitempty"`
 }
 
+// Delta returns the counter movement from base to s: the monotone
+// counters (hits, rollups, misses, evictions, admission actions) become
+// differences, while the instantaneous fields (Bytes, Entries,
+// EncodedBytes) keep s's absolute values. A run sharing a long-lived
+// cache (pipeline.Config.Cache) snapshots Stats before and Deltas after
+// to report its own traffic; when the cache serves one run at a time the
+// delta is exact, under concurrent runs it attributes interleaved
+// traffic approximately (the cache-level totals stay exact and monotone).
+func (s CacheStats) Delta(base CacheStats) CacheStats {
+	s.Hits -= base.Hits
+	s.RollupHits -= base.RollupHits
+	s.Misses -= base.Misses
+	s.Evictions -= base.Evictions
+	s.AdmitEvictions -= base.AdmitEvictions
+	s.AdmitRefusals -= base.AdmitRefusals
+	return s
+}
+
 // cacheKey identifies a cube: the relation identity plus the canonical
 // (sorted) attribute set.
 type cacheKey struct {
@@ -308,6 +326,39 @@ func (cc *CubeCache) Trim() {
 		cc.evictions.Inc()
 	}
 	cc.nEntries = len(cc.entries)
+}
+
+// DropRelation evicts every entry built over rel, plus its encoded-bytes
+// admission charge, and returns how many entries were removed. It exists
+// for long-lived caches whose relations come and go (a server session
+// being deleted): entries keyed by a dropped relation can never be hit
+// again — the key is the pointer — so removing them cannot change any
+// other run's answers, only free the bytes. Removals count as evictions.
+func (cc *CubeCache) DropRelation(rel *table.Relation) int {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	// Collect keys, then sort: the removed set is "every entry of rel"
+	// either way, but deterministic order keeps the walk reviewable.
+	var victims []cacheKey
+	for key := range cc.entries {
+		if key.rel == rel {
+			victims = append(victims, key)
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].attrs < victims[j].attrs })
+	for _, key := range victims {
+		cc.bytes -= cc.entries[key].bytes
+		delete(cc.entries, key)
+		cc.evictions.Inc()
+	}
+	cc.nEntries = len(cc.entries)
+	if cc.encSeen[rel] {
+		delete(cc.encSeen, rel)
+		if enc := rel.EncodedCached(); enc != nil {
+			cc.encBytes -= int64(enc.RetainedBytes())
+		}
+	}
+	return len(victims)
 }
 
 // Stats returns a snapshot of the counters.

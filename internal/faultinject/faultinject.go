@@ -73,6 +73,17 @@ const (
 	// nil, and the engine falls back to the raw float64 kernels. Any
 	// other panic value propagates.
 	TableEncodeColumn = "table.encode.column"
+	// ServerAdmit fires once per notebook-job admission decision of the
+	// notebook-generation server (internal/server), before the tenant
+	// quotas and queue bounds are consulted. A Sleep hook here holds the
+	// admission decision open — the deterministic way to line a request up
+	// against a concurrent drain in shutdown tests.
+	ServerAdmit = "server.admit"
+	// ServerSessionLoad fires once per relation-load request of the
+	// notebook-generation server (internal/server), after admission but
+	// before the CSV is read, so tests can race a load against shutdown or
+	// inject slowness into session establishment.
+	ServerSessionLoad = "server.session.load"
 )
 
 // Hook is a registered fault handler. It runs synchronously inside the

@@ -157,6 +157,7 @@ type Registry struct {
 	tracks   []string // index = track id; track 0 is the run's main track
 
 	spans       atomic.Pointer[spanRing]
+	spanObs     atomic.Pointer[SpanObserver]
 	interrupted atomic.Bool
 }
 

@@ -24,7 +24,8 @@ type Span struct {
 
 // End closes the span and records it. Recording is one atomic add plus a
 // struct store into the preallocated buffer; when the buffer is full the
-// span is counted as dropped instead.
+// span is counted as dropped instead. A registered span observer (see
+// Registry.ObserveSpans) is notified after the record lands.
 func (s Span) End() {
 	if s.reg == nil {
 		return
@@ -35,6 +36,34 @@ func (s Span) End() {
 	}
 	end := time.Since(s.reg.start)
 	ring.add(spanRecord{name: s.name, track: s.track, start: s.start, dur: end - s.start})
+	if fn := s.reg.spanObs.Load(); fn != nil {
+		(*fn)(s.name, s.start, end-s.start)
+	}
+}
+
+// SpanObserver receives one callback per closed span: the span's name and
+// its start offset / duration relative to the registry's start. Observers
+// run synchronously inside Span.End on whatever goroutine closed the span
+// — they must be safe for concurrent use and cheap; anything slow belongs
+// behind a buffered channel on the observer's side. Progress streaming is
+// the intended use (internal/server turns phase spans into SSE events);
+// observers must never feed notebook or report bytes, which keeps the
+// determinism contract untouched.
+type SpanObserver func(name string, start, dur time.Duration)
+
+// ObserveSpans registers fn as the registry's span observer (nil clears
+// it). Like EnableTracing, call before the run starts; spans are only
+// collected — and therefore only observed — while tracing is enabled.
+// Nil-safe; the last registered observer wins.
+func (r *Registry) ObserveSpans(fn SpanObserver) {
+	if r == nil {
+		return
+	}
+	if fn == nil {
+		r.spanObs.Store(nil)
+		return
+	}
+	r.spanObs.Store(&fn)
 }
 
 // spanRecord is one closed span. Offsets are relative to Registry.start,

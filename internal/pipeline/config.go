@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"time"
 
+	"comparenb/internal/engine"
 	"comparenb/internal/governor"
 	"comparenb/internal/insight"
 	"comparenb/internal/metric"
@@ -202,6 +203,22 @@ type Config struct {
 	// guaranteed while the budget is never hit. When both MemoryBudget
 	// and MemBudget are set, WSC planning respects the smaller.
 	MemBudget int64
+
+	// Cache, when set, is an externally owned cube cache shared across
+	// runs — the serving-path configuration (internal/server hands every
+	// job the daemon's cache). The run uses it instead of creating a
+	// private one: lookups may be answered by cubes built by earlier runs
+	// over the same *Relation (exact hits, or distributive roll-ups that
+	// are bit-identical to a fresh build), so notebook bytes are unchanged
+	// while repeated requests skip the base-relation scans. Ownership
+	// stays with the caller: Generate neither re-Instruments the cache nor
+	// touches its budgets or encoding mode (CubeCacheBudget, MemBudget and
+	// NoCompress only configure a private cache), and the run's cache
+	// Counts become deltas of the shared counters over the run — exact
+	// when the cache serves one run at a time, approximate attribution
+	// under concurrency. Phase-boundary Trims still run, against the
+	// cache's own budget.
+	Cache *engine.CubeCache
 
 	// NoCompress disables the compressed columnar storage layer: every
 	// cube builds from raw float64/int32 columns instead of the encoded

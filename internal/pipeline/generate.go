@@ -196,11 +196,21 @@ func GenerateContext(ctx context.Context, rel *table.Relation, cfg Config) (*Res
 	// shared through the run's cube cache.
 	t0 = time.Now()
 	gov.StartPhase(governor.Hypo)
-	res.cache = engine.NewCubeCache(cfg.CubeCacheBudget)
-	res.cache.Instrument(reg)
-	res.cache.SetNoEncode(cfg.NoCompress)
-	if cfg.MemBudget > 0 {
-		res.cache.SetMemBudget(cfg.MemBudget)
+	// A shared cache (cfg.Cache — the serving path) arrives configured and
+	// instrumented by its owner; the run only reads and inserts, and its
+	// per-run counter view is the delta over the run. A private cache is
+	// created, bound to the run registry and budgeted here as before.
+	var cacheBase engine.CacheStats
+	if cfg.Cache != nil {
+		res.cache = cfg.Cache
+		cacheBase = res.cache.Stats()
+	} else {
+		res.cache = engine.NewCubeCache(cfg.CubeCacheBudget)
+		res.cache.Instrument(reg)
+		res.cache.SetNoEncode(cfg.NoCompress)
+		if cfg.MemBudget > 0 {
+			res.cache.SetMemBudget(cfg.MemBudget)
+		}
 	}
 	hypoSp := obs.StartSpan(ctx, "phase/hypo")
 	queries, final, counts, err := evalHypotheses(ctx, rel, cfg, fds, sig, res.cache, gov)
@@ -214,6 +224,9 @@ func GenerateContext(ctx context.Context, rel *table.Relation, cfg Config) (*Res
 	// a pure function of the deterministic entry set, never of scheduling.
 	res.cache.Trim()
 	cs := res.cache.Stats()
+	if cfg.Cache != nil {
+		cs = cs.Delta(cacheBase)
+	}
 	// Compression bookkeeping, read single-threaded at the phase boundary:
 	// gauges, not counters, because whether the lazy encode ran at all
 	// depends on relation size and the NoCompress flag, and gauges record

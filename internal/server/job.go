@@ -1,0 +1,687 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"comparenb/internal/faultinject"
+	"comparenb/internal/governor"
+	"comparenb/internal/obs"
+	"comparenb/internal/pipeline"
+	"comparenb/internal/sampling"
+	"comparenb/internal/table"
+)
+
+// Job states. A job is terminal in done, failed or cancelled; artifacts
+// are served only from done — a failed or cancelled job never exposes
+// partial results.
+const (
+	stateQueued    = "queued"
+	stateRunning   = "running"
+	stateDone      = "done"
+	stateFailed    = "failed"
+	stateCancelled = "cancelled"
+)
+
+// jobRequest is the POST /v1/notebooks body. Zero fields take the
+// pipeline defaults (pipeline.NewConfig); the mapping lives in
+// buildConfig so the e2e suite can build the exact same Config for its
+// one-shot reference runs.
+type jobRequest struct {
+	Relation string `json:"relation"`
+	// Tenant scopes quota accounting; empty falls back to the X-Tenant
+	// header, then to "default".
+	Tenant string `json:"tenant,omitempty"`
+
+	Queries           int      `json:"queries,omitempty"`
+	EpsD              *float64 `json:"eps_d,omitempty"`
+	Perms             int      `json:"perms,omitempty"`
+	Alpha             float64  `json:"alpha,omitempty"`
+	Seed              int64    `json:"seed,omitempty"`
+	Threads           int      `json:"threads,omitempty"`
+	Solver            string   `json:"solver,omitempty"`
+	Sampling          string   `json:"sampling,omitempty"`
+	SampleFrac        float64  `json:"sample_frac,omitempty"`
+	WSC               *bool    `json:"wsc,omitempty"`
+	IncludeHypotheses bool     `json:"include_hypotheses,omitempty"`
+	// TimeBudgetNS is the soft per-run budget in nanoseconds (the
+	// degradation ladder, not hard cancellation), capped by the daemon's
+	// JobTimeBudget.
+	TimeBudgetNS int64 `json:"time_budget_ns,omitempty"`
+}
+
+// buildConfig maps a request onto a pipeline.Config, starting from
+// NewConfig defaults and applying the daemon's caps. The server later
+// overwrites Cache, Obs and Logf — everything the response bytes depend
+// on is decided here, which is what makes server output reproducible by
+// a one-shot pipeline.Generate with the same Config.
+func buildConfig(req jobRequest, opts Options) (pipeline.Config, error) {
+	cfg := pipeline.NewConfig()
+	cfg.Name = "server"
+	if req.Queries > 0 {
+		cfg.EpsT = req.Queries
+	}
+	if req.EpsD != nil {
+		cfg.EpsD = *req.EpsD
+	}
+	if req.Perms > 0 {
+		cfg.Perms = req.Perms
+	}
+	if req.Alpha > 0 {
+		cfg.Alpha = req.Alpha
+	}
+	cfg.Seed = req.Seed
+	if req.Threads > 0 {
+		cfg.Threads = req.Threads
+	}
+	if opts.JobThreads > 0 && cfg.Threads > opts.JobThreads {
+		cfg.Threads = opts.JobThreads
+	}
+	switch req.Solver {
+	case "", "heuristic":
+		cfg.Solver = pipeline.SolverHeuristic
+	case "exact":
+		cfg.Solver = pipeline.SolverExact
+	case "topk":
+		cfg.Solver = pipeline.SolverTopK
+	case "heuristic+2opt":
+		cfg.Solver = pipeline.SolverHeuristicPlus
+	default:
+		return cfg, fmt.Errorf("unknown solver %q (heuristic, exact, topk, heuristic+2opt)", req.Solver)
+	}
+	switch req.Sampling {
+	case "", "none":
+	case "random":
+		cfg.Sampling = sampling.Random
+		cfg.SampleFrac = req.SampleFrac
+	case "unbalanced":
+		cfg.Sampling = sampling.Unbalanced
+		cfg.SampleFrac = req.SampleFrac
+	default:
+		return cfg, fmt.Errorf("unknown sampling %q (none, random, unbalanced)", req.Sampling)
+	}
+	if req.WSC != nil {
+		cfg.UseWSC = *req.WSC
+	}
+	cfg.IncludeHypotheses = req.IncludeHypotheses
+	if req.TimeBudgetNS < 0 {
+		return cfg, fmt.Errorf("time_budget_ns must be non-negative, got %d", req.TimeBudgetNS)
+	}
+	tb := time.Duration(req.TimeBudgetNS)
+	if opts.JobTimeBudget > 0 && (tb == 0 || tb > opts.JobTimeBudget) {
+		tb = opts.JobTimeBudget
+	}
+	cfg.TimeBudget = tb
+	cfg.NoCompress = opts.NoCompress
+	return cfg, cfg.Validate()
+}
+
+// artifact is one rendered output of a finished job.
+type artifact struct {
+	contentType string
+	data        []byte
+}
+
+// sseEvent is one server-sent event, pre-serialised. The event log is
+// the source of truth for /events: subscribers replay it from any index,
+// so a slow reader can never lose events.
+type sseEvent struct {
+	name string
+	data string // JSON object
+}
+
+// jobSummary is what a completed run left behind, for status responses
+// and the terminal SSE event.
+type jobSummary struct {
+	Queries      int      `json:"queries"`
+	Insights     int      `json:"insights"`
+	Solver       string   `json:"solver"`
+	Degraded     []string `json:"degraded,omitempty"`
+	WallMS       int64    `json:"wall_ms"`
+	CacheHits    int      `json:"cache_hits"`
+	CacheRollups int      `json:"cache_rollups"`
+	CacheMisses  int      `json:"cache_misses"`
+}
+
+// job is one admitted notebook-generation request.
+type job struct {
+	id       string
+	tenant   string
+	relation string
+	rel      *table.Relation
+	cfg      pipeline.Config
+	admit    governor.Level
+	created  time.Time
+
+	mu              sync.Mutex
+	state           string
+	started         time.Time
+	finished        time.Time
+	cancelFn        func()
+	cancelRequested bool
+	events          []sseEvent
+	notify          []chan struct{}
+	artifacts       map[string]artifact
+	errMsg          string
+	failCode        int // HTTP status explaining a failed job
+	summary         *jobSummary
+}
+
+func newJob(id, tenant string, req jobRequest, rel *table.Relation, cfg pipeline.Config, admit governor.Level) *job {
+	j := &job{
+		id:       id,
+		tenant:   tenant,
+		relation: req.Relation,
+		rel:      rel,
+		cfg:      cfg,
+		admit:    admit,
+		created:  time.Now(),
+		state:    stateQueued,
+	}
+	j.publish("state", stateEvent{State: stateQueued})
+	return j
+}
+
+type stateEvent struct {
+	State string `json:"state"`
+}
+
+type phaseEvent struct {
+	Name  string  `json:"name"`
+	AtMS  float64 `json:"at_ms"`
+	DurMS float64 `json:"dur_ms"`
+}
+
+type logEvent struct {
+	Line string `json:"line"`
+}
+
+type errorEvent struct {
+	Error string `json:"error"`
+	Code  int    `json:"code"`
+}
+
+// publish appends one event to the log and wakes every subscriber.
+func (j *job) publish(name string, payload any) {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		data = []byte(`{"error":"event marshal failed"}`)
+	}
+	j.mu.Lock()
+	j.events = append(j.events, sseEvent{name: name, data: string(data)})
+	subs := append([]chan struct{}(nil), j.notify...)
+	j.mu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// subscribe registers an event-log wakeup channel; the returned func
+// unregisters it.
+func (j *job) subscribe() (<-chan struct{}, func()) {
+	ch := make(chan struct{}, 1)
+	j.mu.Lock()
+	j.notify = append(j.notify, ch)
+	j.mu.Unlock()
+	return ch, func() {
+		j.mu.Lock()
+		for i, c := range j.notify {
+			if c == ch {
+				j.notify = append(j.notify[:i:i], j.notify[i+1:]...)
+				break
+			}
+		}
+		j.mu.Unlock()
+	}
+}
+
+// eventsSince returns the log suffix from idx on, plus whether the job
+// has reached a terminal state (so a subscriber that has drained the log
+// can stop).
+func (j *job) eventsSince(idx int) ([]sseEvent, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	terminal := j.state == stateDone || j.state == stateFailed || j.state == stateCancelled
+	if idx >= len(j.events) {
+		return nil, terminal
+	}
+	return j.events[idx:len(j.events):len(j.events)], terminal
+}
+
+// markRunning flips queued → running (no-op when already cancelled).
+func (j *job) markRunning() {
+	j.mu.Lock()
+	if j.state == stateQueued {
+		j.state = stateRunning
+		j.started = time.Now()
+	}
+	j.mu.Unlock()
+	j.publish("state", stateEvent{State: stateRunning})
+}
+
+// armCancel installs the running job's cancel func. Returns false when
+// cancellation was requested while the job sat in the queue — the caller
+// must not start the pipeline.
+func (j *job) armCancel(cancel func()) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.cancelRequested {
+		return false
+	}
+	j.cancelFn = cancel
+	return true
+}
+
+// requestCancel asks a queued or running job to stop. Returns false for
+// jobs already terminal.
+func (j *job) requestCancel() bool {
+	j.mu.Lock()
+	if j.state == stateDone || j.state == stateFailed || j.state == stateCancelled {
+		j.mu.Unlock()
+		return false
+	}
+	j.cancelRequested = true
+	cancel := j.cancelFn
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return true
+}
+
+// complete records a successful run and its artifacts.
+func (j *job) complete(artifacts map[string]artifact, sum jobSummary) {
+	j.mu.Lock()
+	j.state = stateDone
+	j.finished = time.Now()
+	j.artifacts = artifacts
+	j.summary = &sum
+	j.mu.Unlock()
+	j.publish("done", sum)
+}
+
+// fail records a terminal failure; code is the HTTP status the result
+// endpoint will explain it with.
+func (j *job) fail(code int, msg string) {
+	j.mu.Lock()
+	j.state = stateFailed
+	j.finished = time.Now()
+	j.failCode = code
+	j.errMsg = msg
+	j.mu.Unlock()
+	j.publish("error", errorEvent{Error: msg, Code: code})
+}
+
+// cancelled records a client- or shutdown-driven cancellation.
+func (j *job) cancelled(msg string) {
+	j.mu.Lock()
+	j.state = stateCancelled
+	j.finished = time.Now()
+	j.errMsg = msg
+	j.mu.Unlock()
+	j.publish("state", stateEvent{State: stateCancelled})
+}
+
+// runJob executes one admitted job on the calling worker goroutine: a
+// fresh per-job obs registry (traced, with spans streamed to SSE), the
+// daemon's shared cache, and the request's Config. Artifacts render only
+// on success; every terminal path releases the worker slot exactly once.
+func (s *Server) runJob(jobsCtx context.Context, j *job) {
+	defer s.release(j)
+	s.tQueueWait.Observe(time.Since(j.created))
+	j.markRunning()
+
+	jctx, cancel := context.WithCancel(jobsCtx)
+	defer cancel()
+	if !j.armCancel(cancel) {
+		j.cancelled("cancelled while queued")
+		s.cCancelled.Inc()
+		return
+	}
+
+	reg := obs.New()
+	reg.EnableTracing(0)
+	reg.ObserveSpans(func(name string, start, dur time.Duration) {
+		if name == "run" || strings.HasPrefix(name, "phase/") {
+			j.publish("phase", phaseEvent{
+				Name:  name,
+				AtMS:  float64(start) / float64(time.Millisecond),
+				DurMS: float64(dur) / float64(time.Millisecond),
+			})
+		}
+	})
+
+	cfg := j.cfg
+	cfg.Cache = s.cache
+	cfg.Obs = reg
+	cfg.Logf = func(format string, args ...any) {
+		j.publish("log", logEvent{Line: fmt.Sprintf(format, args...)})
+	}
+
+	begin := time.Now()
+	res, err := pipeline.GenerateContext(jctx, j.rel, cfg)
+	wall := time.Since(begin)
+	s.tWall.Observe(wall)
+	if err != nil {
+		reg.MarkInterrupted()
+		switch {
+		case errors.Is(err, context.Canceled) && jobsCtx.Err() != nil:
+			j.fail(http.StatusServiceUnavailable, "server shut down mid-job")
+			s.cFailed.Inc()
+		case errors.Is(err, context.Canceled):
+			j.cancelled("cancelled by client")
+			s.cCancelled.Inc()
+		default:
+			j.fail(http.StatusInternalServerError, err.Error())
+			s.cFailed.Inc()
+		}
+		return
+	}
+
+	artifacts, err := renderArtifacts(res, reg)
+	if err != nil {
+		j.fail(http.StatusInternalServerError, "rendering artifacts: "+err.Error())
+		s.cFailed.Inc()
+		return
+	}
+	s.mu.Lock()
+	s.tenantLocked(j.tenant).jobs.Inc()
+	s.mu.Unlock()
+	s.cDone.Inc()
+	j.complete(artifacts, jobSummary{
+		Queries:      len(res.Solution.Order),
+		Insights:     len(res.Insights),
+		Solver:       res.TAP.Solver,
+		Degraded:     res.Degraded.Phases,
+		WallMS:       wall.Milliseconds(),
+		CacheHits:    res.Counts.CacheHits,
+		CacheRollups: res.Counts.CacheRollups,
+		CacheMisses:  res.Counts.CacheMisses,
+	})
+}
+
+// renderArtifacts materialises every served representation of a finished
+// run. Trace and metrics render last so the notebook's verification
+// queries are already on the books.
+func renderArtifacts(res *pipeline.Result, reg *obs.Registry) (map[string]artifact, error) {
+	nb := pipeline.BuildNotebook(res)
+	out := make(map[string]artifact, 6)
+	renders := []struct {
+		key, contentType string
+		write            func(io.Writer) error
+	}{
+		{"ipynb", "application/x-ipynb+json", nb.WriteIPYNB},
+		{"markdown", "text/markdown; charset=utf-8", nb.WriteMarkdown},
+		{"html", "text/html; charset=utf-8", nb.WriteHTML},
+		{"report", "application/json", res.Report().WriteJSON},
+		{"trace", "application/json", reg.WriteTrace},
+		{"metrics", "text/plain; version=0.0.4", reg.WriteMetrics},
+	}
+	for _, r := range renders {
+		var buf bytes.Buffer
+		if err := r.write(&buf); err != nil {
+			return nil, fmt.Errorf("%s: %w", r.key, err)
+		}
+		out[r.key] = artifact{contentType: r.contentType, data: buf.Bytes()}
+	}
+	return out, nil
+}
+
+// handleCreateJob is POST /v1/notebooks: the admission decision.
+// Outcomes reuse the governor ladder — Full (a worker slot is free; runs
+// immediately), Degrade (queued), Shed (429, queue full).
+func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
+	faultinject.Fire(faultinject.ServerAdmit)
+	var req jobRequest
+	if err := decodeJSON(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = r.Header.Get("X-Tenant")
+	}
+	if tenant == "" {
+		tenant = "default"
+	}
+	if len(tenant) > 64 {
+		httpError(w, http.StatusBadRequest, "tenant name too long (max 64 bytes)")
+		return
+	}
+	cfg, err := buildConfig(req, s.opts)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	sess := s.sessions[req.Relation]
+	if sess == nil {
+		s.mu.Unlock()
+		httpError(w, http.StatusNotFound, fmt.Sprintf("relation %q not loaded", req.Relation))
+		return
+	}
+	t := s.tenantLocked(tenant)
+	if len(s.queue) >= s.opts.QueueDepth || t.queued >= s.opts.TenantQueueDepth {
+		shedC, tenantShedC := s.cAdmitShed, t.shed
+		s.mu.Unlock()
+		shedC.Inc()
+		tenantShedC.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, admitResponse{
+			Admit: governor.Shed.String(),
+			Error: "admission queue full; retry later",
+		})
+		return
+	}
+	admit := governor.Degrade
+	if s.runningN < s.opts.MaxConcurrent && t.running < s.opts.TenantConcurrent && len(s.queue) == 0 {
+		admit = governor.Full
+	}
+	s.seq++
+	id := fmt.Sprintf("j%06d", s.seq)
+	j := newJob(id, tenant, req, sess.rel, cfg, admit)
+	s.jobs[id] = j
+	s.queue = append(s.queue, j)
+	t.queued++
+	s.gQueued.Set(int64(len(s.queue)))
+	s.mu.Unlock()
+
+	if admit == governor.Full {
+		s.cAdmitFull.Inc()
+	} else {
+		s.cAdmitQueue.Inc()
+	}
+	s.poke()
+	writeJSON(w, http.StatusAccepted, admitResponse{JobID: id, State: stateQueued, Admit: admit.String()})
+}
+
+type admitResponse struct {
+	JobID string `json:"job_id,omitempty"`
+	State string `json:"state,omitempty"`
+	Admit string `json:"admit"`
+	Error string `json:"error,omitempty"`
+}
+
+// jobStatusView is the GET /v1/jobs/{id} body.
+type jobStatusView struct {
+	ID            string      `json:"id"`
+	Tenant        string      `json:"tenant"`
+	Relation      string      `json:"relation"`
+	State         string      `json:"state"`
+	Admit         string      `json:"admit"`
+	QueuePosition int         `json:"queue_position,omitempty"`
+	CreatedMS     int64       `json:"created_unix_ms"`
+	StartedMS     int64       `json:"started_unix_ms,omitempty"`
+	FinishedMS    int64       `json:"finished_unix_ms,omitempty"`
+	Error         string      `json:"error,omitempty"`
+	Summary       *jobSummary `json:"summary,omitempty"`
+}
+
+func (s *Server) statusView(j *job) jobStatusView {
+	j.mu.Lock()
+	v := jobStatusView{
+		ID:        j.id,
+		Tenant:    j.tenant,
+		Relation:  j.relation,
+		State:     j.state,
+		Admit:     j.admit.String(),
+		CreatedMS: j.created.UnixMilli(),
+		Error:     j.errMsg,
+		Summary:   j.summary,
+	}
+	if !j.started.IsZero() {
+		v.StartedMS = j.started.UnixMilli()
+	}
+	if !j.finished.IsZero() {
+		v.FinishedMS = j.finished.UnixMilli()
+	}
+	queued := j.state == stateQueued
+	j.mu.Unlock()
+	if queued {
+		v.QueuePosition = s.queuePosition(j)
+	}
+	return v
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.statusView(j))
+}
+
+// handleJobResult serves one rendered artifact of a done job
+// (?format=ipynb|markdown|html|report|trace|metrics, default ipynb).
+// Any non-done state is refused — a cancelled or failed job has no
+// partial notebook to leak.
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "ipynb"
+	}
+	j.mu.Lock()
+	state, failCode, errMsg := j.state, j.failCode, j.errMsg
+	art, ok := j.artifacts[format]
+	j.mu.Unlock()
+	switch state {
+	case stateDone:
+		if !ok {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown format %q (ipynb, markdown, html, report, trace, metrics)", format))
+			return
+		}
+		w.Header().Set("Content-Type", art.contentType)
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(art.data) // client disconnect; nowhere to report
+	case stateFailed:
+		if failCode == 0 {
+			failCode = http.StatusInternalServerError
+		}
+		httpError(w, failCode, "job failed: "+errMsg)
+	case stateCancelled:
+		httpError(w, http.StatusGone, "job was cancelled; no result")
+	default:
+		httpError(w, http.StatusConflict, "job not finished; state is "+state)
+	}
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	// A queued job must also leave the queue so no worker picks it up.
+	s.mu.Lock()
+	for i, q := range s.queue {
+		if q == j {
+			s.queue = append(s.queue[:i:i], s.queue[i+1:]...)
+			s.tenantLocked(j.tenant).queued--
+			s.gQueued.Set(int64(len(s.queue)))
+			break
+		}
+	}
+	s.mu.Unlock()
+	if !j.requestCancel() {
+		httpError(w, http.StatusConflict, "job already finished")
+		return
+	}
+	// A job cancelled before any worker claimed it is terminal now; a
+	// running one becomes terminal when the pipeline notices its context.
+	j.mu.Lock()
+	if j.state == stateQueued {
+		j.mu.Unlock()
+		j.cancelled("cancelled by client")
+		s.cCancelled.Inc()
+	} else {
+		j.mu.Unlock()
+	}
+	writeJSON(w, http.StatusAccepted, admitResponse{JobID: j.id, State: stateCancelled, Admit: j.admit.String()})
+}
+
+// handleJobEvents is GET /v1/jobs/{id}/events: a server-sent-event
+// stream replaying the job's event log and following it live until the
+// job reaches a terminal state or the client disconnects.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	notify, unsub := j.subscribe()
+	defer unsub()
+	ctx := r.Context()
+	idx := 0
+	for {
+		evs, terminal := j.eventsSince(idx)
+		for _, ev := range evs {
+			// Write errors mean the client went away; the ctx select
+			// below will see it.
+			_, _ = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", idx, ev.name, ev.data)
+			idx++
+		}
+		fl.Flush()
+		if terminal {
+			if more, _ := j.eventsSince(idx); len(more) == 0 {
+				return
+			}
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-notify:
+		}
+	}
+}

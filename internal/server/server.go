@@ -1,0 +1,470 @@
+// Package server is the long-lived notebook-generation daemon behind
+// cmd/comparenbd: an HTTP/JSON service that loads relations once, keeps
+// them in a session registry, and admits concurrent notebook-generation
+// jobs through a bounded queue with per-tenant quotas.
+//
+// The serving path reuses the batch pipeline unchanged — every job runs
+// pipeline.GenerateContext with the daemon's shared engine.CubeCache
+// (Config.Cache), so repeated requests over the same relation skip the
+// base-relation scans while notebook bytes stay identical to a one-shot
+// run (the e2e suite in this package asserts that byte-for-byte).
+//
+// Admission reuses the governor's Level vocabulary: Full means a worker
+// slot is free and the job starts immediately, Degrade means it waits in
+// the bounded queue, Shed means the queue (global or per-tenant) is full
+// and the request is refused with 429 + Retry-After. Draining (context
+// cancellation of Run) flips admission to 503, fails queued jobs, lets
+// running jobs finish, and then returns — the graceful half of shutdown;
+// HardStop cancels running jobs too.
+//
+// See docs/SERVER.md for the API reference and quota model.
+package server
+
+import (
+	"context"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"comparenb/internal/engine"
+	"comparenb/internal/obs"
+)
+
+// Options configures a Server. The zero value is usable: New fills in
+// every default.
+type Options struct {
+	// MaxConcurrent is the number of job workers — the global cap on
+	// notebook generations running at once (default 2).
+	MaxConcurrent int
+	// QueueDepth bounds the global admission queue; a request arriving
+	// with the queue full is shed with 429 (default 64).
+	QueueDepth int
+	// TenantConcurrent caps jobs of one tenant running at once; queued
+	// jobs over the cap stay queued while other tenants' jobs pass them
+	// (default: MaxConcurrent).
+	TenantConcurrent int
+	// TenantQueueDepth bounds one tenant's share of the queue; beyond it
+	// that tenant is shed even while the global queue has room
+	// (default: QueueDepth).
+	TenantQueueDepth int
+	// JobTimeBudget caps the per-job soft TimeBudget: a request asking
+	// for more (or for none) gets exactly this budget, so one tenant
+	// cannot monopolise a worker (0 = no cap; requests choose freely).
+	JobTimeBudget time.Duration
+	// JobThreads caps per-job worker-pool width (0 = no cap).
+	JobThreads int
+	// CacheBudget is the shared cube cache's soft budget in bytes,
+	// enforced by phase-boundary Trims only (default 256 MiB).
+	CacheBudget int64
+	// CacheMemBudget arms the shared cache's hard admission budget
+	// (0 = off). This is the byte-accounting backstop for multi-tenant
+	// operation: the cache never holds more than this many bytes.
+	CacheMemBudget int64
+	// NoCompress disables the compressed columnar layer for the shared
+	// cache and every job. It is daemon-wide, not per-request, because
+	// the cache stores encoded relations: mixing modes per job would
+	// make cache contents depend on request order.
+	NoCompress bool
+	// MaxUploadBytes bounds a CSV upload body (default 32 MiB).
+	MaxUploadBytes int64
+	// MaxRelations bounds the session registry (default 64).
+	MaxRelations int
+	// MaxRows bounds rows per loaded relation (default 1<<20).
+	MaxRows int
+	// DrainTimeout bounds how long Run waits for running jobs after its
+	// context is cancelled before hard-cancelling them (0 = wait
+	// indefinitely).
+	DrainTimeout time.Duration
+}
+
+// withDefaults returns opts with every unset field defaulted.
+func (o Options) withDefaults() Options {
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.TenantConcurrent <= 0 {
+		o.TenantConcurrent = o.MaxConcurrent
+	}
+	if o.TenantQueueDepth <= 0 {
+		o.TenantQueueDepth = o.QueueDepth
+	}
+	if o.CacheBudget <= 0 {
+		o.CacheBudget = 256 << 20
+	}
+	if o.MaxUploadBytes <= 0 {
+		o.MaxUploadBytes = 32 << 20
+	}
+	if o.MaxRelations <= 0 {
+		o.MaxRelations = 64
+	}
+	if o.MaxRows <= 0 {
+		o.MaxRows = 1 << 20
+	}
+	return o
+}
+
+// tenantState is one tenant's live quota usage plus its per-tenant
+// counters on the server registry.
+type tenantState struct {
+	running int
+	queued  int
+
+	jobs *obs.Counter // admissions (queued or started), monotone
+	shed *obs.Counter // 429s issued to this tenant
+}
+
+// Server is the daemon: session registry, job scheduler, shared cube
+// cache and HTTP API. Create with New, serve s.Handler(), and run the
+// workers with Run.
+type Server struct {
+	opts  Options
+	reg   *obs.Registry // server-lifetime registry backing /metrics
+	cache *engine.CubeCache
+	mux   *http.ServeMux
+	start time.Time
+
+	mu         sync.Mutex
+	sessions   map[string]*session
+	jobs       map[string]*job
+	queue      []*job // FIFO; per-tenant caps make dequeue skip, not block
+	tenants    map[string]*tenantState
+	runningN   int
+	draining   bool
+	hardCancel func()
+	seq        int
+
+	// wake is poked (non-blocking, capacity MaxConcurrent) whenever the
+	// queue grows or a slot frees, so idle workers re-scan the queue.
+	wake chan struct{}
+
+	cAdmitFull, cAdmitQueue, cAdmitShed *obs.Counter
+	cDone, cFailed, cCancelled          *obs.Counter
+	cSessLoad, cSessDrop                *obs.Counter
+	gRunning, gQueued, gSessions        *obs.Gauge
+	tWall, tQueueWait                   *obs.Timing
+}
+
+// New builds a Server with its shared cache and HTTP routes. Workers do
+// not start until Run.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:     opts,
+		reg:      obs.New(),
+		start:    time.Now(),
+		sessions: make(map[string]*session),
+		jobs:     make(map[string]*job),
+		tenants:  make(map[string]*tenantState),
+		wake:     make(chan struct{}, opts.MaxConcurrent),
+	}
+	s.cache = engine.NewCubeCache(opts.CacheBudget)
+	s.cache.Instrument(s.reg)
+	s.cache.SetNoEncode(opts.NoCompress)
+	if opts.CacheMemBudget > 0 {
+		s.cache.SetMemBudget(opts.CacheMemBudget)
+	}
+	s.cAdmitFull = s.reg.Counter("server_admit_full")
+	s.cAdmitQueue = s.reg.Counter("server_admit_degrade")
+	s.cAdmitShed = s.reg.Counter("server_admit_shed")
+	s.cDone = s.reg.Counter("server_jobs_done")
+	s.cFailed = s.reg.Counter("server_jobs_failed")
+	s.cCancelled = s.reg.Counter("server_jobs_cancelled")
+	s.cSessLoad = s.reg.Counter("server_sessions_loaded")
+	s.cSessDrop = s.reg.Counter("server_sessions_dropped")
+	s.gRunning = s.reg.Gauge("server_jobs_running")
+	s.gQueued = s.reg.Gauge("server_jobs_queued")
+	s.gSessions = s.reg.Gauge("server_sessions")
+	s.tWall = s.reg.Timing("server_job_wall")
+	s.tQueueWait = s.reg.Timing("server_job_queue_wait")
+
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s
+}
+
+// Handler returns the daemon's HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Cache exposes the shared cube cache (tests assert its counters stay
+// monotone across concurrent jobs).
+func (s *Server) Cache() *engine.CubeCache { return s.cache }
+
+// Registry exposes the server-lifetime metrics registry.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/relations", s.handleLoadRelation)
+	s.mux.HandleFunc("GET /v1/relations", s.handleListRelations)
+	s.mux.HandleFunc("DELETE /v1/relations/{name}", s.handleDropRelation)
+	s.mux.HandleFunc("POST /v1/notebooks", s.handleCreateJob)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+}
+
+// Run starts the worker pool and blocks until ctx is cancelled and the
+// server has drained: admission flips to 503, queued jobs fail with 503,
+// running jobs finish (bounded by Options.DrainTimeout, after which they
+// are hard-cancelled). Every worker goroutine is joined before Run
+// returns, so a returned Run means no server goroutines survive.
+func (s *Server) Run(ctx context.Context) error {
+	jobsCtx, hardCancel := context.WithCancel(context.Background())
+	s.mu.Lock()
+	s.hardCancel = hardCancel
+	s.mu.Unlock()
+	defer hardCancel()
+
+	var wg sync.WaitGroup
+	for i := 0; i < s.opts.MaxConcurrent; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.worker(ctx, jobsCtx)
+		}()
+	}
+
+	<-ctx.Done()
+	s.beginDrain()
+
+	drained := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(drained)
+	}()
+	if s.opts.DrainTimeout > 0 {
+		t := time.NewTimer(s.opts.DrainTimeout)
+		defer t.Stop()
+		select {
+		case <-drained:
+		case <-t.C:
+			hardCancel()
+			<-drained
+		}
+	} else {
+		<-drained
+	}
+	return nil
+}
+
+// HardStop cancels every running job immediately. Queued jobs are failed
+// by the drain that Run's context cancellation already triggered; this
+// is the second-signal escalation for jobs that refuse to finish.
+func (s *Server) HardStop() {
+	s.mu.Lock()
+	cancel := s.hardCancel
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// beginDrain stops admission and fails every queued job with 503.
+// Running jobs are left to finish.
+func (s *Server) beginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	queued := s.queue
+	s.queue = nil
+	for _, j := range queued {
+		s.tenantLocked(j.tenant).queued--
+	}
+	s.gQueued.Set(0)
+	s.mu.Unlock()
+	for _, j := range queued {
+		j.fail(http.StatusServiceUnavailable, "server shutting down before job started")
+		s.cFailed.Inc()
+	}
+	s.pokeAll()
+}
+
+// Draining reports whether the server has begun shutting down.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// worker is one job-execution loop: drain the queue, then sleep on the
+// wake channel until there is more work or the server shuts down.
+func (s *Server) worker(ctx, jobsCtx context.Context) {
+	for {
+		if j := s.dequeue(); j != nil {
+			s.runJob(jobsCtx, j)
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-s.wake:
+		}
+	}
+}
+
+// dequeue pops the first queued job whose tenant is under its running
+// cap, claiming a slot for it. Returns nil when nothing is eligible or
+// the server is draining.
+func (s *Server) dequeue() *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil
+	}
+	for i, j := range s.queue {
+		t := s.tenantLocked(j.tenant)
+		if t.running >= s.opts.TenantConcurrent {
+			continue
+		}
+		s.queue = append(s.queue[:i:i], s.queue[i+1:]...)
+		t.queued--
+		t.running++
+		s.runningN++
+		s.gQueued.Set(int64(len(s.queue)))
+		s.gRunning.Set(int64(s.runningN))
+		return j
+	}
+	return nil
+}
+
+// release returns j's worker slot and pokes one idle worker (the freed
+// slot may make a queued job of the same tenant eligible).
+func (s *Server) release(j *job) {
+	s.mu.Lock()
+	s.tenantLocked(j.tenant).running--
+	s.runningN--
+	s.gRunning.Set(int64(s.runningN))
+	s.mu.Unlock()
+	s.poke()
+}
+
+// tenantLocked returns the tenant's state, creating it (and its
+// per-tenant counters) on first sight. Callers hold s.mu.
+func (s *Server) tenantLocked(name string) *tenantState {
+	t := s.tenants[name]
+	if t == nil {
+		m := sanitizeMetric(name)
+		t = &tenantState{
+			jobs: s.reg.Counter("server_tenant_" + m + "_jobs"),
+			shed: s.reg.Counter("server_tenant_" + m + "_shed"),
+		}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// poke wakes one idle worker; pokeAll wakes them all. Both are
+// non-blocking: a full wake channel means every worker is already due a
+// re-scan.
+func (s *Server) poke() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (s *Server) pokeAll() {
+	for i := 0; i < s.opts.MaxConcurrent; i++ {
+		s.poke()
+	}
+}
+
+// job returns the job by id, or nil.
+func (s *Server) job(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// queuePosition returns j's 1-based position in the queue, or 0 when it
+// is not queued.
+func (s *Server) queuePosition(j *job) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, q := range s.queue {
+		if q == j {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// sanitizeMetric maps an arbitrary tenant name onto the exposition
+// grammar ([a-z0-9_], bounded length) so per-tenant counters always pass
+// obs.ValidateMetrics.
+func sanitizeMetric(name string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+		if b.Len() >= 32 {
+			break
+		}
+	}
+	if b.Len() == 0 {
+		return "default"
+	}
+	return b.String()
+}
+
+// handleMetrics serves the server registry in Prometheus text format:
+// scheduler counters/gauges, per-tenant counters, queue-wait and wall
+// histograms, plus the shared cache's engine_cache_* counters.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.reg.WriteMetrics(w) // client disconnect; nowhere to report
+}
+
+// handleHealthz reports liveness and drain state.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	st := healthStatus{
+		Status:      "ok",
+		UptimeMS:    time.Since(s.start).Milliseconds(),
+		Sessions:    len(s.sessions),
+		JobsRunning: s.runningN,
+		JobsQueued:  len(s.queue),
+	}
+	if s.draining {
+		st.Status = "draining"
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+type healthStatus struct {
+	Status      string `json:"status"`
+	UptimeMS    int64  `json:"uptime_ms"`
+	Sessions    int    `json:"sessions"`
+	JobsRunning int    `json:"jobs_running"`
+	JobsQueued  int    `json:"jobs_queued"`
+}
+
+// handleListJobs lists every job, id-sorted.
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	sort.Strings(ids)
+	out := make([]jobStatusView, 0, len(ids))
+	for _, id := range ids {
+		if j := s.job(id); j != nil {
+			out = append(out, s.statusView(j))
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}

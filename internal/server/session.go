@@ -1,0 +1,282 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"comparenb/internal/faultinject"
+	"comparenb/internal/table"
+)
+
+// session is one loaded relation: the parsed table plus what the CSV
+// loader decided about it. Relations load once and are shared (read-only)
+// by every job; the *table.Relation pointer doubles as the cube cache's
+// relation identity, so DropRelation can evict exactly this session's
+// cubes.
+type session struct {
+	name   string
+	rel    *table.Relation
+	report *table.CSVReport
+	source string
+	loaded time.Time
+}
+
+// loadRequest is the JSON body of POST /v1/relations (path-based load).
+// CSV uploads use a text/csv body with ?name= instead.
+type loadRequest struct {
+	Name string `json:"name"`
+	Path string `json:"path"`
+
+	ForceCategorical          []string `json:"force_categorical,omitempty"`
+	ForceNumeric              []string `json:"force_numeric,omitempty"`
+	Drop                      []string `json:"drop,omitempty"`
+	MaxCategoricalCardinality int      `json:"max_categorical_cardinality,omitempty"`
+}
+
+type sessionView struct {
+	Name        string   `json:"name"`
+	Rows        int      `json:"rows"`
+	Categorical []string `json:"categorical"`
+	Numeric     []string `json:"numeric"`
+	Dropped     []string `json:"dropped,omitempty"`
+	Source      string   `json:"source"`
+	LoadedMS    int64    `json:"loaded_unix_ms"`
+}
+
+func (sess *session) view() sessionView {
+	return sessionView{
+		Name:        sess.name,
+		Rows:        sess.report.Rows,
+		Categorical: sess.report.Categorical,
+		Numeric:     sess.report.Numeric,
+		Dropped:     sess.report.Dropped,
+		Source:      sess.source,
+		LoadedMS:    sess.loaded.UnixMilli(),
+	}
+}
+
+// validName vets relation names: they appear in URLs, cache diagnostics
+// and metrics, so keep them boring.
+func validName(name string) error {
+	if name == "" {
+		return errors.New("relation name must not be empty")
+	}
+	if len(name) > 64 {
+		return fmt.Errorf("relation name too long (%d bytes, max 64)", len(name))
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return fmt.Errorf("relation name %q: only [A-Za-z0-9._-] allowed", name)
+		}
+	}
+	return nil
+}
+
+// handleLoadRelation is POST /v1/relations. Two request shapes:
+//
+//   - application/json {"name": ..., "path": ...}: the daemon reads the
+//     CSV from its own filesystem — the operator-trusted path.
+//   - any other content type: the body IS the CSV (bounded by
+//     MaxUploadBytes), named by the ?name= query parameter.
+//
+// Loading is admission-controlled like jobs (503 while draining, 507
+// when the registry is full) and duplicate names are refused with 409 —
+// a relation's identity must stay stable while jobs and cached cubes
+// reference it.
+func (s *Server) handleLoadRelation(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining, full := s.draining, len(s.sessions) >= s.opts.MaxRelations
+	s.mu.Unlock()
+	if draining {
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if full {
+		httpError(w, http.StatusInsufficientStorage,
+			fmt.Sprintf("session registry full (%d relations); DELETE one first", s.opts.MaxRelations))
+		return
+	}
+
+	var (
+		name    string
+		source  string
+		rel     *table.Relation
+		rep     *table.CSVReport
+		loadErr error
+	)
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		var req loadRequest
+		if err := decodeJSON(r, &req); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if err := validName(req.Name); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if req.Path == "" {
+			httpError(w, http.StatusBadRequest, "path must not be empty")
+			return
+		}
+		name, source = req.Name, "path:"+req.Path
+		faultinject.Fire(faultinject.ServerSessionLoad)
+		rel, rep, loadErr = table.FromCSVFile(req.Path, table.CSVOptions{
+			Name:                      req.Name,
+			ForceCategorical:          req.ForceCategorical,
+			ForceNumeric:              req.ForceNumeric,
+			Drop:                      req.Drop,
+			MaxCategoricalCardinality: req.MaxCategoricalCardinality,
+			MaxRows:                   s.opts.MaxRows,
+		})
+	} else {
+		name, source = r.URL.Query().Get("name"), "upload"
+		if err := validName(name); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		faultinject.Fire(faultinject.ServerSessionLoad)
+		body := http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
+		rel, rep, loadErr = table.FromCSV(body, table.CSVOptions{
+			Name:    name,
+			MaxRows: s.opts.MaxRows,
+		})
+	}
+	if loadErr != nil {
+		code := http.StatusBadRequest
+		if errors.Is(loadErr, table.ErrTooManyRows) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, code, "loading relation: "+loadErr.Error())
+		return
+	}
+
+	sess := &session{name: name, rel: rel, report: rep, source: source, loaded: time.Now()}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if _, dup := s.sessions[name]; dup {
+		s.mu.Unlock()
+		httpError(w, http.StatusConflict, fmt.Sprintf("relation %q already loaded; DELETE it first", name))
+		return
+	}
+	if len(s.sessions) >= s.opts.MaxRelations {
+		s.mu.Unlock()
+		httpError(w, http.StatusInsufficientStorage,
+			fmt.Sprintf("session registry full (%d relations); DELETE one first", s.opts.MaxRelations))
+		return
+	}
+	s.sessions[name] = sess
+	s.gSessions.Set(int64(len(s.sessions)))
+	s.mu.Unlock()
+	s.cSessLoad.Inc()
+	writeJSON(w, http.StatusCreated, sess.view())
+}
+
+// LoadRelationFile loads a CSV from the daemon's filesystem into the
+// session registry — the programmatic face of POST /v1/relations, used
+// by cmd/comparenbd's -load preload flag and by tests.
+func (s *Server) LoadRelationFile(name, path string) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	faultinject.Fire(faultinject.ServerSessionLoad)
+	rel, rep, err := table.FromCSVFile(path, table.CSVOptions{Name: name, MaxRows: s.opts.MaxRows})
+	if err != nil {
+		return fmt.Errorf("loading relation %q: %w", name, err)
+	}
+	sess := &session{name: name, rel: rel, report: rep, source: "path:" + path, loaded: time.Now()}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return errors.New("server is draining")
+	}
+	if _, dup := s.sessions[name]; dup {
+		return fmt.Errorf("relation %q already loaded", name)
+	}
+	if len(s.sessions) >= s.opts.MaxRelations {
+		return fmt.Errorf("session registry full (%d relations)", s.opts.MaxRelations)
+	}
+	s.sessions[name] = sess
+	s.gSessions.Set(int64(len(s.sessions)))
+	s.cSessLoad.Inc()
+	return nil
+}
+
+// handleListRelations is GET /v1/relations: every session, name-sorted.
+func (s *Server) handleListRelations(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	views := make([]sessionView, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		views = append(views, sess.view())
+	}
+	s.mu.Unlock()
+	sort.Slice(views, func(i, j int) bool { return views[i].Name < views[j].Name })
+	writeJSON(w, http.StatusOK, views)
+}
+
+// handleDropRelation is DELETE /v1/relations/{name}: removes the session
+// and evicts its cubes from the shared cache. Running jobs holding the
+// relation pointer finish unaffected — the relation is immutable and the
+// cache rebuilds on demand — but new jobs can no longer name it.
+func (s *Server) handleDropRelation(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	sess := s.sessions[name]
+	if sess != nil {
+		delete(s.sessions, name)
+		s.gSessions.Set(int64(len(s.sessions)))
+	}
+	s.mu.Unlock()
+	if sess == nil {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("relation %q not loaded", name))
+		return
+	}
+	dropped := s.cache.DropRelation(sess.rel)
+	s.cSessDrop.Inc()
+	writeJSON(w, http.StatusOK, dropResponse{Name: name, CacheEntriesDropped: dropped})
+}
+
+type dropResponse struct {
+	Name                string `json:"name"`
+	CacheEntriesDropped int    `json:"cache_entries_dropped"`
+}
+
+// errorBody is the uniform JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorBody{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // client disconnect; nowhere to report
+}
+
+// decodeJSON parses a bounded JSON request body, refusing unknown fields
+// so typos in quota-sensitive knobs fail loudly instead of silently
+// taking defaults.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request body: %w", err)
+	}
+	return nil
+}

@@ -30,12 +30,37 @@ go test -run '^$' -bench . -benchtime=1x ./... > /dev/null
 
 echo "==> obs smoke (trace + metrics artifacts validate)"
 OBSDIR="$(mktemp -d)"
-trap 'rm -rf "$OBSDIR"' EXIT
+SRV_PID=""
+cleanup() {
+    if [ -n "$SRV_PID" ] && kill -0 "$SRV_PID" 2>/dev/null; then
+        kill -TERM "$SRV_PID" 2>/dev/null || true
+        wait "$SRV_PID" 2>/dev/null || true
+    fi
+    rm -rf "$OBSDIR"
+}
+trap cleanup EXIT
 go run ./cmd/datagen -dataset tiny > "$OBSDIR/tiny.csv"
 go run ./cmd/comparenb -in "$OBSDIR/tiny.csv" -solver exact \
     -trace-out "$OBSDIR/run.trace.json" -metrics-out "$OBSDIR/run.metrics.txt" \
     > /dev/null
 go run ./cmd/obscheck -q -trace "$OBSDIR/run.trace.json" -metrics "$OBSDIR/run.metrics.txt"
+
+echo "==> server smoke (daemon -> load -> generate -> obscheck -> drain)"
+go build -o "$OBSDIR/" ./cmd/comparenbd ./cmd/loadgen ./cmd/obscheck
+"$OBSDIR/comparenbd" -addr 127.0.0.1:0 -addr-file "$OBSDIR/addr" \
+    -load tiny="$OBSDIR/tiny.csv" > "$OBSDIR/daemon.log" 2>&1 &
+SRV_PID=$!
+for _ in $(seq 1 50); do
+    [ -s "$OBSDIR/addr" ] && break
+    sleep 0.1
+done
+[ -s "$OBSDIR/addr" ] || { echo "server smoke: daemon never bound; log:" >&2; cat "$OBSDIR/daemon.log" >&2; exit 1; }
+"$OBSDIR/loadgen" -addr "$(cat "$OBSDIR/addr")" -tenants 1 -jobs 2 -rows 200 -queries 4 -perms 60 \
+    -trace-out "$OBSDIR/job.trace.json" -metrics-out "$OBSDIR/job.metrics.txt" > /dev/null
+"$OBSDIR/obscheck" -q -trace "$OBSDIR/job.trace.json" -metrics "$OBSDIR/job.metrics.txt"
+kill -TERM "$SRV_PID"
+wait "$SRV_PID"
+SRV_PID=""
 
 echo "==> fuzz smoke (every fuzz target, 3s each)"
 # go test accepts one -fuzz target per invocation, so enumerate the

@@ -1,0 +1,57 @@
+#!/bin/sh
+# Load test for the notebook-generation daemon: starts comparenbd on an
+# ephemeral port, drives it with cmd/loadgen (concurrent tenants, shared
+# cube cache), validates the server-emitted trace/metrics artifacts with
+# obscheck, and writes latency percentiles + shed rate as JSON.
+#
+#   scripts/loadtest.sh [out.json]
+#
+# The default output path is BENCH_PR8.json in the repo root (the
+# committed reference numbers for this harness).
+set -eu
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_PR8.json}"
+
+WORK="$(mktemp -d)"
+DAEMON_PID=""
+cleanup() {
+    if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+        kill -TERM "$DAEMON_PID" 2>/dev/null || true
+        wait "$DAEMON_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "==> build comparenbd + loadgen"
+go build -o "$WORK/" ./cmd/comparenbd ./cmd/loadgen ./cmd/obscheck
+
+echo "==> start daemon (ephemeral port, 2 workers)"
+"$WORK/comparenbd" -addr 127.0.0.1:0 -addr-file "$WORK/addr" \
+    -max-concurrent 2 -queue-depth 32 \
+    > "$WORK/daemon.log" 2>&1 &
+DAEMON_PID=$!
+
+# Wait for the listen address to appear.
+for _ in $(seq 1 50); do
+    [ -s "$WORK/addr" ] && break
+    sleep 0.1
+done
+[ -s "$WORK/addr" ] || { echo "daemon never bound; log:" >&2; cat "$WORK/daemon.log" >&2; exit 1; }
+ADDR="$(cat "$WORK/addr")"
+echo "    daemon at $ADDR"
+
+echo "==> drive load (3 tenants x 6 jobs)"
+"$WORK/loadgen" -addr "$ADDR" -tenants 3 -jobs 6 -rows 400 -queries 5 -perms 100 \
+    -out "$OUT" -trace-out "$WORK/job.trace.json" -metrics-out "$WORK/job.metrics.txt"
+
+echo "==> obscheck server-emitted artifacts"
+"$WORK/obscheck" -q -trace "$WORK/job.trace.json" -metrics "$WORK/job.metrics.txt"
+
+echo "==> graceful shutdown"
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID"
+DAEMON_PID=""
+
+echo "OK: results in $OUT"
