@@ -51,6 +51,9 @@ func run() error {
 		maxRelations  = flag.Int("max-relations", 64, "session registry bound")
 		maxRows       = flag.Int("max-rows", 1<<20, "row bound per loaded relation")
 		drainTimeout  = flag.Duration("drain-timeout", 0, "how long a drain waits for running jobs before hard-cancelling them (0 = indefinitely)")
+		stateDir      = flag.String("state-dir", "", "root of the durable state (job journal + artifact store); empty = in-memory, nothing survives a restart")
+		maxAttempts   = flag.Int("max-attempts", 3, "execution attempts per job before a crash-interrupted job is quarantined (with -state-dir)")
+		retryBase     = flag.Duration("retry-base", 250*time.Millisecond, "first re-enqueue backoff for crash-interrupted jobs; doubles per attempt (with -state-dir)")
 	)
 	flag.Func("load", "preload a relation at startup, as name=path (repeatable)", func(v string) error {
 		preloads = append(preloads, v)
@@ -58,7 +61,7 @@ func run() error {
 	})
 	flag.Parse()
 
-	srv := server.New(server.Options{
+	srv, err := server.New(server.Options{
 		MaxConcurrent:    *maxConc,
 		QueueDepth:       *queueDepth,
 		TenantConcurrent: *tenantConc,
@@ -72,7 +75,13 @@ func run() error {
 		MaxRelations:     *maxRelations,
 		MaxRows:          *maxRows,
 		DrainTimeout:     *drainTimeout,
+		StateDir:         *stateDir,
+		MaxAttempts:      *maxAttempts,
+		RetryBase:        *retryBase,
 	})
+	if err != nil {
+		return err
+	}
 	for _, p := range preloads {
 		name, path, ok := strings.Cut(p, "=")
 		if !ok {

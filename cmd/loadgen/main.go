@@ -8,7 +8,15 @@
 // loadgen uploads its own deterministic dataset (internal/datagen Tiny),
 // fires tenants × jobs requests at once, polls each job to a terminal
 // state, and can download one finished job's trace and metrics artifacts
-// for obscheck validation (-trace-out / -metrics-out).
+// for obscheck validation (-trace-out / -metrics-out). A 429 shed is not
+// a failure: loadgen honors the Retry-After header with capped, jittered
+// backoff and re-submits, counting a job as shed only once its retry
+// budget is spent.
+//
+// With -resume, loadgen submits nothing: it waits for a restarted
+// durable daemon to report ready (/readyz), then follows every journaled
+// job to a terminal state and summarises the recovery — the verification
+// half of the crash smoke in scripts/check.sh.
 package main
 
 import (
@@ -16,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math"
 	"net/http"
@@ -41,6 +50,7 @@ type jobOutcome struct {
 	state   string // done | failed | cancelled | shed
 	jobID   string
 	latency time.Duration // POST to terminal status
+	retries int           // 429s absorbed before admission
 }
 
 type benchLatency struct {
@@ -66,6 +76,7 @@ type benchOut struct {
 	Completed     int          `json:"completed"`
 	Shed          int          `json:"shed"`
 	Failed        int          `json:"failed"`
+	Retries       int          `json:"retries"`
 	WallMS        int64        `json:"wall_ms"`
 	JobsPerSecond float64      `json:"jobs_per_second"`
 	ShedRate      float64      `json:"shed_rate"`
@@ -87,6 +98,10 @@ func run() error {
 		traceOut   = flag.String("trace-out", "", "download one finished job's Chrome trace to this file")
 		metricsOut = flag.String("metrics-out", "", "download the same job's metrics exposition to this file")
 		pollEvery  = flag.Duration("poll", 15*time.Millisecond, "job status poll interval")
+		maxRetries = flag.Int("max-retries", 5, "re-submissions after a 429 before a job counts as shed")
+		retryCap   = flag.Duration("retry-cap", 5*time.Second, "upper bound on one Retry-After backoff sleep")
+		resume     = flag.Bool("resume", false, "submit nothing; wait for a restarted daemon's recovery and summarise journaled jobs")
+		resumeWait = flag.Duration("resume-timeout", 2*time.Minute, "with -resume, how long to wait for readiness and terminal jobs")
 	)
 	flag.Parse()
 	if *addr == "" {
@@ -97,7 +112,11 @@ func run() error {
 	if !strings.HasPrefix(base, "http") {
 		base = "http://" + base
 	}
-	cl := &client{base: base, http: &http.Client{Timeout: 5 * time.Minute}}
+	cl := &client{base: base, http: &http.Client{Timeout: 5 * time.Minute}, maxRetries: *maxRetries, retryCap: *retryCap}
+
+	if *resume {
+		return runResume(cl, *out, *pollEvery, *resumeWait)
+	}
 
 	ds, err := datagen.Tiny(*seed, *rows)
 	if err != nil {
@@ -148,6 +167,7 @@ func run() error {
 		default:
 			res.Failed++
 		}
+		res.Retries += o.retries
 	}
 	res.ShedRate = float64(res.Shed) / float64(total)
 	if wall > 0 {
@@ -207,8 +227,10 @@ func percentileMS(sorted []time.Duration, q float64) float64 {
 }
 
 type client struct {
-	base string
-	http *http.Client
+	base       string
+	http       *http.Client
+	maxRetries int           // 429 re-submissions per job
+	retryCap   time.Duration // bound on one backoff sleep
 }
 
 func (c *client) upload(name string, csv []byte) error {
@@ -231,6 +253,9 @@ func (c *client) upload(name string, csv []byte) error {
 }
 
 // oneJob submits one notebook job and follows it to a terminal state.
+// Sheds (429) are absorbed by sleeping the server's Retry-After — scaled
+// by attempt, capped, deterministically jittered so one tenant's jobs
+// don't re-stampede in lockstep — and re-submitting, up to maxRetries.
 func (c *client) oneJob(tenant, relation string, queries, perms int, seed int64, poll time.Duration) jobOutcome {
 	begin := time.Now()
 	reqBody, err := json.Marshal(map[string]any{
@@ -243,34 +268,154 @@ func (c *client) oneJob(tenant, relation string, queries, perms int, seed int64,
 	if err != nil {
 		return jobOutcome{state: "failed"}
 	}
-	resp, err := c.http.Post(c.base+"/v1/notebooks", "application/json", bytes.NewReader(reqBody))
-	if err != nil {
-		return jobOutcome{state: "failed"}
-	}
+
 	var admit struct {
 		JobID string `json:"job_id"`
 	}
-	err = json.NewDecoder(resp.Body).Decode(&admit)
-	_ = resp.Body.Close()
-	if resp.StatusCode == http.StatusTooManyRequests {
-		return jobOutcome{state: "shed"}
+	retries := 0
+	for {
+		resp, err := c.http.Post(c.base+"/v1/notebooks", "application/json", bytes.NewReader(reqBody))
+		if err != nil {
+			return jobOutcome{state: "failed", retries: retries}
+		}
+		decErr := json.NewDecoder(resp.Body).Decode(&admit)
+		_ = resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if retries >= c.maxRetries {
+				return jobOutcome{state: "shed", retries: retries}
+			}
+			retries++
+			time.Sleep(c.backoff(resp.Header.Get("Retry-After"), tenant, seed, retries))
+			continue
+		}
+		if decErr != nil || resp.StatusCode != http.StatusAccepted {
+			return jobOutcome{state: "failed", retries: retries}
+		}
+		break
 	}
-	if err != nil || resp.StatusCode != http.StatusAccepted {
-		return jobOutcome{state: "failed"}
-	}
+
 	for {
 		var st struct {
 			State string `json:"state"`
 		}
 		if err := c.getJSON("/v1/jobs/"+admit.JobID, &st); err != nil {
-			return jobOutcome{state: "failed", jobID: admit.JobID}
+			return jobOutcome{state: "failed", jobID: admit.JobID, retries: retries}
 		}
-		switch st.State {
-		case "done", "failed", "cancelled":
-			return jobOutcome{state: st.State, jobID: admit.JobID, latency: time.Since(begin)}
+		if terminalJobState(st.State) {
+			return jobOutcome{state: st.State, jobID: admit.JobID, latency: time.Since(begin), retries: retries}
 		}
 		time.Sleep(poll)
 	}
+}
+
+// terminalJobState mirrors the server's terminal states, including the
+// quarantine state a durable daemon can surface after crash recovery.
+func terminalJobState(st string) bool {
+	switch st {
+	case "done", "failed", "cancelled", "failed_permanent":
+		return true
+	}
+	return false
+}
+
+// backoff turns a Retry-After header into one sleep: the advertised
+// seconds (default 1s) scaled by the attempt number, capped, plus up to
+// 50% jitter keyed on (tenant, seed, attempt) so reruns are repeatable.
+func (c *client) backoff(retryAfter, tenant string, seed int64, attempt int) time.Duration {
+	base := time.Second
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs > 0 {
+		base = time.Duration(secs) * time.Second
+	}
+	d := base * time.Duration(attempt)
+	if d > c.retryCap {
+		d = c.retryCap
+	}
+	h := fnv.New64a()
+	_, _ = fmt.Fprintf(h, "%s|%d|%d", tenant, seed, attempt) // fnv never errors
+	jitter := time.Duration(h.Sum64() % uint64(d/2+1))
+	return d/2 + jitter // in [d/2, d]
+}
+
+// resumeOut is the -resume summary: the fate of every journaled job
+// after a restart, as seen through the public API.
+type resumeOut struct {
+	Addr        string `json:"addr"`
+	Jobs        int    `json:"jobs"`
+	Done        int    `json:"done"`
+	Failed      int    `json:"failed"`
+	Quarantined int    `json:"quarantined"`
+	Cancelled   int    `json:"cancelled"`
+	WaitMS      int64  `json:"wait_ms"`
+}
+
+// runResume waits for a restarted daemon to become ready, then follows
+// all journaled jobs to terminal states. It fails (nonzero exit) when
+// the daemon never readies, a job never settles, or the journal turned
+// out empty — a crash smoke that recovered nothing proved nothing.
+func runResume(cl *client, out string, poll, timeout time.Duration) error {
+	begin := time.Now()
+	deadline := begin.Add(timeout)
+	for {
+		if resp, err := cl.http.Get(cl.base + "/readyz"); err == nil {
+			ready := resp.StatusCode == http.StatusOK
+			_ = resp.Body.Close()
+			if ready {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("resume: daemon not ready after %s", timeout)
+		}
+		time.Sleep(poll)
+	}
+
+	res := resumeOut{Addr: cl.base}
+	for {
+		var jobs []struct {
+			State string `json:"state"`
+		}
+		if err := cl.getJSON("/v1/jobs", &jobs); err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+		res.Jobs, res.Done, res.Failed, res.Quarantined, res.Cancelled = len(jobs), 0, 0, 0, 0
+		settled := true
+		for _, j := range jobs {
+			switch j.State {
+			case "done":
+				res.Done++
+			case "failed":
+				res.Failed++
+			case "failed_permanent":
+				res.Quarantined++
+			case "cancelled":
+				res.Cancelled++
+			default:
+				settled = false
+			}
+		}
+		if settled && len(jobs) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			if res.Jobs == 0 {
+				return fmt.Errorf("resume: daemon recovered no journaled jobs — nothing to verify")
+			}
+			return fmt.Errorf("resume: %d of %d recovered jobs still unsettled after %s", res.Jobs-res.Done-res.Failed-res.Quarantined-res.Cancelled, res.Jobs, timeout)
+		}
+		time.Sleep(poll)
+	}
+	res.WaitMS = time.Since(begin).Milliseconds()
+
+	enc, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(out, enc, 0o644)
 }
 
 func (c *client) getJSON(path string, v any) error {

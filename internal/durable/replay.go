@@ -1,0 +1,142 @@
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// SessionState is one relation alive at the end of the journal.
+type SessionState struct {
+	Name string
+	File string // stored CSV, relative to the state dir
+	Load json.RawMessage
+}
+
+// JobState is the folded fate of one journaled job.
+type JobState struct {
+	ID      string
+	Tenant  string
+	Request json.RawMessage
+
+	// Attempts is the highest execution attempt started (0 = admitted,
+	// never started).
+	Attempts int
+
+	// Terminal is the job's final record type (RecJobDone, RecJobFailed,
+	// RecJobCancelled) or "" when the journal ends with the job admitted
+	// or running — i.e. interrupted by a crash.
+	Terminal string
+
+	// RecJobDone fields.
+	Artifacts map[string]ArtifactMeta
+	Summary   json.RawMessage
+
+	// RecJobFailed fields.
+	Code      int
+	Error     string
+	Permanent bool
+}
+
+// Interrupted reports whether the journal left the job non-terminal: a
+// crash cut it off while admitted or running, and recovery must either
+// re-run or quarantine it.
+func (j *JobState) Interrupted() bool { return j.Terminal == "" }
+
+// State is the journal folded down to what a recovering server needs.
+type State struct {
+	// Sessions in first-load order, drops and reloads applied.
+	Sessions []*SessionState
+	// Jobs in admission order, every journaled job exactly once.
+	Jobs []*JobState
+}
+
+// Replay folds a journal into its end state. Records are applied in
+// order; later records win (a reloaded session replaces the dropped one,
+// a terminal record settles a job). Records referencing unknown job ids
+// are corruption and an error — the journal is written admit-first.
+func Replay(recs []Record) (*State, error) {
+	st := &State{}
+	sessions := make(map[string]*SessionState)
+	sessionOrder := []string{}
+	ordered := make(map[string]bool)
+	jobs := make(map[string]*JobState)
+
+	job := func(i int, rec Record) (*JobState, error) {
+		if rec.ID == "" {
+			return nil, fmt.Errorf("journal record %d (%s): empty job id", i+1, rec.Type)
+		}
+		j := jobs[rec.ID]
+		if j == nil {
+			return nil, fmt.Errorf("journal record %d (%s): job %s has no admit record", i+1, rec.Type, rec.ID)
+		}
+		return j, nil
+	}
+
+	for i, rec := range recs {
+		switch rec.Type {
+		case RecSessionLoad:
+			if rec.Name == "" {
+				return nil, fmt.Errorf("journal record %d: session-load with empty name", i+1)
+			}
+			if !ordered[rec.Name] {
+				ordered[rec.Name] = true
+				sessionOrder = append(sessionOrder, rec.Name)
+			}
+			sessions[rec.Name] = &SessionState{Name: rec.Name, File: rec.File, Load: rec.Load}
+		case RecSessionDrop:
+			delete(sessions, rec.Name)
+		case RecJobAdmit:
+			if rec.ID == "" {
+				return nil, fmt.Errorf("journal record %d: job-admit with empty id", i+1)
+			}
+			if _, dup := jobs[rec.ID]; dup {
+				return nil, fmt.Errorf("journal record %d: job %s admitted twice", i+1, rec.ID)
+			}
+			j := &JobState{ID: rec.ID, Tenant: rec.Tenant, Request: rec.Request}
+			jobs[rec.ID] = j
+			st.Jobs = append(st.Jobs, j)
+		case RecJobStart:
+			j, err := job(i, rec)
+			if err != nil {
+				return nil, err
+			}
+			if rec.Attempt > j.Attempts {
+				j.Attempts = rec.Attempt
+			}
+			// A start after a terminal record is a recovery re-run of a
+			// job a previous replay re-enqueued; it reopens the job.
+			j.Terminal = ""
+		case RecJobDone:
+			j, err := job(i, rec)
+			if err != nil {
+				return nil, err
+			}
+			j.Terminal = RecJobDone
+			j.Artifacts = rec.Artifacts
+			j.Summary = rec.Summary
+			j.Code, j.Error, j.Permanent = 0, "", false
+		case RecJobFailed:
+			j, err := job(i, rec)
+			if err != nil {
+				return nil, err
+			}
+			j.Terminal = RecJobFailed
+			j.Code, j.Error, j.Permanent = rec.Code, rec.Error, rec.Permanent
+		case RecJobCancelled:
+			j, err := job(i, rec)
+			if err != nil {
+				return nil, err
+			}
+			j.Terminal = RecJobCancelled
+		default:
+			return nil, fmt.Errorf("journal record %d: unknown type %q", i+1, rec.Type)
+		}
+	}
+
+	for _, name := range sessionOrder {
+		if s, alive := sessions[name]; alive {
+			st.Sessions = append(st.Sessions, s)
+		}
+	}
+	return st, nil
+}

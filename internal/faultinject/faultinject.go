@@ -84,6 +84,19 @@ const (
 	// before the CSV is read, so tests can race a load against shutdown or
 	// inject slowness into session establishment.
 	ServerSessionLoad = "server.session.load"
+	// DiskWrite fires immediately before every payload write of the
+	// durability layer (internal/durable): a journal-record append or an
+	// artifact-store temp-file write. A hook that kills the process here
+	// simulates a crash before any bytes reached the kernel.
+	DiskWrite = "durable.disk.write"
+	// DiskFsync fires immediately before every fsync of the durability
+	// layer — journal syncs, artifact-file syncs and directory syncs. A
+	// crash here leaves bytes written but not yet durable.
+	DiskFsync = "durable.disk.fsync"
+	// DiskRename fires immediately before the atomic rename that makes a
+	// stored file visible under its final name. A crash here leaves only
+	// the invisible temp file, which the store sweeps on reopen.
+	DiskRename = "durable.disk.rename"
 )
 
 // Hook is a registered fault handler. It runs synchronously inside the

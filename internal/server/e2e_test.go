@@ -23,7 +23,10 @@ import (
 // goroutine before returning.
 func startTestServer(t *testing.T, opts Options) (*Server, string, func()) {
 	t.Helper()
-	s := New(opts)
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() { done <- s.Run(ctx) }()
@@ -132,7 +135,7 @@ func waitJob(t *testing.T, base, id string) jobStatusView {
 			t.Fatal(err)
 		}
 		switch v.State {
-		case stateDone, stateFailed, stateCancelled:
+		case stateDone, stateFailed, stateFailedPermanent, stateCancelled:
 			return v
 		}
 		time.Sleep(5 * time.Millisecond)

@@ -1,17 +1,16 @@
 package server
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"strings"
 	"sync"
 	"time"
 
+	"comparenb/internal/durable"
 	"comparenb/internal/faultinject"
 	"comparenb/internal/governor"
 	"comparenb/internal/obs"
@@ -20,16 +19,29 @@ import (
 	"comparenb/internal/table"
 )
 
-// Job states. A job is terminal in done, failed or cancelled; artifacts
-// are served only from done — a failed or cancelled job never exposes
-// partial results.
+// Job states. A job is terminal in done, failed, failed_permanent or
+// cancelled; artifacts are served only from done — no other state ever
+// exposes partial results. failed_permanent is the quarantine state: a
+// crash-interrupted job that exhausted its retry budget (or whose
+// journaled request can no longer be executed) parks here with a
+// recorded reason instead of being dropped or retried forever.
 const (
-	stateQueued    = "queued"
-	stateRunning   = "running"
-	stateDone      = "done"
-	stateFailed    = "failed"
-	stateCancelled = "cancelled"
+	stateQueued          = "queued"
+	stateRunning         = "running"
+	stateDone            = "done"
+	stateFailed          = "failed"
+	stateFailedPermanent = "failed_permanent"
+	stateCancelled       = "cancelled"
 )
+
+// terminalState reports whether a job in state st will never run again.
+func terminalState(st string) bool {
+	switch st {
+	case stateDone, stateFailed, stateFailedPermanent, stateCancelled:
+		return true
+	}
+	return false
+}
 
 // jobRequest is the POST /v1/notebooks body. Zero fields take the
 // pipeline defaults (pipeline.NewConfig); the mapping lives in
@@ -161,13 +173,20 @@ type job struct {
 	admit    governor.Level
 	created  time.Time
 
+	// notBefore delays dequeue for recovered jobs under retry backoff.
+	// It is written only before the job is published to the queue and
+	// read under s.mu, so it needs no lock of its own.
+	notBefore time.Time
+
 	mu              sync.Mutex
 	state           string
+	attempt         int // execution attempts, counting across restarts
 	started         time.Time
 	finished        time.Time
 	cancelFn        func()
 	cancelRequested bool
 	events          []sseEvent
+	firstIdx        int // logical index of events[0]; >0 once the log was bounded
 	notify          []chan struct{}
 	artifacts       map[string]artifact
 	errMsg          string
@@ -209,7 +228,17 @@ type errorEvent struct {
 	Code  int    `json:"code"`
 }
 
-// publish appends one event to the log and wakes every subscriber.
+// maxJobEvents bounds one job's SSE event log. A chatty pipeline (log
+// lines, phase spans) must not grow a job's memory without limit just
+// because a subscriber might still want the backlog; past the cap the
+// oldest events are dropped and late subscribers get a truncation
+// marker instead.
+const maxJobEvents = 1024
+
+// publish appends one event to the log and wakes every subscriber. Both
+// halves are non-blocking: the log is bounded, and the per-subscriber
+// notify send never waits — a slow or never-reading subscriber cannot
+// stall job completion.
 func (j *job) publish(name string, payload any) {
 	data, err := json.Marshal(payload)
 	if err != nil {
@@ -217,6 +246,11 @@ func (j *job) publish(name string, payload any) {
 	}
 	j.mu.Lock()
 	j.events = append(j.events, sseEvent{name: name, data: string(data)})
+	if drop := len(j.events) - maxJobEvents; drop > 0 {
+		// Copy to a fresh slice so the dropped prefix is actually freed.
+		j.events = append([]sseEvent(nil), j.events[drop:]...)
+		j.firstIdx += drop
+	}
 	subs := append([]chan struct{}(nil), j.notify...)
 	j.mu.Unlock()
 	for _, ch := range subs {
@@ -246,17 +280,23 @@ func (j *job) subscribe() (<-chan struct{}, func()) {
 	}
 }
 
-// eventsSince returns the log suffix from idx on, plus whether the job
-// has reached a terminal state (so a subscriber that has drained the log
+// eventsSince returns the log suffix from logical index idx on, the
+// effective start index (greater than idx when the bounded log has
+// dropped events the subscriber never saw), and whether the job has
+// reached a terminal state (so a subscriber that has drained the log
 // can stop).
-func (j *job) eventsSince(idx int) ([]sseEvent, bool) {
+func (j *job) eventsSince(idx int) (evs []sseEvent, start int, terminal bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	terminal := j.state == stateDone || j.state == stateFailed || j.state == stateCancelled
-	if idx >= len(j.events) {
-		return nil, terminal
+	terminal = terminalState(j.state)
+	if idx < j.firstIdx {
+		idx = j.firstIdx
 	}
-	return j.events[idx:len(j.events):len(j.events)], terminal
+	off := idx - j.firstIdx
+	if off >= len(j.events) {
+		return nil, idx, terminal
+	}
+	return j.events[off:len(j.events):len(j.events)], idx, terminal
 }
 
 // markRunning flips queued → running (no-op when already cancelled).
@@ -287,7 +327,7 @@ func (j *job) armCancel(cancel func()) bool {
 // jobs already terminal.
 func (j *job) requestCancel() bool {
 	j.mu.Lock()
-	if j.state == stateDone || j.state == stateFailed || j.state == stateCancelled {
+	if terminalState(j.state) {
 		j.mu.Unlock()
 		return false
 	}
@@ -337,6 +377,12 @@ func (j *job) cancelled(msg string) {
 // fresh per-job obs registry (traced, with spans streamed to SSE), the
 // daemon's shared cache, and the request's Config. Artifacts render only
 // on success; every terminal path releases the worker slot exactly once.
+//
+// Durable ordering: the attempt is journaled (job-start) before the
+// pipeline runs, artifacts are persisted and the job-done record fsynced
+// before the job is marked done — so a crash at any point leaves either
+// an open-ended journal entry (the job re-runs on the next boot) or a
+// fully durable result, never an acknowledged-but-lost notebook.
 func (s *Server) runJob(jobsCtx context.Context, j *job) {
 	defer s.release(j)
 	s.tQueueWait.Observe(time.Since(j.created))
@@ -345,10 +391,20 @@ func (s *Server) runJob(jobsCtx context.Context, j *job) {
 	jctx, cancel := context.WithCancel(jobsCtx)
 	defer cancel()
 	if !j.armCancel(cancel) {
+		s.journalAppend(durable.Record{Type: durable.RecJobCancelled, ID: j.id})
 		j.cancelled("cancelled while queued")
 		s.cCancelled.Inc()
 		return
 	}
+
+	j.mu.Lock()
+	j.attempt++
+	attempt := j.attempt
+	j.mu.Unlock()
+	if attempt > 1 {
+		s.cRetries.Inc()
+	}
+	s.journalAppend(durable.Record{Type: durable.RecJobStart, ID: j.id, Attempt: attempt})
 
 	reg := obs.New()
 	reg.EnableTracing(0)
@@ -377,29 +433,32 @@ func (s *Server) runJob(jobsCtx context.Context, j *job) {
 		reg.MarkInterrupted()
 		switch {
 		case errors.Is(err, context.Canceled) && jobsCtx.Err() != nil:
+			// Shutdown interruption is deliberately NOT journaled as
+			// terminal: the open-ended entry makes a durable server
+			// re-enqueue the job on the next boot.
 			j.fail(http.StatusServiceUnavailable, "server shut down mid-job")
 			s.cFailed.Inc()
 		case errors.Is(err, context.Canceled):
+			s.journalAppend(durable.Record{Type: durable.RecJobCancelled, ID: j.id})
 			j.cancelled("cancelled by client")
 			s.cCancelled.Inc()
 		default:
+			s.journalAppend(durable.Record{
+				Type: durable.RecJobFailed, ID: j.id,
+				Code: http.StatusInternalServerError, Error: err.Error(),
+			})
 			j.fail(http.StatusInternalServerError, err.Error())
 			s.cFailed.Inc()
 		}
 		return
 	}
 
-	artifacts, err := renderArtifacts(res, reg)
+	arts, err := pipeline.RenderArtifacts(res, reg)
 	if err != nil {
-		j.fail(http.StatusInternalServerError, "rendering artifacts: "+err.Error())
-		s.cFailed.Inc()
+		s.failJournaled(j, http.StatusInternalServerError, "rendering artifacts: "+err.Error())
 		return
 	}
-	s.mu.Lock()
-	s.tenantLocked(j.tenant).jobs.Inc()
-	s.mu.Unlock()
-	s.cDone.Inc()
-	j.complete(artifacts, jobSummary{
+	sum := jobSummary{
 		Queries:      len(res.Solution.Order),
 		Insights:     len(res.Insights),
 		Solver:       res.TAP.Solver,
@@ -408,34 +467,47 @@ func (s *Server) runJob(jobsCtx context.Context, j *job) {
 		CacheHits:    res.Counts.CacheHits,
 		CacheRollups: res.Counts.CacheRollups,
 		CacheMisses:  res.Counts.CacheMisses,
-	})
+	}
+
+	// Durable commit point: artifacts on disk, then the job-done record.
+	// Either failing fails the job — a done acknowledgement must imply a
+	// recoverable result.
+	metas, err := s.persistJobArtifacts(j.id, arts)
+	if err != nil {
+		s.failJournaled(j, http.StatusInternalServerError, "persisting artifacts: "+err.Error())
+		return
+	}
+	if s.journal != nil {
+		sumJSON, err := json.Marshal(sum)
+		if err != nil {
+			s.failJournaled(j, http.StatusInternalServerError, "encoding summary: "+err.Error())
+			return
+		}
+		if err := s.journalAppendStrict(durable.Record{
+			Type: durable.RecJobDone, ID: j.id, Artifacts: metas, Summary: sumJSON,
+		}); err != nil {
+			s.failJournaled(j, http.StatusInternalServerError, "journaling completion: "+err.Error())
+			return
+		}
+	}
+
+	artifacts := make(map[string]artifact, len(arts))
+	for _, a := range arts {
+		artifacts[a.Key] = artifact{contentType: a.ContentType, data: a.Data}
+	}
+	s.mu.Lock()
+	s.tenantLocked(j.tenant).jobs.Inc()
+	s.mu.Unlock()
+	s.cDone.Inc()
+	j.complete(artifacts, sum)
 }
 
-// renderArtifacts materialises every served representation of a finished
-// run. Trace and metrics render last so the notebook's verification
-// queries are already on the books.
-func renderArtifacts(res *pipeline.Result, reg *obs.Registry) (map[string]artifact, error) {
-	nb := pipeline.BuildNotebook(res)
-	out := make(map[string]artifact, 6)
-	renders := []struct {
-		key, contentType string
-		write            func(io.Writer) error
-	}{
-		{"ipynb", "application/x-ipynb+json", nb.WriteIPYNB},
-		{"markdown", "text/markdown; charset=utf-8", nb.WriteMarkdown},
-		{"html", "text/html; charset=utf-8", nb.WriteHTML},
-		{"report", "application/json", res.Report().WriteJSON},
-		{"trace", "application/json", reg.WriteTrace},
-		{"metrics", "text/plain; version=0.0.4", reg.WriteMetrics},
-	}
-	for _, r := range renders {
-		var buf bytes.Buffer
-		if err := r.write(&buf); err != nil {
-			return nil, fmt.Errorf("%s: %w", r.key, err)
-		}
-		out[r.key] = artifact{contentType: r.contentType, data: buf.Bytes()}
-	}
-	return out, nil
+// failJournaled records a terminal server-side failure in the journal
+// and on the job.
+func (s *Server) failJournaled(j *job, code int, msg string) {
+	s.journalAppend(durable.Record{Type: durable.RecJobFailed, ID: j.id, Code: code, Error: msg})
+	j.fail(code, msg)
+	s.cFailed.Inc()
 }
 
 // handleCreateJob is POST /v1/notebooks: the admission decision.
@@ -471,6 +543,11 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
+	if !s.ready {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "server is recovering; retry when /readyz reports ready")
+		return
+	}
 	sess := s.sessions[req.Relation]
 	if sess == nil {
 		s.mu.Unlock()
@@ -496,6 +573,23 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 	}
 	s.seq++
 	id := fmt.Sprintf("j%06d", s.seq)
+	if s.journal != nil {
+		// Write-ahead admission: the record must be durable before the
+		// 202 goes out, or a crash could lose an acknowledged job. The
+		// fsync happens under s.mu — admissions serialise on it, which is
+		// fine at this daemon's request rates.
+		reqJSON, err := json.Marshal(req)
+		if err == nil {
+			err = s.journalAppendStrict(durable.Record{
+				Type: durable.RecJobAdmit, ID: id, Tenant: tenant, Request: reqJSON,
+			})
+		}
+		if err != nil {
+			s.mu.Unlock()
+			httpError(w, http.StatusInternalServerError, "journaling admission: "+err.Error())
+			return
+		}
+	}
 	j := newJob(id, tenant, req, sess.rel, cfg, admit)
 	s.jobs[id] = j
 	s.queue = append(s.queue, j)
@@ -530,6 +624,7 @@ type jobStatusView struct {
 	CreatedMS     int64       `json:"created_unix_ms"`
 	StartedMS     int64       `json:"started_unix_ms,omitempty"`
 	FinishedMS    int64       `json:"finished_unix_ms,omitempty"`
+	Attempts      int         `json:"attempts,omitempty"`
 	Error         string      `json:"error,omitempty"`
 	Summary       *jobSummary `json:"summary,omitempty"`
 }
@@ -543,6 +638,7 @@ func (s *Server) statusView(j *job) jobStatusView {
 		State:     j.state,
 		Admit:     j.admit.String(),
 		CreatedMS: j.created.UnixMilli(),
+		Attempts:  j.attempt,
 		Error:     j.errMsg,
 		Summary:   j.summary,
 	}
@@ -601,6 +697,11 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 			failCode = http.StatusInternalServerError
 		}
 		httpError(w, failCode, "job failed: "+errMsg)
+	case stateFailedPermanent:
+		if failCode == 0 {
+			failCode = http.StatusInternalServerError
+		}
+		httpError(w, failCode, "job quarantined: "+errMsg)
 	case stateCancelled:
 		httpError(w, http.StatusGone, "job was cancelled; no result")
 	default:
@@ -634,6 +735,7 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	j.mu.Lock()
 	if j.state == stateQueued {
 		j.mu.Unlock()
+		s.journalAppend(durable.Record{Type: durable.RecJobCancelled, ID: j.id})
 		j.cancelled("cancelled by client")
 		s.cCancelled.Inc()
 	} else {
@@ -664,7 +766,13 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
 	idx := 0
 	for {
-		evs, terminal := j.eventsSince(idx)
+		evs, start, terminal := j.eventsSince(idx)
+		if start > idx {
+			// The bounded log dropped events this subscriber never saw;
+			// say so instead of silently skipping them.
+			_, _ = fmt.Fprintf(w, "event: truncated\ndata: {\"dropped\":%d}\n\n", start-idx)
+			idx = start
+		}
 		for _, ev := range evs {
 			// Write errors mean the client went away; the ctx select
 			// below will see it.
@@ -673,7 +781,7 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		fl.Flush()
 		if terminal {
-			if more, _ := j.eventsSince(idx); len(more) == 0 {
+			if more, _, _ := j.eventsSince(idx); len(more) == 0 {
 				return
 			}
 			continue

@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"comparenb/internal/durable"
 	"comparenb/internal/engine"
 	"comparenb/internal/obs"
 )
@@ -77,6 +78,23 @@ type Options struct {
 	// context is cancelled before hard-cancelling them (0 = wait
 	// indefinitely).
 	DrainTimeout time.Duration
+	// StateDir roots the durability layer: a write-ahead job journal plus
+	// an atomic artifact store (see internal/durable). Empty means
+	// in-memory operation — nothing survives a restart. With a state dir,
+	// every session load and job lifecycle transition is journaled before
+	// it is acknowledged, finished artifacts are persisted atomically, and
+	// Run replays the journal on startup: completed jobs come back with
+	// hash-verified artifacts, interrupted jobs are re-enqueued under the
+	// retry policy or quarantined.
+	StateDir string
+	// MaxAttempts bounds execution attempts per job before a
+	// crash-interrupted job is quarantined as failed_permanent
+	// (default 3). Only meaningful with StateDir.
+	MaxAttempts int
+	// RetryBase is the first re-enqueue backoff for a crash-interrupted
+	// job; later attempts double it, with deterministic per-job jitter
+	// (default 250ms). Only meaningful with StateDir.
+	RetryBase time.Duration
 }
 
 // withDefaults returns opts with every unset field defaulted.
@@ -128,6 +146,13 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
+	// Durability layer; all nil/zero when StateDir is unset. recovered is
+	// the journal folded at New time and consumed by Run's replay.
+	journal   *durable.Journal
+	store     *durable.Store
+	retry     durable.RetryPolicy
+	recovered *durable.State
+
 	mu         sync.Mutex
 	sessions   map[string]*session
 	jobs       map[string]*job
@@ -135,6 +160,7 @@ type Server struct {
 	tenants    map[string]*tenantState
 	runningN   int
 	draining   bool
+	ready      bool // false while Run replays the journal
 	hardCancel func()
 	seq        int
 
@@ -142,16 +168,21 @@ type Server struct {
 	// queue grows or a slot frees, so idle workers re-scan the queue.
 	wake chan struct{}
 
-	cAdmitFull, cAdmitQueue, cAdmitShed *obs.Counter
-	cDone, cFailed, cCancelled          *obs.Counter
-	cSessLoad, cSessDrop                *obs.Counter
-	gRunning, gQueued, gSessions        *obs.Gauge
-	tWall, tQueueWait                   *obs.Timing
+	cAdmitFull, cAdmitQueue, cAdmitShed              *obs.Counter
+	cDone, cFailed, cCancelled                       *obs.Counter
+	cSessLoad, cSessDrop                             *obs.Counter
+	cRecoveredDone, cRecoveredRequeued, cQuarantined *obs.Counter
+	cRetries, cJournalErr, cVerifyFail               *obs.Counter
+	gRunning, gQueued, gSessions                     *obs.Gauge
+	tWall, tQueueWait                                *obs.Timing
 }
 
 // New builds a Server with its shared cache and HTTP routes. Workers do
-// not start until Run.
-func New(opts Options) *Server {
+// not start until Run. With Options.StateDir set, New reads and folds
+// the existing journal (corruption is an error — refuse to serve from a
+// state dir that cannot be trusted) and opens it for appending; the
+// folded state is applied by Run before the first job runs.
+func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	s := &Server{
 		opts:     opts,
@@ -176,15 +207,31 @@ func New(opts Options) *Server {
 	s.cCancelled = s.reg.Counter("server_jobs_cancelled")
 	s.cSessLoad = s.reg.Counter("server_sessions_loaded")
 	s.cSessDrop = s.reg.Counter("server_sessions_dropped")
+	s.cRecoveredDone = s.reg.Counter("server_recovered_done")
+	s.cRecoveredRequeued = s.reg.Counter("server_recovered_requeued")
+	s.cQuarantined = s.reg.Counter("server_jobs_quarantined")
+	s.cRetries = s.reg.Counter("server_job_retries")
+	s.cJournalErr = s.reg.Counter("server_journal_errors")
+	s.cVerifyFail = s.reg.Counter("server_artifact_verify_failures")
 	s.gRunning = s.reg.Gauge("server_jobs_running")
 	s.gQueued = s.reg.Gauge("server_jobs_queued")
 	s.gSessions = s.reg.Gauge("server_sessions")
 	s.tWall = s.reg.Timing("server_job_wall")
 	s.tQueueWait = s.reg.Timing("server_job_queue_wait")
 
+	if opts.StateDir != "" {
+		if err := s.openState(); err != nil {
+			return nil, err
+		}
+	} else {
+		// In-memory mode has nothing to replay; the server is ready the
+		// moment Run starts (and for preloads even before).
+		s.ready = true
+	}
+
 	s.mux = http.NewServeMux()
 	s.routes()
-	return s
+	return s, nil
 }
 
 // Handler returns the daemon's HTTP API.
@@ -209,6 +256,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /livez", s.handleLivez)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 }
 
 // Run starts the worker pool and blocks until ctx is cancelled and the
@@ -216,7 +265,16 @@ func (s *Server) routes() {
 // running jobs finish (bounded by Options.DrainTimeout, after which they
 // are hard-cancelled). Every worker goroutine is joined before Run
 // returns, so a returned Run means no server goroutines survive.
+//
+// With a state dir, Run first replays the folded journal — restoring
+// sessions, re-serving verified artifacts of completed jobs, and
+// re-enqueueing or quarantining interrupted ones — before any worker
+// starts; /readyz reports 503 until the replay finishes. The journal is
+// closed after the drain, so a returned Run has released the state dir.
 func (s *Server) Run(ctx context.Context) error {
+	if err := s.recoverDurable(); err != nil {
+		return err
+	}
 	jobsCtx, hardCancel := context.WithCancel(context.Background())
 	s.mu.Lock()
 	s.hardCancel = hardCancel
@@ -252,6 +310,9 @@ func (s *Server) Run(ctx context.Context) error {
 	} else {
 		<-drained
 	}
+	if s.journal != nil {
+		_ = s.journal.Close() // drained; a close error changes nothing
+	}
 	return nil
 }
 
@@ -268,7 +329,9 @@ func (s *Server) HardStop() {
 }
 
 // beginDrain stops admission and fails every queued job with 503.
-// Running jobs are left to finish.
+// Running jobs are left to finish. Deliberately nothing is journaled
+// here: a drain-failed queued job keeps its open-ended journal entry, so
+// a durable server re-enqueues it on the next boot instead of losing it.
 func (s *Server) beginDrain() {
 	s.mu.Lock()
 	s.draining = true
@@ -293,6 +356,20 @@ func (s *Server) Draining() bool {
 	return s.draining
 }
 
+// Ready reports whether startup replay has finished and the server is
+// accepting work. In-memory servers are ready from construction.
+func (s *Server) Ready() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ready
+}
+
+func (s *Server) setReady() {
+	s.mu.Lock()
+	s.ready = true
+	s.mu.Unlock()
+}
+
 // worker is one job-execution loop: drain the queue, then sleep on the
 // wake channel until there is more work or the server shuts down.
 func (s *Server) worker(ctx, jobsCtx context.Context) {
@@ -310,15 +387,21 @@ func (s *Server) worker(ctx, jobsCtx context.Context) {
 }
 
 // dequeue pops the first queued job whose tenant is under its running
-// cap, claiming a slot for it. Returns nil when nothing is eligible or
-// the server is draining.
+// cap and whose retry backoff (if any) has elapsed, claiming a slot for
+// it. Returns nil when nothing is eligible or the server is draining.
 func (s *Server) dequeue() *job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
 		return nil
 	}
+	now := time.Now()
 	for i, j := range s.queue {
+		// notBefore is set only before the job is published to the queue
+		// (under s.mu), so reading it here needs no further locking.
+		if j.notBefore.After(now) {
+			continue
+		}
 		t := s.tenantLocked(j.tenant)
 		if t.running >= s.opts.TenantConcurrent {
 			continue
@@ -426,25 +509,56 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = s.reg.WriteMetrics(w) // client disconnect; nowhere to report
 }
 
-// handleHealthz reports liveness and drain state.
+// handleHealthz reports the full health picture in one body; the
+// orchestration-facing split lives in /livez and /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.healthLocked())
+}
+
+// handleLivez is pure liveness: the process is up and serving HTTP. It
+// stays 200 during replay and during drain — restarting a server because
+// it is busy recovering would only lose more work.
+func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{Status: "alive"})
+}
+
+// handleReadyz is readiness: 200 only when startup replay has finished
+// and the server is not draining — the signal a load balancer should
+// gate traffic on.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st := s.healthLocked()
+	code := http.StatusOK
+	if !st.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) healthLocked() healthStatus {
 	s.mu.Lock()
 	st := healthStatus{
 		Status:      "ok",
+		Ready:       s.ready && !s.draining,
 		UptimeMS:    time.Since(s.start).Milliseconds(),
 		Sessions:    len(s.sessions),
 		JobsRunning: s.runningN,
 		JobsQueued:  len(s.queue),
 	}
-	if s.draining {
+	switch {
+	case s.draining:
 		st.Status = "draining"
+	case !s.ready:
+		st.Status = "recovering"
 	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, st)
+	return st
 }
 
 type healthStatus struct {
 	Status      string `json:"status"`
+	Ready       bool   `json:"ready"`
 	UptimeMS    int64  `json:"uptime_ms"`
 	Sessions    int    `json:"sessions"`
 	JobsRunning int    `json:"jobs_running"`

@@ -1,15 +1,19 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path"
 	"sort"
 	"strings"
 	"time"
 
+	"comparenb/internal/durable"
 	"comparenb/internal/faultinject"
 	"comparenb/internal/table"
 )
@@ -94,10 +98,14 @@ func validName(name string) error {
 // reference it.
 func (s *Server) handleLoadRelation(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	draining, full := s.draining, len(s.sessions) >= s.opts.MaxRelations
+	draining, ready, full := s.draining, s.ready, len(s.sessions) >= s.opts.MaxRelations
 	s.mu.Unlock()
 	if draining {
 		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if !ready {
+		httpError(w, http.StatusServiceUnavailable, "server is recovering; retry when /readyz reports ready")
 		return
 	}
 	if full {
@@ -106,12 +114,15 @@ func (s *Server) handleLoadRelation(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Both shapes read the full CSV into memory first: the bytes feed the
+	// parser AND (durable mode) the state dir's relations/ copy, so the
+	// relation a recovering server reloads is exactly what was loaded —
+	// even when the original path has since changed or vanished.
 	var (
-		name    string
-		source  string
-		rel     *table.Relation
-		rep     *table.CSVReport
-		loadErr error
+		name   string
+		source string
+		csv    []byte
+		lopts  loadRequest // option fields only; Name/Path stay zero
 	)
 	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
 		var req loadRequest
@@ -128,15 +139,19 @@ func (s *Server) handleLoadRelation(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		name, source = req.Name, "path:"+req.Path
-		faultinject.Fire(faultinject.ServerSessionLoad)
-		rel, rep, loadErr = table.FromCSVFile(req.Path, table.CSVOptions{
-			Name:                      req.Name,
+		lopts = loadRequest{
 			ForceCategorical:          req.ForceCategorical,
 			ForceNumeric:              req.ForceNumeric,
 			Drop:                      req.Drop,
 			MaxCategoricalCardinality: req.MaxCategoricalCardinality,
-			MaxRows:                   s.opts.MaxRows,
-		})
+		}
+		faultinject.Fire(faultinject.ServerSessionLoad)
+		var err error
+		csv, err = os.ReadFile(req.Path)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "loading relation: "+err.Error())
+			return
+		}
 	} else {
 		name, source = r.URL.Query().Get("name"), "upload"
 		if err := validName(name); err != nil {
@@ -145,11 +160,27 @@ func (s *Server) handleLoadRelation(w http.ResponseWriter, r *http.Request) {
 		}
 		faultinject.Fire(faultinject.ServerSessionLoad)
 		body := http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
-		rel, rep, loadErr = table.FromCSV(body, table.CSVOptions{
-			Name:    name,
-			MaxRows: s.opts.MaxRows,
-		})
+		var err error
+		csv, err = io.ReadAll(body)
+		if err != nil {
+			code := http.StatusBadRequest
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				code = http.StatusRequestEntityTooLarge
+			}
+			httpError(w, code, "reading upload: "+err.Error())
+			return
+		}
 	}
+
+	rel, rep, loadErr := table.FromCSV(bytes.NewReader(csv), table.CSVOptions{
+		Name:                      name,
+		ForceCategorical:          lopts.ForceCategorical,
+		ForceNumeric:              lopts.ForceNumeric,
+		Drop:                      lopts.Drop,
+		MaxCategoricalCardinality: lopts.MaxCategoricalCardinality,
+		MaxRows:                   s.opts.MaxRows,
+	})
 	if loadErr != nil {
 		code := http.StatusBadRequest
 		if errors.Is(loadErr, table.ErrTooManyRows) {
@@ -160,57 +191,91 @@ func (s *Server) handleLoadRelation(w http.ResponseWriter, r *http.Request) {
 	}
 
 	sess := &session{name: name, rel: rel, report: rep, source: source, loaded: time.Now()}
+	if code, err := s.registerSession(sess, csv, lopts); err != nil {
+		httpError(w, code, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, sess.view())
+}
+
+// registerSession claims the relation name in the registry, then (in
+// durable mode) persists the CSV and journals the load. The claim is
+// rolled back if persistence fails, so a registered relation is always a
+// recoverable one. Claiming first means a crash between claim and
+// journal can admit jobs against a relation the journal never saw —
+// replay quarantines those with "relation not recoverable" rather than
+// guessing.
+func (s *Server) registerSession(sess *session, csv []byte, lopts loadRequest) (int, error) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		httpError(w, http.StatusServiceUnavailable, "server is draining")
-		return
+		return http.StatusServiceUnavailable, errors.New("server is draining")
 	}
-	if _, dup := s.sessions[name]; dup {
+	if _, dup := s.sessions[sess.name]; dup {
 		s.mu.Unlock()
-		httpError(w, http.StatusConflict, fmt.Sprintf("relation %q already loaded; DELETE it first", name))
-		return
+		return http.StatusConflict, fmt.Errorf("relation %q already loaded; DELETE it first", sess.name)
 	}
 	if len(s.sessions) >= s.opts.MaxRelations {
 		s.mu.Unlock()
-		httpError(w, http.StatusInsufficientStorage,
-			fmt.Sprintf("session registry full (%d relations); DELETE one first", s.opts.MaxRelations))
-		return
+		return http.StatusInsufficientStorage,
+			fmt.Errorf("session registry full (%d relations); DELETE one first", s.opts.MaxRelations)
 	}
-	s.sessions[name] = sess
+	s.sessions[sess.name] = sess
 	s.gSessions.Set(int64(len(s.sessions)))
 	s.mu.Unlock()
+
+	if err := s.persistSession(sess.name, csv, lopts); err != nil {
+		s.mu.Lock()
+		delete(s.sessions, sess.name)
+		s.gSessions.Set(int64(len(s.sessions)))
+		s.mu.Unlock()
+		return http.StatusInternalServerError, fmt.Errorf("persisting relation: %w", err)
+	}
 	s.cSessLoad.Inc()
-	writeJSON(w, http.StatusCreated, sess.view())
+	return 0, nil
+}
+
+// persistSession stores the relation's CSV bytes and journals the load;
+// a no-op in memory-only mode.
+func (s *Server) persistSession(name string, csv []byte, lopts loadRequest) error {
+	if s.journal == nil {
+		return nil
+	}
+	file := path.Join(durable.RelationsDir, name+".csv")
+	if _, err := s.store.WriteFile(file, csv); err != nil {
+		return err
+	}
+	loadJSON, err := json.Marshal(lopts)
+	if err != nil {
+		return fmt.Errorf("encoding load options: %w", err)
+	}
+	return s.journalAppendStrict(durable.Record{
+		Type: durable.RecSessionLoad, Name: name, File: file, Load: loadJSON,
+	})
 }
 
 // LoadRelationFile loads a CSV from the daemon's filesystem into the
 // session registry — the programmatic face of POST /v1/relations, used
-// by cmd/comparenbd's -load preload flag and by tests.
-func (s *Server) LoadRelationFile(name, path string) error {
+// by cmd/comparenbd's -load preload flag and by tests. Unlike the HTTP
+// handler it is allowed before Run's replay finishes: preloads run
+// between New and Run, and replay skips names they already claimed.
+func (s *Server) LoadRelationFile(name, file string) error {
 	if err := validName(name); err != nil {
 		return err
 	}
 	faultinject.Fire(faultinject.ServerSessionLoad)
-	rel, rep, err := table.FromCSVFile(path, table.CSVOptions{Name: name, MaxRows: s.opts.MaxRows})
+	csv, err := os.ReadFile(file)
 	if err != nil {
 		return fmt.Errorf("loading relation %q: %w", name, err)
 	}
-	sess := &session{name: name, rel: rel, report: rep, source: "path:" + path, loaded: time.Now()}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.draining {
-		return errors.New("server is draining")
+	rel, rep, err := table.FromCSV(bytes.NewReader(csv), table.CSVOptions{Name: name, MaxRows: s.opts.MaxRows})
+	if err != nil {
+		return fmt.Errorf("loading relation %q: %w", name, err)
 	}
-	if _, dup := s.sessions[name]; dup {
-		return fmt.Errorf("relation %q already loaded", name)
+	sess := &session{name: name, rel: rel, report: rep, source: "path:" + file, loaded: time.Now()}
+	if _, err := s.registerSession(sess, csv, loadRequest{}); err != nil {
+		return err
 	}
-	if len(s.sessions) >= s.opts.MaxRelations {
-		return fmt.Errorf("session registry full (%d relations)", s.opts.MaxRelations)
-	}
-	s.sessions[name] = sess
-	s.gSessions.Set(int64(len(s.sessions)))
-	s.cSessLoad.Inc()
 	return nil
 }
 
@@ -242,6 +307,12 @@ func (s *Server) handleDropRelation(w http.ResponseWriter, r *http.Request) {
 	if sess == nil {
 		httpError(w, http.StatusNotFound, fmt.Sprintf("relation %q not loaded", name))
 		return
+	}
+	if s.journal != nil {
+		s.journalAppend(durable.Record{Type: durable.RecSessionDrop, Name: name})
+		// Best-effort: the journal record alone already stops recovery
+		// from reloading the relation.
+		_ = s.store.Remove(path.Join(durable.RelationsDir, name+".csv"))
 	}
 	dropped := s.cache.DropRelation(sess.rel)
 	s.cSessDrop.Inc()

@@ -22,7 +22,10 @@ import (
 // earlier (it is safe to call more than once).
 func bootServer(t *testing.T, opts Options) (s *Server, base string, cancel func(), awaitRun func() error) {
 	t.Helper()
-	s = New(opts)
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ctx, c := context.WithCancel(context.Background())
 	runDone := make(chan error, 1)
 	go func() { runDone <- s.Run(ctx) }()
