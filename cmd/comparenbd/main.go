@@ -15,6 +15,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -25,6 +27,22 @@ import (
 
 	"comparenb/internal/server"
 )
+
+// buildLogger maps -log-format onto the slog handler the server logs
+// job lifecycle (info) and per-request access lines (debug) through.
+// Levels below info stay off by default; "off" discards everything.
+func buildLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "off":
+		return slog.New(slog.NewTextHandler(io.Discard, nil)), nil
+	default:
+		return nil, fmt.Errorf("-log-format %q: want json, text, or off", format)
+	}
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -54,12 +72,20 @@ func run() error {
 		stateDir      = flag.String("state-dir", "", "root of the durable state (job journal + artifact store); empty = in-memory, nothing survives a restart")
 		maxAttempts   = flag.Int("max-attempts", 3, "execution attempts per job before a crash-interrupted job is quarantined (with -state-dir)")
 		retryBase     = flag.Duration("retry-base", 250*time.Millisecond, "first re-enqueue backoff for crash-interrupted jobs; doubles per attempt (with -state-dir)")
+		logFormat     = flag.String("log-format", "json", "structured log format on stderr: json, text, or off")
+		flightRecent  = flag.Int("flight-recent", 64, "flight recorder: most-recent completed jobs kept queryable at /debug/flight")
+		flightSlowest = flag.Int("flight-slowest", 16, "flight recorder: slowest completed jobs kept alongside the recent ring")
 	)
 	flag.Func("load", "preload a relation at startup, as name=path (repeatable)", func(v string) error {
 		preloads = append(preloads, v)
 		return nil
 	})
 	flag.Parse()
+
+	logger, err := buildLogger(*logFormat)
+	if err != nil {
+		return err
+	}
 
 	srv, err := server.New(server.Options{
 		MaxConcurrent:    *maxConc,
@@ -78,6 +104,9 @@ func run() error {
 		StateDir:         *stateDir,
 		MaxAttempts:      *maxAttempts,
 		RetryBase:        *retryBase,
+		FlightRecent:     *flightRecent,
+		FlightSlowest:    *flightSlowest,
+		Logger:           logger,
 	})
 	if err != nil {
 		return err

@@ -8,19 +8,29 @@
 // loadgen uploads its own deterministic dataset (internal/datagen Tiny),
 // fires tenants × jobs requests at once, polls each job to a terminal
 // state, and can download one finished job's trace and metrics artifacts
-// for obscheck validation (-trace-out / -metrics-out). A 429 shed is not
-// a failure: loadgen honors the Retry-After header with capped, jittered
-// backoff and re-submits, counting a job as shed only once its retry
-// budget is spent.
+// for obscheck validation (-trace-out / -metrics-out), the daemon's
+// flight-recorder snapshot (-flight-out), and one job's flight trace
+// (-jobtrace-out). Every request carries a deterministic W3C traceparent
+// derived from (tenant, seed); the run fails if the server echoes a
+// different trace id. Alongside client-side latency percentiles the
+// summary reports the server's own p50/p99 scraped from the
+// comparenb_server_job_e2e_seconds histogram on /metrics. A 429 shed is
+// not a failure: loadgen honors the Retry-After header with capped,
+// jittered backoff and re-submits, counting a job as shed only once its
+// retry budget is spent.
 //
 // With -resume, loadgen submits nothing: it waits for a restarted
 // durable daemon to report ready (/readyz), then follows every journaled
 // job to a terminal state and summarises the recovery — the verification
-// half of the crash smoke in scripts/check.sh.
+// half of the crash smoke in scripts/check.sh. With -journal it also
+// asserts every recovered job kept the trace id its admission record
+// carried across the crash.
 package main
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -47,16 +57,28 @@ func main() {
 
 // jobOutcome is one request's fate as seen by the client.
 type jobOutcome struct {
-	state   string // done | failed | cancelled | shed
-	jobID   string
-	latency time.Duration // POST to terminal status
-	retries int           // 429s absorbed before admission
+	state         string // done | failed | cancelled | shed
+	jobID         string
+	trace         string        // trace id sent with the request
+	traceMismatch bool          // server echoed a different trace id
+	latency       time.Duration // POST to terminal status
+	retries       int           // 429s absorbed before admission
 }
 
 type benchLatency struct {
 	P50MS float64 `json:"p50_ms"`
 	P95MS float64 `json:"p95_ms"`
 	P99MS float64 `json:"p99_ms"`
+}
+
+// benchServerLatency is the server's own view of job latency, read back
+// from the comparenb_server_job_e2e_seconds histogram on /metrics.
+// Quantiles are bucket upper bounds (log2-spaced), so they bound the
+// client-side percentiles from above.
+type benchServerLatency struct {
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
+	Count int64   `json:"count"`
 }
 
 type benchCache struct {
@@ -77,31 +99,38 @@ type benchOut struct {
 	Shed          int          `json:"shed"`
 	Failed        int          `json:"failed"`
 	Retries       int          `json:"retries"`
+	TraceMismatch int          `json:"trace_mismatch"`
 	WallMS        int64        `json:"wall_ms"`
 	JobsPerSecond float64      `json:"jobs_per_second"`
 	ShedRate      float64      `json:"shed_rate"`
 	Latency       benchLatency `json:"latency"`
-	Cache         benchCache   `json:"cache"`
+
+	ServerLatency benchServerLatency `json:"server_latency"`
+
+	Cache benchCache `json:"cache"`
 }
 
 func run() error {
 	var (
-		addr       = flag.String("addr", "", "daemon address, host:port or http://host:port (required)")
-		tenants    = flag.Int("tenants", 3, "concurrent tenants")
-		jobs       = flag.Int("jobs", 4, "jobs per tenant, all submitted at once")
-		rows       = flag.Int("rows", 400, "rows of the generated dataset")
-		queries    = flag.Int("queries", 5, "notebook size per job")
-		perms      = flag.Int("perms", 100, "permutations per statistical test")
-		seed       = flag.Int64("seed", 1, "dataset and pipeline seed")
-		relation   = flag.String("relation", "loadgen", "relation name to upload under")
-		out        = flag.String("out", "", "write the JSON results here (default stdout)")
-		traceOut   = flag.String("trace-out", "", "download one finished job's Chrome trace to this file")
-		metricsOut = flag.String("metrics-out", "", "download the same job's metrics exposition to this file")
-		pollEvery  = flag.Duration("poll", 15*time.Millisecond, "job status poll interval")
-		maxRetries = flag.Int("max-retries", 5, "re-submissions after a 429 before a job counts as shed")
-		retryCap   = flag.Duration("retry-cap", 5*time.Second, "upper bound on one Retry-After backoff sleep")
-		resume     = flag.Bool("resume", false, "submit nothing; wait for a restarted daemon's recovery and summarise journaled jobs")
-		resumeWait = flag.Duration("resume-timeout", 2*time.Minute, "with -resume, how long to wait for readiness and terminal jobs")
+		addr        = flag.String("addr", "", "daemon address, host:port or http://host:port (required)")
+		tenants     = flag.Int("tenants", 3, "concurrent tenants")
+		jobs        = flag.Int("jobs", 4, "jobs per tenant, all submitted at once")
+		rows        = flag.Int("rows", 400, "rows of the generated dataset")
+		queries     = flag.Int("queries", 5, "notebook size per job")
+		perms       = flag.Int("perms", 100, "permutations per statistical test")
+		seed        = flag.Int64("seed", 1, "dataset and pipeline seed")
+		relation    = flag.String("relation", "loadgen", "relation name to upload under")
+		out         = flag.String("out", "", "write the JSON results here (default stdout)")
+		traceOut    = flag.String("trace-out", "", "download one finished job's Chrome trace artifact to this file")
+		metricsOut  = flag.String("metrics-out", "", "download the same job's metrics exposition to this file")
+		jobtraceOut = flag.String("jobtrace-out", "", "download the same job's flight-recorder trace (GET /v1/jobs/{id}/trace) to this file")
+		flightOut   = flag.String("flight-out", "", "download the daemon's flight snapshot (GET /debug/flight) to this file")
+		pollEvery   = flag.Duration("poll", 15*time.Millisecond, "job status poll interval")
+		maxRetries  = flag.Int("max-retries", 5, "re-submissions after a 429 before a job counts as shed")
+		retryCap    = flag.Duration("retry-cap", 5*time.Second, "upper bound on one Retry-After backoff sleep")
+		resume      = flag.Bool("resume", false, "submit nothing; wait for a restarted daemon's recovery and summarise journaled jobs")
+		resumeWait  = flag.Duration("resume-timeout", 2*time.Minute, "with -resume, how long to wait for readiness and terminal jobs")
+		journalPath = flag.String("journal", "", "with -resume, the daemon's journal.jsonl: recovered jobs must keep their admission trace_id")
 	)
 	flag.Parse()
 	if *addr == "" {
@@ -115,7 +144,7 @@ func run() error {
 	cl := &client{base: base, http: &http.Client{Timeout: 5 * time.Minute}, maxRetries: *maxRetries, retryCap: *retryCap}
 
 	if *resume {
-		return runResume(cl, *out, *pollEvery, *resumeWait)
+		return runResume(cl, *out, *journalPath, *pollEvery, *resumeWait)
 	}
 
 	ds, err := datagen.Tiny(*seed, *rows)
@@ -168,6 +197,12 @@ func run() error {
 			res.Failed++
 		}
 		res.Retries += o.retries
+		if o.traceMismatch {
+			res.TraceMismatch++
+		}
+	}
+	if res.TraceMismatch > 0 {
+		return fmt.Errorf("%d of %d jobs came back under a different trace id than submitted", res.TraceMismatch, total)
 	}
 	res.ShedRate = float64(res.Shed) / float64(total)
 	if wall > 0 {
@@ -182,6 +217,13 @@ func run() error {
 	if err := cl.cacheCounters(&res.Cache); err != nil {
 		return err
 	}
+	if err := cl.serverLatency(&res.ServerLatency); err != nil {
+		return err
+	}
+	if res.ServerLatency.Count < int64(res.Completed) {
+		return fmt.Errorf("server e2e histogram counts %d jobs, loadgen completed %d",
+			res.ServerLatency.Count, res.Completed)
+	}
 
 	if doneID != "" {
 		if *traceOut != "" {
@@ -194,8 +236,18 @@ func run() error {
 				return err
 			}
 		}
-	} else if *traceOut != "" || *metricsOut != "" {
+		if *jobtraceOut != "" {
+			if err := cl.download("/v1/jobs/"+doneID+"/trace", *jobtraceOut); err != nil {
+				return err
+			}
+		}
+	} else if *traceOut != "" || *metricsOut != "" || *jobtraceOut != "" {
 		return fmt.Errorf("no job completed; cannot download trace/metrics artifacts")
+	}
+	if *flightOut != "" {
+		if err := cl.download("/debug/flight", *flightOut); err != nil {
+			return err
+		}
 	}
 
 	enc, err := json.MarshalIndent(res, "", "  ")
@@ -252,10 +304,22 @@ func (c *client) upload(name string, csv []byte) error {
 	return nil
 }
 
+// requestTraceparent derives a deterministic per-request W3C traceparent
+// from (tenant, seed): reruns of one workload carry the same trace ids,
+// so a server-side flight recorder or journal can be diffed across runs.
+func requestTraceparent(tenant string, seed int64) (header, traceID string) {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("loadgen|%s|%d", tenant, seed)))
+	traceID = hex.EncodeToString(sum[:16])
+	parent := hex.EncodeToString(sum[16:24])
+	return "00-" + traceID + "-" + parent + "-01", traceID
+}
+
 // oneJob submits one notebook job and follows it to a terminal state.
 // Sheds (429) are absorbed by sleeping the server's Retry-After — scaled
 // by attempt, capped, deterministically jittered so one tenant's jobs
 // don't re-stampede in lockstep — and re-submitting, up to maxRetries.
+// Each submission carries a deterministic traceparent; the server must
+// echo the same trace id in the 202 body or the run fails.
 func (c *client) oneJob(tenant, relation string, queries, perms int, seed int64, poll time.Duration) jobOutcome {
 	begin := time.Now()
 	reqBody, err := json.Marshal(map[string]any{
@@ -268,28 +332,36 @@ func (c *client) oneJob(tenant, relation string, queries, perms int, seed int64,
 	if err != nil {
 		return jobOutcome{state: "failed"}
 	}
+	traceparent, traceID := requestTraceparent(tenant, seed)
 
 	var admit struct {
-		JobID string `json:"job_id"`
+		JobID   string `json:"job_id"`
+		TraceID string `json:"trace_id"`
 	}
 	retries := 0
 	for {
-		resp, err := c.http.Post(c.base+"/v1/notebooks", "application/json", bytes.NewReader(reqBody))
+		req, err := http.NewRequest("POST", c.base+"/v1/notebooks", bytes.NewReader(reqBody))
 		if err != nil {
-			return jobOutcome{state: "failed", retries: retries}
+			return jobOutcome{state: "failed", trace: traceID}
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("traceparent", traceparent)
+		resp, err := c.http.Do(req)
+		if err != nil {
+			return jobOutcome{state: "failed", trace: traceID, retries: retries}
 		}
 		decErr := json.NewDecoder(resp.Body).Decode(&admit)
 		_ = resp.Body.Close()
 		if resp.StatusCode == http.StatusTooManyRequests {
 			if retries >= c.maxRetries {
-				return jobOutcome{state: "shed", retries: retries}
+				return jobOutcome{state: "shed", trace: traceID, retries: retries}
 			}
 			retries++
 			time.Sleep(c.backoff(resp.Header.Get("Retry-After"), tenant, seed, retries))
 			continue
 		}
 		if decErr != nil || resp.StatusCode != http.StatusAccepted {
-			return jobOutcome{state: "failed", retries: retries}
+			return jobOutcome{state: "failed", trace: traceID, retries: retries}
 		}
 		break
 	}
@@ -299,10 +371,17 @@ func (c *client) oneJob(tenant, relation string, queries, perms int, seed int64,
 			State string `json:"state"`
 		}
 		if err := c.getJSON("/v1/jobs/"+admit.JobID, &st); err != nil {
-			return jobOutcome{state: "failed", jobID: admit.JobID, retries: retries}
+			return jobOutcome{state: "failed", jobID: admit.JobID, trace: traceID, retries: retries}
 		}
 		if terminalJobState(st.State) {
-			return jobOutcome{state: st.State, jobID: admit.JobID, latency: time.Since(begin), retries: retries}
+			o := jobOutcome{
+				state: st.State, jobID: admit.JobID, trace: traceID,
+				traceMismatch: admit.TraceID != traceID,
+				latency:       time.Since(begin), retries: retries,
+			}
+			fmt.Fprintf(os.Stderr, "loadgen: job %s %s %s in %dms trace=%s\n",
+				o.jobID, tenant, o.state, o.latency.Milliseconds(), admit.TraceID)
+			return o
 		}
 		time.Sleep(poll)
 	}
@@ -339,20 +418,25 @@ func (c *client) backoff(retryAfter, tenant string, seed int64, attempt int) tim
 // resumeOut is the -resume summary: the fate of every journaled job
 // after a restart, as seen through the public API.
 type resumeOut struct {
-	Addr        string `json:"addr"`
-	Jobs        int    `json:"jobs"`
-	Done        int    `json:"done"`
-	Failed      int    `json:"failed"`
-	Quarantined int    `json:"quarantined"`
-	Cancelled   int    `json:"cancelled"`
-	WaitMS      int64  `json:"wait_ms"`
+	Addr          string `json:"addr"`
+	Jobs          int    `json:"jobs"`
+	Done          int    `json:"done"`
+	Failed        int    `json:"failed"`
+	Quarantined   int    `json:"quarantined"`
+	Cancelled     int    `json:"cancelled"`
+	TraceVerified int    `json:"trace_verified"`
+	WaitMS        int64  `json:"wait_ms"`
 }
 
 // runResume waits for a restarted daemon to become ready, then follows
 // all journaled jobs to terminal states. It fails (nonzero exit) when
 // the daemon never readies, a job never settles, or the journal turned
 // out empty — a crash smoke that recovered nothing proved nothing.
-func runResume(cl *client, out string, poll, timeout time.Duration) error {
+func runResume(cl *client, out, journalPath string, poll, timeout time.Duration) error {
+	admitted, err := journalTraces(journalPath)
+	if err != nil {
+		return fmt.Errorf("resume: %w", err)
+	}
 	begin := time.Now()
 	deadline := begin.Add(timeout)
 	for {
@@ -370,10 +454,12 @@ func runResume(cl *client, out string, poll, timeout time.Duration) error {
 	}
 
 	res := resumeOut{Addr: cl.base}
+	var jobs []struct {
+		ID      string `json:"id"`
+		State   string `json:"state"`
+		TraceID string `json:"trace_id"`
+	}
 	for {
-		var jobs []struct {
-			State string `json:"state"`
-		}
 		if err := cl.getJSON("/v1/jobs", &jobs); err != nil {
 			return fmt.Errorf("resume: %w", err)
 		}
@@ -406,6 +492,28 @@ func runResume(cl *client, out string, poll, timeout time.Duration) error {
 	}
 	res.WaitMS = time.Since(begin).Milliseconds()
 
+	// Crash recovery must keep trace correlation: every job the journal
+	// admitted under a trace id must come back under the same one.
+	if len(admitted) > 0 {
+		seen := map[string]string{}
+		for _, j := range jobs {
+			seen[j.ID] = j.TraceID
+		}
+		for id, trace := range admitted {
+			got, ok := seen[id]
+			if !ok {
+				return fmt.Errorf("resume: journaled job %s missing after recovery", id)
+			}
+			if got != trace {
+				return fmt.Errorf("resume: job %s recovered with trace_id %q, journal admitted %q", id, got, trace)
+			}
+			res.TraceVerified++
+		}
+		if res.TraceVerified == 0 {
+			return fmt.Errorf("resume: journal %s admitted no traced jobs — nothing to verify", journalPath)
+		}
+	}
+
 	enc, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		return err
@@ -416,6 +524,42 @@ func runResume(cl *client, out string, poll, timeout time.Duration) error {
 		return err
 	}
 	return os.WriteFile(out, enc, 0o644)
+}
+
+// journalTraces reads a daemon's journal.jsonl and maps job id → the
+// trace id its admission record carried. Returns an empty map when no
+// path was given (trace verification off). A torn final line is ignored,
+// mirroring the daemon's own replay.
+func journalTraces(path string) (map[string]string, error) {
+	if path == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	traces := map[string]string{}
+	lines := strings.Split(string(data), "\n")
+	for i, line := range lines {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var rec struct {
+			Type  string `json:"t"`
+			ID    string `json:"id"`
+			Trace string `json:"trace"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			if i == len(lines)-1 {
+				continue // torn tail from the crash
+			}
+			return nil, fmt.Errorf("journal %s line %d: %w", path, i+1, err)
+		}
+		if rec.Type == "job-admit" && rec.Trace != "" {
+			traces[rec.ID] = rec.Trace
+		}
+	}
+	return traces, nil
 }
 
 func (c *client) getJSON(path string, v any) error {
@@ -444,6 +588,75 @@ func (c *client) download(path, dst string) error {
 		return err
 	}
 	return os.WriteFile(dst, data, 0o644)
+}
+
+// serverLatency scrapes the global comparenb_server_job_e2e_seconds
+// histogram from /metrics and computes nearest-rank p50/p99 from its
+// cumulative buckets — the server's own admit-to-done latency, free of
+// client-side polling granularity.
+func (c *client) serverLatency(out *benchServerLatency) error {
+	resp, err := c.http.Get(c.base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	const family = "comparenb_server_job_e2e_seconds"
+	type bucket struct {
+		le  float64
+		cum int64
+	}
+	var buckets []bucket
+	for _, line := range strings.Split(string(data), "\n") {
+		// Global lines only: the per-tenant instances carry a tenant label.
+		if rest, ok := strings.CutPrefix(line, family+`_bucket{le="`); ok {
+			le, cum, ok := strings.Cut(rest, `"} `)
+			if !ok {
+				continue
+			}
+			b := bucket{le: math.Inf(1)}
+			if le != "+Inf" {
+				if b.le, err = strconv.ParseFloat(le, 64); err != nil {
+					continue
+				}
+			}
+			if b.cum, err = strconv.ParseInt(cum, 10, 64); err != nil {
+				continue
+			}
+			buckets = append(buckets, b)
+		} else if rest, ok := strings.CutPrefix(line, family+"_count "); ok {
+			out.Count, _ = strconv.ParseInt(rest, 10, 64)
+		}
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	quantileMS := func(q float64) float64 {
+		if out.Count == 0 {
+			return 0
+		}
+		rank := int64(math.Ceil(q * float64(out.Count)))
+		if rank < 1 {
+			rank = 1
+		}
+		ms := 0.0
+		for _, b := range buckets {
+			if math.IsInf(b.le, 1) {
+				// The overflow bucket has no finite bound; report the
+				// largest finite one rather than an unmarshalable Inf.
+				break
+			}
+			ms = b.le * 1000
+			if b.cum >= rank {
+				break
+			}
+		}
+		return ms
+	}
+	out.P50MS = quantileMS(0.50)
+	out.P99MS = quantileMS(0.99)
+	return nil
 }
 
 // cacheCounters scrapes the shared cache's counters from /metrics.

@@ -117,6 +117,13 @@ func detSourceKind(fn *types.Func, inTimeExempt bool) string {
 	case "os.Getenv", "os.LookupEnv", "os.Environ":
 		return full
 	}
+	// crypto/rand is the trace-id generator's sanctioned entropy source,
+	// confined to internal/server; a determinism-gated package reaching
+	// it (directly or through helpers) would leak per-run identifiers
+	// into notebook bytes.
+	if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "crypto/rand" {
+		return full
+	}
 	// Package-level math/rand functions share the process-global, lazily
 	// seeded source. Constructors taking an explicit seed and methods on
 	// a *rand.Rand instance are deterministic given the seed.

@@ -5,6 +5,7 @@
 package detsource
 
 import (
+	cryptorand "crypto/rand"
 	"fmt"
 	"math/rand"
 	"os"
@@ -27,6 +28,14 @@ func directGlobalRand(n int) int {
 // directEnv reads the process environment.
 func directEnv() string {
 	return os.Getenv("HOME") // want "nondeterminism source os.Getenv"
+}
+
+// directCryptoRand draws real entropy — sanctioned only in the serving
+// layer's trace-id generator, never in an output-producing package.
+func directCryptoRand() []byte {
+	b := make([]byte, 16)
+	_, _ = cryptorand.Read(b) // want "nondeterminism source crypto/rand.Read"
+	return b
 }
 
 // directNumCPU observes the machine's core count.

@@ -188,10 +188,10 @@ func TestReplayFoldsLifecycles(t *testing.T) {
 		{Type: RecSessionLoad, Name: "b", File: "relations/b.csv"},
 		{Type: RecSessionDrop, Name: "a"},
 		{Type: RecSessionLoad, Name: "a", File: "relations/a2.csv"},
-		{Type: RecJobAdmit, ID: "j000001", Tenant: "t1"},
+		{Type: RecJobAdmit, ID: "j000001", Tenant: "t1", Trace: "0af7651916cd43dd8448eb211c80319c"},
 		{Type: RecJobStart, ID: "j000001", Attempt: 1},
 		{Type: RecJobDone, ID: "j000001", Artifacts: map[string]ArtifactMeta{"ipynb": {SHA256: "x", Bytes: 1}}},
-		{Type: RecJobAdmit, ID: "j000002", Tenant: "t2"},
+		{Type: RecJobAdmit, ID: "j000002", Tenant: "t2", Trace: "1bf7651916cd43dd8448eb211c80319c"},
 		{Type: RecJobStart, ID: "j000002", Attempt: 1},
 		{Type: RecJobStart, ID: "j000002", Attempt: 2},
 		{Type: RecJobAdmit, ID: "j000003", Tenant: "t1"},
@@ -215,8 +215,16 @@ func TestReplayFoldsLifecycles(t *testing.T) {
 	if j := byID["j000001"]; j.Terminal != RecJobDone || j.Interrupted() || j.Artifacts["ipynb"].Bytes != 1 {
 		t.Errorf("done job folded wrong: %+v", j)
 	}
+	// Trace correlation survives the fold: the admit record's trace id
+	// sticks to the job through start and terminal records.
+	if j := byID["j000001"]; j.Trace != "0af7651916cd43dd8448eb211c80319c" {
+		t.Errorf("done job trace = %q, want admit trace kept", j.Trace)
+	}
 	if j := byID["j000002"]; !j.Interrupted() || j.Attempts != 2 {
 		t.Errorf("interrupted running job folded wrong: %+v", j)
+	}
+	if j := byID["j000002"]; j.Trace != "1bf7651916cd43dd8448eb211c80319c" {
+		t.Errorf("interrupted job trace = %q, want admit trace kept", j.Trace)
 	}
 	if j := byID["j000003"]; !j.Interrupted() || j.Attempts != 0 {
 		t.Errorf("interrupted queued job folded wrong: %+v", j)

@@ -73,9 +73,12 @@ type Record struct {
 	File string          `json:"file,omitempty"`
 	Load json.RawMessage `json:"load,omitempty"`
 
-	// Job fields.
+	// Job fields. Trace is the job's W3C trace id, carried on job-admit
+	// (and echoed on job-done) so a recovered or quarantined job keeps
+	// its request correlation across the crash.
 	ID        string                  `json:"id,omitempty"`
 	Tenant    string                  `json:"tenant,omitempty"`
+	Trace     string                  `json:"trace,omitempty"`
 	Request   json.RawMessage         `json:"req,omitempty"`
 	Attempt   int                     `json:"attempt,omitempty"`
 	Artifacts map[string]ArtifactMeta `json:"artifacts,omitempty"`

@@ -18,6 +18,11 @@ type JobState struct {
 	Tenant  string
 	Request json.RawMessage
 
+	// Trace is the job's W3C trace id from its admit record (a later
+	// done record's trace, if any, wins), "" for journals predating
+	// trace propagation.
+	Trace string
+
 	// Attempts is the highest execution attempt started (0 = admitted,
 	// never started).
 	Attempts int
@@ -92,7 +97,7 @@ func Replay(recs []Record) (*State, error) {
 			if _, dup := jobs[rec.ID]; dup {
 				return nil, fmt.Errorf("journal record %d: job %s admitted twice", i+1, rec.ID)
 			}
-			j := &JobState{ID: rec.ID, Tenant: rec.Tenant, Request: rec.Request}
+			j := &JobState{ID: rec.ID, Tenant: rec.Tenant, Request: rec.Request, Trace: rec.Trace}
 			jobs[rec.ID] = j
 			st.Jobs = append(st.Jobs, j)
 		case RecJobStart:
@@ -114,6 +119,9 @@ func Replay(recs []Record) (*State, error) {
 			j.Terminal = RecJobDone
 			j.Artifacts = rec.Artifacts
 			j.Summary = rec.Summary
+			if rec.Trace != "" {
+				j.Trace = rec.Trace
+			}
 			j.Code, j.Error, j.Permanent = 0, "", false
 		case RecJobFailed:
 			j, err := job(i, rec)

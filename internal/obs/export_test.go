@@ -107,7 +107,8 @@ func TestWriteMetricsRoundTrip(t *testing.T) {
 		"comparenb_stats_perms_effective_min 0",
 		"comparenb_phase_stats_seconds_count 1",
 		`comparenb_phase_stats_seconds_bucket{le="+Inf"} 1`,
-		"comparenb_obs_spans ",
+		"comparenb_obs_spans_total ",
+		"comparenb_obs_spans_dropped_total 0",
 	} {
 		if !strings.Contains(s, want) {
 			t.Errorf("metrics missing %q", want)

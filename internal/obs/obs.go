@@ -28,6 +28,7 @@ package obs
 
 import (
 	"context"
+	"math/bits"
 	"sort"
 	"strconv"
 	"sync"
@@ -85,21 +86,55 @@ func (g *Gauge) Value() int64 {
 	return g.v.Load()
 }
 
-// timingBounds are the histogram bucket upper bounds in nanoseconds:
-// 1µs, 10µs, ... 10s, plus an implicit +Inf bucket.
-var timingBounds = [...]int64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10}
+// TimingBuckets is the fixed bucket count of every Timing histogram.
+// Bucket i (for 0 < i < TimingBuckets-1) covers durations in
+// (2^(i-1), 2^i] nanoseconds; bucket 0 covers [0, 1] ns and the last
+// bucket is the +Inf tail for anything past 2^62 ns (~146 years). Fixed
+// power-of-two boundaries make Observe a single bits.Len64 — no search,
+// no per-histogram configuration — and let scrapers compute quantiles
+// from the exported buckets without the server picking percentiles.
+const TimingBuckets = 64
 
-// Timing is a fixed-bucket log-scale histogram of wall-clock durations.
-// Timings are the non-deterministic half of the registry: they vary run
-// to run and thread count to thread count, and are therefore exported in
-// a separate section and excluded from DeterministicState.
+// bucketIndex maps a non-negative nanosecond duration onto its bucket.
+func bucketIndex(ns int64) int {
+	if ns <= 1 {
+		return 0
+	}
+	// bits.Len64(ns-1) is ceil(log2(ns)) for ns >= 2, so an exact power
+	// of two 2^k lands in bucket k — the bucket whose upper bound it is.
+	b := bits.Len64(uint64(ns) - 1)
+	if b >= TimingBuckets {
+		return TimingBuckets - 1
+	}
+	return b
+}
+
+// BucketBound returns bucket i's inclusive upper bound in nanoseconds.
+// The final bucket is the +Inf tail and returns MaxInt64 as a sentinel.
+func BucketBound(i int) time.Duration {
+	if i <= 0 {
+		return 1
+	}
+	if i >= TimingBuckets-1 {
+		return time.Duration(1<<63 - 1)
+	}
+	return time.Duration(int64(1) << uint(i))
+}
+
+// Timing is a fixed-boundary log2-bucket histogram of wall-clock
+// durations. Observe is lock-free and allocation-free: one bits.Len64
+// plus three atomic adds. Timings are the non-deterministic half of the
+// registry: they vary run to run and thread count to thread count, and
+// are therefore exported in a separate section and excluded from
+// DeterministicState.
 type Timing struct {
 	count   atomic.Int64
 	sumNs   atomic.Int64
-	buckets [len(timingBounds) + 1]atomic.Int64
+	buckets [TimingBuckets]atomic.Int64
 }
 
-// Observe records one duration. Nil-safe.
+// Observe records one duration. Negative durations clamp to zero.
+// Nil-safe, lock-free, allocation-free.
 func (t *Timing) Observe(d time.Duration) {
 	if t == nil {
 		return
@@ -110,14 +145,7 @@ func (t *Timing) Observe(d time.Duration) {
 	}
 	t.count.Add(1)
 	t.sumNs.Add(ns)
-	b := len(timingBounds)
-	for i, hi := range timingBounds {
-		if ns <= hi {
-			b = i
-			break
-		}
-	}
-	t.buckets[b].Add(1)
+	t.buckets[bucketIndex(ns)].Add(1)
 }
 
 // Count returns the number of observations.
@@ -134,6 +162,58 @@ func (t *Timing) Sum() time.Duration {
 		return 0
 	}
 	return time.Duration(t.sumNs.Load())
+}
+
+// Buckets snapshots the per-bucket counts (not cumulative). The snapshot
+// is not atomic with respect to concurrent Observe calls; each bucket is
+// individually consistent. Returns the zero array for a nil timing.
+func (t *Timing) Buckets() [TimingBuckets]int64 {
+	var out [TimingBuckets]int64
+	if t == nil {
+		return out
+	}
+	for i := range t.buckets {
+		out[i] = t.buckets[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by nearest rank over
+// the bucket counts, returning the upper bound of the bucket holding
+// that rank — an overestimate by at most one bucket width (2x). Returns
+// 0 when the histogram is empty. Monotone in q by construction.
+func (t *Timing) Quantile(q float64) time.Duration {
+	if t == nil {
+		return 0
+	}
+	counts := t.Buckets()
+	var n int64
+	for _, c := range counts {
+		n += c
+	}
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := int64(float64(n)*q + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			return BucketBound(i)
+		}
+	}
+	return BucketBound(TimingBuckets - 1)
 }
 
 // maxTracks bounds trace-track allocation so runaway pool forking cannot
@@ -155,6 +235,7 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	timings  map[string]*Timing
 	tracks   []string // index = track id; track 0 is the run's main track
+	trace    string   // request-scoped trace identity; empty when untraced
 
 	spans       atomic.Pointer[spanRing]
 	spanObs     atomic.Pointer[SpanObserver]
@@ -256,6 +337,39 @@ func (r *Registry) NewTrack(label string) int32 {
 	id := int32(len(r.tracks))
 	r.tracks = append(r.tracks, label+"#"+strconv.Itoa(len(r.tracks)))
 	return id
+}
+
+// SetTraceID binds a request-scoped trace identity (a W3C trace-id hex
+// string) to the registry. The trace ID surfaces only in trace and
+// metrics exports — never in DeterministicState or any notebook/report
+// bytes — so correlation never perturbs determinism-gated artifacts.
+// Nil-safe.
+func (r *Registry) SetTraceID(id string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.trace = id
+	r.mu.Unlock()
+}
+
+// TraceID returns the bound trace identity ("" when none). Nil-safe.
+func (r *Registry) TraceID() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.trace
+}
+
+// StartTime returns the wall-clock instant the registry was created —
+// the zero offset of every span. Zero time on a nil registry.
+func (r *Registry) StartTime() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return r.start
 }
 
 // MarkInterrupted records that the run was cancelled or ran out of

@@ -202,3 +202,59 @@ func TestObsNoGoroutineLeak(t *testing.T) {
 	}
 	testutil.WaitGoroutinesSettle(t, before)
 }
+
+// TestObsHistogramsThreadInvariantBytes extends the byte-identity gate
+// to the SLO histograms: at every worker width the phase timings land in
+// populated log2 buckets (with a trace identity attached), yet every
+// serialised artifact stays byte-identical to the width-1 run. Wall
+// clocks vary run to run, so only bucket occupancy — never bucket
+// values — is asserted.
+func TestObsHistogramsThreadInvariantBytes(t *testing.T) {
+	var baseIpynb, baseMD, baseHTML, baseRep []byte
+	for _, threads := range []int{1, 2, 8} {
+		cfg := obsTestConfig()
+		cfg.Threads = threads
+		reg := obs.New()
+		reg.EnableTracing(0)
+		reg.SetTraceID("4bf92f3577b34da6a3ce929d0e0e4736")
+		cfg.Obs = reg
+		ipynb, md, html, rep := renderAll(t, cfg)
+
+		for _, name := range []string{"phase_stats", "run_total"} {
+			tm := reg.Timing(name)
+			if tm.Count() == 0 {
+				t.Errorf("threads=%d: timing %s never observed", threads, name)
+				continue
+			}
+			var occupied int64
+			for _, c := range tm.Buckets() {
+				occupied += c
+			}
+			if occupied != tm.Count() {
+				t.Errorf("threads=%d: %s buckets hold %d observations, count says %d",
+					threads, name, occupied, tm.Count())
+			}
+			if q := tm.Quantile(0.99); q <= 0 {
+				t.Errorf("threads=%d: %s p99 = %v", threads, name, q)
+			}
+		}
+
+		if threads == 1 {
+			baseIpynb, baseMD, baseHTML, baseRep = ipynb, md, html, rep
+			continue
+		}
+		for _, pair := range []struct {
+			name      string
+			base, got []byte
+		}{
+			{"ipynb", baseIpynb, ipynb},
+			{"markdown", baseMD, md},
+			{"html", baseHTML, html},
+			{"report", baseRep, rep},
+		} {
+			if !bytes.Equal(pair.base, pair.got) {
+				t.Errorf("threads=%d: %s differs from width-1 run with histograms armed", threads, pair.name)
+			}
+		}
+	}
+}

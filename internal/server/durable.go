@@ -252,7 +252,7 @@ func (s *Server) recoverJob(js *durable.JobState) {
 		return
 	}
 
-	j := newJob(js.ID, js.Tenant, req, sess.rel, cfg, governor.Degrade)
+	j := newJob(js.ID, js.Tenant, req, sess.rel, cfg, governor.Degrade, js.Trace)
 	j.attempt = js.Attempts
 	delay := s.retry.Backoff(js.ID, js.Attempts)
 	j.notBefore = time.Now().Add(delay)
@@ -320,6 +320,7 @@ func recoveredJob(js *durable.JobState, req jobRequest, state string) *job {
 		relation: req.Relation,
 		admit:    governor.Degrade,
 		created:  now,
+		trace:    js.Trace,
 		state:    state,
 		attempt:  js.Attempts,
 		finished: now,
@@ -342,6 +343,7 @@ func (s *Server) quarantineJob(js *durable.JobState, req jobRequest, reason stri
 	s.journalAppend(durable.Record{
 		Type:      durable.RecJobFailed,
 		ID:        js.ID,
+		Trace:     js.Trace,
 		Code:      http.StatusInternalServerError,
 		Error:     reason,
 		Permanent: true,

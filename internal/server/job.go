@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -172,6 +173,7 @@ type job struct {
 	cfg      pipeline.Config
 	admit    governor.Level
 	created  time.Time
+	trace    string // W3C trace id; immutable after construction
 
 	// notBefore delays dequeue for recovered jobs under retry backoff.
 	// It is written only before the job is published to the queue and
@@ -194,7 +196,7 @@ type job struct {
 	summary         *jobSummary
 }
 
-func newJob(id, tenant string, req jobRequest, rel *table.Relation, cfg pipeline.Config, admit governor.Level) *job {
+func newJob(id, tenant string, req jobRequest, rel *table.Relation, cfg pipeline.Config, admit governor.Level, trace string) *job {
 	j := &job{
 		id:       id,
 		tenant:   tenant,
@@ -203,14 +205,22 @@ func newJob(id, tenant string, req jobRequest, rel *table.Relation, cfg pipeline
 		cfg:      cfg,
 		admit:    admit,
 		created:  time.Now(),
+		trace:    trace,
 		state:    stateQueued,
 	}
 	j.publish("state", stateEvent{State: stateQueued})
+	if trace != "" {
+		j.publish("trace", traceEvent{TraceID: trace})
+	}
 	return j
 }
 
 type stateEvent struct {
 	State string `json:"state"`
+}
+
+type traceEvent struct {
+	TraceID string `json:"trace_id"`
 }
 
 type phaseEvent struct {
@@ -385,7 +395,12 @@ func (j *job) cancelled(msg string) {
 // fully durable result, never an acknowledged-but-lost notebook.
 func (s *Server) runJob(jobsCtx context.Context, j *job) {
 	defer s.release(j)
-	s.tQueueWait.Observe(time.Since(j.created))
+	queueWait := time.Since(j.created)
+	s.mu.Lock()
+	tn := s.tenantLocked(j.tenant)
+	s.mu.Unlock()
+	s.tQueueWait.Observe(queueWait)
+	tn.tQueue.Observe(queueWait)
 	j.markRunning()
 
 	jctx, cancel := context.WithCancel(jobsCtx)
@@ -394,6 +409,7 @@ func (s *Server) runJob(jobsCtx context.Context, j *job) {
 		s.journalAppend(durable.Record{Type: durable.RecJobCancelled, ID: j.id})
 		j.cancelled("cancelled while queued")
 		s.cCancelled.Inc()
+		s.finishJob(j, nil, tn, stateCancelled, queueWait, 0)
 		return
 	}
 
@@ -408,6 +424,7 @@ func (s *Server) runJob(jobsCtx context.Context, j *job) {
 
 	reg := obs.New()
 	reg.EnableTracing(0)
+	reg.SetTraceID(j.trace)
 	reg.ObserveSpans(func(name string, start, dur time.Duration) {
 		if name == "run" || strings.HasPrefix(name, "phase/") {
 			j.publish("phase", phaseEvent{
@@ -429,6 +446,7 @@ func (s *Server) runJob(jobsCtx context.Context, j *job) {
 	res, err := pipeline.GenerateContext(jctx, j.rel, cfg)
 	wall := time.Since(begin)
 	s.tWall.Observe(wall)
+	tn.tWall.Observe(wall)
 	if err != nil {
 		reg.MarkInterrupted()
 		switch {
@@ -438,10 +456,12 @@ func (s *Server) runJob(jobsCtx context.Context, j *job) {
 			// re-enqueue the job on the next boot.
 			j.fail(http.StatusServiceUnavailable, "server shut down mid-job")
 			s.cFailed.Inc()
+			s.finishJob(j, reg, tn, stateFailed, queueWait, wall)
 		case errors.Is(err, context.Canceled):
 			s.journalAppend(durable.Record{Type: durable.RecJobCancelled, ID: j.id})
 			j.cancelled("cancelled by client")
 			s.cCancelled.Inc()
+			s.finishJob(j, reg, tn, stateCancelled, queueWait, wall)
 		default:
 			s.journalAppend(durable.Record{
 				Type: durable.RecJobFailed, ID: j.id,
@@ -449,6 +469,7 @@ func (s *Server) runJob(jobsCtx context.Context, j *job) {
 			})
 			j.fail(http.StatusInternalServerError, err.Error())
 			s.cFailed.Inc()
+			s.finishJob(j, reg, tn, stateFailed, queueWait, wall)
 		}
 		return
 	}
@@ -456,6 +477,7 @@ func (s *Server) runJob(jobsCtx context.Context, j *job) {
 	arts, err := pipeline.RenderArtifacts(res, reg)
 	if err != nil {
 		s.failJournaled(j, http.StatusInternalServerError, "rendering artifacts: "+err.Error())
+		s.finishJob(j, reg, tn, stateFailed, queueWait, wall)
 		return
 	}
 	sum := jobSummary{
@@ -475,18 +497,21 @@ func (s *Server) runJob(jobsCtx context.Context, j *job) {
 	metas, err := s.persistJobArtifacts(j.id, arts)
 	if err != nil {
 		s.failJournaled(j, http.StatusInternalServerError, "persisting artifacts: "+err.Error())
+		s.finishJob(j, reg, tn, stateFailed, queueWait, wall)
 		return
 	}
 	if s.journal != nil {
 		sumJSON, err := json.Marshal(sum)
 		if err != nil {
 			s.failJournaled(j, http.StatusInternalServerError, "encoding summary: "+err.Error())
+			s.finishJob(j, reg, tn, stateFailed, queueWait, wall)
 			return
 		}
 		if err := s.journalAppendStrict(durable.Record{
-			Type: durable.RecJobDone, ID: j.id, Artifacts: metas, Summary: sumJSON,
+			Type: durable.RecJobDone, ID: j.id, Trace: j.trace, Artifacts: metas, Summary: sumJSON,
 		}); err != nil {
 			s.failJournaled(j, http.StatusInternalServerError, "journaling completion: "+err.Error())
+			s.finishJob(j, reg, tn, stateFailed, queueWait, wall)
 			return
 		}
 	}
@@ -495,11 +520,66 @@ func (s *Server) runJob(jobsCtx context.Context, j *job) {
 	for _, a := range arts {
 		artifacts[a.Key] = artifact{contentType: a.ContentType, data: a.Data}
 	}
-	s.mu.Lock()
-	s.tenantLocked(j.tenant).jobs.Inc()
-	s.mu.Unlock()
+	tn.jobs.Inc()
 	s.cDone.Inc()
 	j.complete(artifacts, sum)
+	s.finishJob(j, reg, tn, stateDone, queueWait, wall)
+}
+
+// finishJob is the terminal accounting every runJob exit path shares:
+// the end-to-end admit-to-done histogram (done jobs only, so scrape
+// counts match completed-job totals), the server-lifetime span counters,
+// the flight-recorder entry, and one info-level structured log record
+// keyed by the job's trace id. reg is nil for jobs cancelled before the
+// pipeline started; every obs call tolerates that.
+func (s *Server) finishJob(j *job, reg *obs.Registry, tn *tenantState, state string, queueWait, wall time.Duration) {
+	e2e := time.Since(j.created)
+	if state == stateDone {
+		s.tE2E.Observe(e2e)
+		tn.tE2E.Observe(e2e)
+	}
+	s.cSpans.Add(int64(reg.SpanCount()))
+	s.cSpansDropped.Add(reg.Dropped())
+
+	spans, tracks := reg.SnapshotSpans(0)
+	shift := time.Duration(0)
+	if reg != nil {
+		if d := reg.StartTime().Sub(j.created); d > 0 {
+			shift = d
+		}
+	}
+	s.flight.Add(obs.FlightEntry{
+		ID:      j.id,
+		TraceID: j.trace,
+		Labels: map[string]string{
+			"tenant":   j.tenant,
+			"relation": j.relation,
+			"state":    state,
+		},
+		QueueWaitUS: float64(queueWait) / 1e3,
+		RunUS:       float64(wall) / 1e3,
+		E2EUS:       float64(e2e) / 1e3,
+		ShiftUS:     float64(shift) / 1e3,
+		Tracks:      tracks,
+		Spans:       spans,
+		SpanTotal:   int64(reg.SpanCount()),
+		SpanDropped: reg.Dropped(),
+	})
+
+	j.mu.Lock()
+	attempt := j.attempt
+	j.mu.Unlock()
+	s.log.LogAttrs(context.Background(), slog.LevelInfo, "job",
+		slog.String("job_id", j.id),
+		slog.String("tenant", j.tenant),
+		slog.String("relation", j.relation),
+		slog.String("state", state),
+		slog.String("trace_id", j.trace),
+		slog.Int("attempt", attempt),
+		slog.Float64("queue_wait_ms", float64(queueWait)/float64(time.Millisecond)),
+		slog.Float64("wall_ms", float64(wall)/float64(time.Millisecond)),
+		slog.Float64("e2e_ms", float64(e2e)/float64(time.Millisecond)),
+	)
 }
 
 // failJournaled records a terminal server-side failure in the journal
@@ -536,6 +616,7 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	trace := traceIDFrom(r.Context())
 
 	s.mu.Lock()
 	if s.draining {
@@ -581,7 +662,7 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 		reqJSON, err := json.Marshal(req)
 		if err == nil {
 			err = s.journalAppendStrict(durable.Record{
-				Type: durable.RecJobAdmit, ID: id, Tenant: tenant, Request: reqJSON,
+				Type: durable.RecJobAdmit, ID: id, Tenant: tenant, Trace: trace, Request: reqJSON,
 			})
 		}
 		if err != nil {
@@ -590,7 +671,7 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	j := newJob(id, tenant, req, sess.rel, cfg, admit)
+	j := newJob(id, tenant, req, sess.rel, cfg, admit, trace)
 	s.jobs[id] = j
 	s.queue = append(s.queue, j)
 	t.queued++
@@ -603,14 +684,15 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 		s.cAdmitQueue.Inc()
 	}
 	s.poke()
-	writeJSON(w, http.StatusAccepted, admitResponse{JobID: id, State: stateQueued, Admit: admit.String()})
+	writeJSON(w, http.StatusAccepted, admitResponse{JobID: id, State: stateQueued, Admit: admit.String(), TraceID: trace})
 }
 
 type admitResponse struct {
-	JobID string `json:"job_id,omitempty"`
-	State string `json:"state,omitempty"`
-	Admit string `json:"admit"`
-	Error string `json:"error,omitempty"`
+	JobID   string `json:"job_id,omitempty"`
+	State   string `json:"state,omitempty"`
+	Admit   string `json:"admit"`
+	TraceID string `json:"trace_id,omitempty"`
+	Error   string `json:"error,omitempty"`
 }
 
 // jobStatusView is the GET /v1/jobs/{id} body.
@@ -620,6 +702,7 @@ type jobStatusView struct {
 	Relation      string      `json:"relation"`
 	State         string      `json:"state"`
 	Admit         string      `json:"admit"`
+	TraceID       string      `json:"trace_id,omitempty"`
 	QueuePosition int         `json:"queue_position,omitempty"`
 	CreatedMS     int64       `json:"created_unix_ms"`
 	StartedMS     int64       `json:"started_unix_ms,omitempty"`
@@ -637,6 +720,7 @@ func (s *Server) statusView(j *job) jobStatusView {
 		Relation:  j.relation,
 		State:     j.state,
 		Admit:     j.admit.String(),
+		TraceID:   j.trace,
 		CreatedMS: j.created.UnixMilli(),
 		Attempts:  j.attempt,
 		Error:     j.errMsg,
@@ -763,6 +847,11 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	notify, unsub := j.subscribe()
 	defer unsub()
+	s.mu.Lock()
+	tn := s.tenantLocked(j.tenant)
+	s.mu.Unlock()
+	streamBegin := time.Now()
+	firstFlushed := false
 	ctx := r.Context()
 	idx := 0
 	for {
@@ -780,6 +869,13 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 			idx++
 		}
 		fl.Flush()
+		if !firstFlushed && idx > 0 {
+			// SSE first-event latency: subscribe → first delivered batch.
+			firstFlushed = true
+			d := time.Since(streamBegin)
+			s.tSSEFirst.Observe(d)
+			tn.tSSE.Observe(d)
+		}
 		if terminal {
 			if more, _, _ := j.eventsSince(idx); len(more) == 0 {
 				return

@@ -22,6 +22,8 @@ package server
 
 import (
 	"context"
+	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
@@ -95,6 +97,15 @@ type Options struct {
 	// job; later attempts double it, with deterministic per-job jitter
 	// (default 250ms). Only meaningful with StateDir.
 	RetryBase time.Duration
+	// FlightRecent is how many most-recent completed jobs the flight
+	// recorder retains (default 64).
+	FlightRecent int
+	// FlightSlowest is how many slowest-by-e2e completed jobs the flight
+	// recorder retains alongside the recency ring (default 16).
+	FlightSlowest int
+	// Logger receives structured access and job-lifecycle records (both
+	// keyed by trace_id). Nil discards them.
+	Logger *slog.Logger
 }
 
 // withDefaults returns opts with every unset field defaulted.
@@ -123,17 +134,33 @@ func (o Options) withDefaults() Options {
 	if o.MaxRows <= 0 {
 		o.MaxRows = 1 << 20
 	}
+	if o.FlightRecent <= 0 {
+		o.FlightRecent = 64
+	}
+	if o.FlightSlowest <= 0 {
+		o.FlightSlowest = 16
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	return o
 }
 
 // tenantState is one tenant's live quota usage plus its per-tenant
-// counters on the server registry.
+// counters and SLO histograms on the server registry.
 type tenantState struct {
 	running int
 	queued  int
 
 	jobs *obs.Counter // admissions (queued or started), monotone
 	shed *obs.Counter // 429s issued to this tenant
+
+	// Per-tenant latency histograms (labeled instances of the global
+	// families): queue wait, run wall, admit-to-done e2e, SSE first event.
+	tQueue *obs.Timing
+	tWall  *obs.Timing
+	tE2E   *obs.Timing
+	tSSE   *obs.Timing
 }
 
 // Server is the daemon: session registry, job scheduler, shared cube
@@ -173,8 +200,15 @@ type Server struct {
 	cSessLoad, cSessDrop                             *obs.Counter
 	cRecoveredDone, cRecoveredRequeued, cQuarantined *obs.Counter
 	cRetries, cJournalErr, cVerifyFail               *obs.Counter
+	cSpans, cSpansDropped                            *obs.Counter
 	gRunning, gQueued, gSessions                     *obs.Gauge
-	tWall, tQueueWait                                *obs.Timing
+	tWall, tQueueWait, tE2E, tSSEFirst               *obs.Timing
+
+	// flight retains recently completed (and slowest) job span trees for
+	// /debug/flight and /v1/jobs/{id}/trace; log receives structured
+	// access and job records keyed by trace_id.
+	flight *obs.FlightRecorder
+	log    *slog.Logger
 }
 
 // New builds a Server with its shared cache and HTTP routes. Workers do
@@ -213,11 +247,17 @@ func New(opts Options) (*Server, error) {
 	s.cRetries = s.reg.Counter("server_job_retries")
 	s.cJournalErr = s.reg.Counter("server_journal_errors")
 	s.cVerifyFail = s.reg.Counter("server_artifact_verify_failures")
+	s.cSpans = s.reg.Counter("obs_spans")
+	s.cSpansDropped = s.reg.Counter("obs_spans_dropped")
 	s.gRunning = s.reg.Gauge("server_jobs_running")
 	s.gQueued = s.reg.Gauge("server_jobs_queued")
 	s.gSessions = s.reg.Gauge("server_sessions")
 	s.tWall = s.reg.Timing("server_job_wall")
 	s.tQueueWait = s.reg.Timing("server_job_queue_wait")
+	s.tE2E = s.reg.Timing("server_job_e2e")
+	s.tSSEFirst = s.reg.Timing("server_sse_first_event")
+	s.flight = obs.NewFlightRecorder(opts.FlightRecent, opts.FlightSlowest)
+	s.log = opts.Logger
 
 	if opts.StateDir != "" {
 		if err := s.openState(); err != nil {
@@ -234,8 +274,11 @@ func New(opts Options) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the daemon's HTTP API.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the daemon's HTTP API, wrapped in the tracing
+// middleware: every request resolves a W3C trace identity (accepted or
+// generated), echoes it in the response traceparent header, and logs one
+// structured access record.
+func (s *Server) Handler() http.Handler { return s.withTracing(s.mux) }
 
 // Cache exposes the shared cube cache (tests assert its counters stay
 // monotone across concurrent jobs).
@@ -253,7 +296,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	s.mux.HandleFunc("GET /debug/flight", s.handleFlight)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /livez", s.handleLivez)
@@ -435,8 +480,12 @@ func (s *Server) tenantLocked(name string) *tenantState {
 	if t == nil {
 		m := sanitizeMetric(name)
 		t = &tenantState{
-			jobs: s.reg.Counter("server_tenant_" + m + "_jobs"),
-			shed: s.reg.Counter("server_tenant_" + m + "_shed"),
+			jobs:   s.reg.Counter("server_tenant_" + m + "_jobs"),
+			shed:   s.reg.Counter("server_tenant_" + m + "_shed"),
+			tQueue: s.reg.Timing(`server_job_queue_wait{tenant="` + m + `"}`),
+			tWall:  s.reg.Timing(`server_job_wall{tenant="` + m + `"}`),
+			tE2E:   s.reg.Timing(`server_job_e2e{tenant="` + m + `"}`),
+			tSSE:   s.reg.Timing(`server_sse_first_event{tenant="` + m + `"}`),
 		}
 		s.tenants[name] = t
 	}
@@ -499,6 +548,44 @@ func sanitizeMetric(name string) string {
 		return "default"
 	}
 	return b.String()
+}
+
+// handleFlight is GET /debug/flight: the flight recorder's retained job
+// span trees (most recent + slowest) as JSON, obs.ValidateFlight-clean.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.flight.Snapshot())
+}
+
+// handleJobTrace is GET /v1/jobs/{id}/trace: the job's span tree as
+// Chrome trace-event JSON on the admission timeline (queue-wait / run /
+// e2e annotation spans included), straight from the flight recorder.
+// Jobs recovered done from a previous process have no in-memory flight
+// entry; their persisted trace artifact — the same span tree without the
+// admission annotations — serves as the fallback.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if e, ok := s.flight.Get(id); ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_ = e.WriteTrace(w) // client disconnect; nowhere to report
+		return
+	}
+	j := s.job(id)
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.mu.Lock()
+	art, ok := j.artifacts["trace"]
+	state := j.state
+	j.mu.Unlock()
+	if state == stateDone && ok {
+		w.Header().Set("Content-Type", art.contentType)
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(art.data) // client disconnect; nowhere to report
+		return
+	}
+	httpError(w, http.StatusNotFound, "no trace retained for job "+id)
 }
 
 // handleMetrics serves the server registry in Prometheus text format:

@@ -1,0 +1,296 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"comparenb/internal/obs"
+)
+
+func TestParseTraceparent(t *testing.T) {
+	const tid = "0af7651916cd43dd8448eb211c80319c"
+	cases := []struct {
+		name   string
+		header string
+		want   string
+		ok     bool
+	}{
+		{"valid v00", "00-" + tid + "-b7ad6b7169203331-01", tid, true},
+		{"valid unsampled", "00-" + tid + "-b7ad6b7169203331-00", tid, true},
+		{"future version extra fields", "cc-" + tid + "-b7ad6b7169203331-01-extra", tid, true},
+		{"future version no extras", "cc-" + tid + "-b7ad6b7169203331-01", tid, true},
+		{"empty", "", "", false},
+		{"too short", "00-abc-def-01", "", false},
+		{"uppercase trace id", "00-" + strings.ToUpper(tid) + "-b7ad6b7169203331-01", "", false},
+		{"all-zero trace id", "00-00000000000000000000000000000000-b7ad6b7169203331-01", "", false},
+		{"all-zero parent id", "00-" + tid + "-0000000000000000-01", "", false},
+		{"version ff", "ff-" + tid + "-b7ad6b7169203331-01", "", false},
+		{"non-hex version", "zz-" + tid + "-b7ad6b7169203331-01", "", false},
+		{"v00 with trailing junk", "00-" + tid + "-b7ad6b7169203331-01-extra", "", false},
+		{"future version missing separator", "cc-" + tid + "-b7ad6b7169203331-01xtra", "", false},
+		{"wrong separators", "00_" + tid + "_b7ad6b7169203331_01", "", false},
+		{"non-hex flags", "00-" + tid + "-b7ad6b7169203331-zz", "", false},
+	}
+	for _, tc := range cases {
+		got, ok := parseTraceparent(tc.header)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("%s: parseTraceparent(%q) = (%q, %v), want (%q, %v)",
+				tc.name, tc.header, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestNewTraceIDShape(t *testing.T) {
+	a, b := newTraceID(), newTraceID()
+	if len(a) != 32 || !isHex(a) || allZero(a) {
+		t.Fatalf("newTraceID() = %q, want 32 lowercase hex digits", a)
+	}
+	if a == b {
+		t.Errorf("two trace ids collided: %q", a)
+	}
+	if hdr := responseTraceparent(a); len(hdr) != 55 {
+		t.Errorf("responseTraceparent length %d, want 55: %q", len(hdr), hdr)
+	} else if got, ok := parseTraceparent(hdr); !ok || got != a {
+		t.Errorf("responseTraceparent does not round-trip: %q -> (%q, %v)", hdr, got, ok)
+	}
+}
+
+// postJSONTraced is postJSON with a client traceparent header attached,
+// returning the response traceparent alongside status and body.
+func postJSONTraced(t *testing.T, url, traceparent string, v any) (int, []byte, string) {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", traceparent)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes(), resp.Header.Get("traceparent")
+}
+
+// TestTracePropagationEndToEnd is the acceptance path: one client
+// traceparent must surface, with the same trace id, in the 202 header
+// and body, the status view, the SSE stream, the per-job Chrome trace,
+// the flight recorder, and the journal-facing structures — while the
+// notebook artifacts stay byte-identical to an untraced run.
+func TestTracePropagationEndToEnd(t *testing.T) {
+	csv := writeTinyCSV(t, 7, 60)
+	_, base, shutdown := startTestServer(t, Options{MaxConcurrent: 1})
+	defer shutdown()
+	loadRelation(t, base, "tiny", csv)
+
+	const tid = "4bf92f3577b34da6a3ce929d0e0e4736"
+	header := "00-" + tid + "-00f067aa0ba902b7-01"
+	req := jobRequest{Relation: "tiny", Queries: 3, Perms: 60, Seed: 7, Threads: 2, Tenant: "acme"}
+
+	status, body, respTP := postJSONTraced(t, base+"/v1/notebooks", header, req)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", status, body)
+	}
+	if got, ok := parseTraceparent(respTP); !ok || got != tid {
+		t.Errorf("202 traceparent header = %q, want trace id %s echoed", respTP, tid)
+	}
+	var admit admitResponse
+	if err := json.Unmarshal(body, &admit); err != nil {
+		t.Fatal(err)
+	}
+	if admit.TraceID != tid {
+		t.Errorf("202 body trace_id = %q, want %q", admit.TraceID, tid)
+	}
+
+	if v := waitJob(t, base, admit.JobID); v.State != stateDone {
+		t.Fatalf("job finished %s (%s), want done", v.State, v.Error)
+	} else if v.TraceID != tid {
+		t.Errorf("status trace_id = %q, want %q", v.TraceID, tid)
+	}
+
+	// SSE replay carries the trace event.
+	events := string(mustGet(t, base+"/v1/jobs/"+admit.JobID+"/events"))
+	if !strings.Contains(events, "event: trace") ||
+		!strings.Contains(events, `{"trace_id":"`+tid+`"}`) {
+		t.Errorf("SSE stream missing trace event for %s:\n%s", tid, events)
+	}
+
+	// Per-job Chrome trace: valid per obscheck rules, stamped with the id.
+	jt := mustGet(t, base+"/v1/jobs/"+admit.JobID+"/trace")
+	if err := obs.ValidateTrace(jt); err != nil {
+		t.Errorf("job trace invalid: %v", err)
+	}
+	if !bytes.Contains(jt, []byte(`"trace_id":"`+tid+`"`)) {
+		t.Errorf("job trace missing trace_id %s", tid)
+	}
+
+	// Flight recorder: the completed job is queryable with its trace id.
+	flight := mustGet(t, base+"/debug/flight")
+	if err := obs.ValidateFlight(flight); err != nil {
+		t.Errorf("flight snapshot invalid: %v", err)
+	}
+	var snap obs.FlightSnapshot
+	if err := json.Unmarshal(flight, &snap); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range snap.Recent {
+		if e.ID == admit.JobID {
+			found = true
+			if e.TraceID != tid {
+				t.Errorf("flight entry trace_id = %q, want %q", e.TraceID, tid)
+			}
+			if e.Labels["tenant"] != "acme" || e.Labels["state"] != stateDone {
+				t.Errorf("flight labels = %v", e.Labels)
+			}
+			if e.QueueWaitUS > e.E2EUS+1 || e.E2EUS <= 0 {
+				t.Errorf("flight durations inconsistent: qw=%v e2e=%v", e.QueueWaitUS, e.E2EUS)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("job %s not in flight recorder recent ring", admit.JobID)
+	}
+
+	// Per-tenant SLO histogram appears on /metrics with cumulative
+	// buckets and a count matching the one completed job.
+	metrics := string(mustGet(t, base+"/metrics"))
+	for _, want := range []string{
+		`comparenb_server_job_e2e_seconds_bucket{tenant="acme",le="+Inf"} 1`,
+		`comparenb_server_job_e2e_seconds_count{tenant="acme"} 1`,
+		`comparenb_server_job_e2e_seconds_count 1`,
+		`comparenb_server_job_queue_wait_seconds_count{tenant="acme"} 1`,
+		`comparenb_server_job_wall_seconds_count{tenant="acme"} 1`,
+		"comparenb_obs_spans_total ",
+		"comparenb_obs_spans_dropped_total ",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Tracing never perturbs artifact bytes: a second job with a
+	// different trace id produces identical notebook output.
+	const tid2 = "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaab"
+	status2, body2, _ := postJSONTraced(t, base+"/v1/notebooks",
+		"00-"+tid2+"-00f067aa0ba902b7-01", req)
+	if status2 != http.StatusAccepted {
+		t.Fatalf("second submit: status %d: %s", status2, body2)
+	}
+	var admit2 admitResponse
+	if err := json.Unmarshal(body2, &admit2); err != nil {
+		t.Fatal(err)
+	}
+	if v := waitJob(t, base, admit2.JobID); v.State != stateDone {
+		t.Fatalf("second job finished %s (%s), want done", v.State, v.Error)
+	}
+	nb1 := mustGet(t, base+"/v1/jobs/"+admit.JobID+"/result?format=ipynb")
+	nb2 := mustGet(t, base+"/v1/jobs/"+admit2.JobID+"/result?format=ipynb")
+	if !bytes.Equal(nb1, nb2) {
+		t.Error("notebook bytes differ between trace ids — trace leaked into artifacts")
+	}
+}
+
+// TestTraceGeneratedWhenAbsent: requests without (or with malformed)
+// traceparent get a fresh server-generated identity.
+func TestTraceGeneratedWhenAbsent(t *testing.T) {
+	csv := writeTinyCSV(t, 7, 60)
+	_, base, shutdown := startTestServer(t, Options{MaxConcurrent: 1})
+	defer shutdown()
+	loadRelation(t, base, "tiny", csv)
+
+	id := submitJob(t, base, jobRequest{Relation: "tiny", Queries: 2, Perms: 40, Seed: 7, Threads: 1})
+	v := waitJob(t, base, id)
+	if len(v.TraceID) != 32 || !isHex(v.TraceID) || allZero(v.TraceID) {
+		t.Errorf("generated trace id %q not a valid W3C trace id", v.TraceID)
+	}
+
+	// Malformed headers are replaced, not propagated.
+	status, body, respTP := postJSONTraced(t, base+"/v1/notebooks",
+		"00-ZZZZ-bad-01", jobRequest{Relation: "tiny", Queries: 2, Perms: 40, Seed: 7, Threads: 1})
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", status, body)
+	}
+	var admit admitResponse
+	if err := json.Unmarshal(body, &admit); err != nil {
+		t.Fatal(err)
+	}
+	if len(admit.TraceID) != 32 || !isHex(admit.TraceID) {
+		t.Errorf("malformed header produced trace id %q", admit.TraceID)
+	}
+	if got, ok := parseTraceparent(respTP); !ok || got != admit.TraceID {
+		t.Errorf("response traceparent %q does not carry the generated id %q", respTP, admit.TraceID)
+	}
+	waitJob(t, base, admit.JobID)
+}
+
+// TestJobTraceNotFound: unknown job ids 404 on the trace endpoint.
+func TestJobTraceNotFound(t *testing.T) {
+	_, base, shutdown := startTestServer(t, Options{MaxConcurrent: 1})
+	defer shutdown()
+	if status, _ := httpGet(t, base+"/v1/jobs/j999999/trace"); status != http.StatusNotFound {
+		t.Errorf("trace of unknown job: status %d, want 404", status)
+	}
+}
+
+// TestFlightRecorderSlowestRetention: with a tiny recent ring the
+// server keeps slow outliers queryable after they age out of recent.
+func TestFlightRecorderSlowestRetention(t *testing.T) {
+	csv := writeTinyCSV(t, 7, 60)
+	_, base, shutdown := startTestServer(t, Options{MaxConcurrent: 1, FlightRecent: 2, FlightSlowest: 4})
+	defer shutdown()
+	loadRelation(t, base, "tiny", csv)
+
+	ids := make([]string, 0, 5)
+	for i := 0; i < 5; i++ {
+		id := submitJob(t, base, jobRequest{Relation: "tiny", Queries: 2, Perms: 40, Seed: 7, Threads: 1})
+		if v := waitJob(t, base, id); v.State != stateDone {
+			t.Fatalf("job %s finished %s", id, v.State)
+		}
+		ids = append(ids, id)
+	}
+	var snap obs.FlightSnapshot
+	if err := json.Unmarshal(mustGet(t, base+"/debug/flight"), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Total != 5 {
+		t.Errorf("flight total = %d, want 5", snap.Total)
+	}
+	if len(snap.Recent) != 2 || snap.Recent[0].ID != ids[4] || snap.Recent[1].ID != ids[3] {
+		t.Errorf("recent ring wrong: %+v", snap.Recent)
+	}
+	if len(snap.Slowest) != 4 {
+		t.Errorf("slowest has %d entries, want 4", len(snap.Slowest))
+	}
+	// Every retained job's trace endpoint still serves a valid trace,
+	// including ones that only survive in the slowest list.
+	retained := map[string]bool{}
+	for _, e := range append(append([]obs.FlightEntry{}, snap.Recent...), snap.Slowest...) {
+		retained[e.ID] = true
+	}
+	n := 0
+	for _, id := range ids {
+		if !retained[id] {
+			continue
+		}
+		n++
+		if err := obs.ValidateTrace(mustGet(t, base+"/v1/jobs/"+id+"/trace")); err != nil {
+			t.Errorf("retained job %s trace invalid: %v", id, err)
+		}
+	}
+	if n < 4 {
+		t.Errorf("only %d of 5 jobs retained across recent+slowest, want >= 4", n)
+	}
+}

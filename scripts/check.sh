@@ -56,8 +56,12 @@ for _ in $(seq 1 50); do
 done
 [ -s "$OBSDIR/addr" ] || { echo "server smoke: daemon never bound; log:" >&2; cat "$OBSDIR/daemon.log" >&2; exit 1; }
 "$OBSDIR/loadgen" -addr "$(cat "$OBSDIR/addr")" -tenants 1 -jobs 2 -rows 200 -queries 4 -perms 60 \
-    -trace-out "$OBSDIR/job.trace.json" -metrics-out "$OBSDIR/job.metrics.txt" > /dev/null
+    -trace-out "$OBSDIR/job.trace.json" -metrics-out "$OBSDIR/job.metrics.txt" \
+    -jobtrace-out "$OBSDIR/job.flighttrace.json" -flight-out "$OBSDIR/flight.json" > /dev/null
 "$OBSDIR/obscheck" -q -trace "$OBSDIR/job.trace.json" -metrics "$OBSDIR/job.metrics.txt"
+# The flight recorder's snapshot and its per-job trace download must
+# validate under the same rules as the pipeline's own artifacts.
+"$OBSDIR/obscheck" -q -trace "$OBSDIR/job.flighttrace.json" -flight "$OBSDIR/flight.json"
 kill -TERM "$SRV_PID"
 wait "$SRV_PID"
 SRV_PID=""
@@ -90,7 +94,10 @@ SRV_PID=$!
 wait_addr "$OBSDIR/addr-crash2" || { echo "crash smoke: restarted daemon never bound; log:" >&2; cat "$OBSDIR/crash2.log" >&2; exit 1; }
 # -resume waits for /readyz, follows every journaled job to a terminal
 # state, and fails if the journal was empty or anything never settles.
-"$OBSDIR/loadgen" -addr "$(cat "$OBSDIR/addr-crash2")" -resume -out "$OBSDIR/resume.json" \
+# -journal additionally asserts every recovered job kept the trace id
+# its admission record carried across the kill -9.
+"$OBSDIR/loadgen" -addr "$(cat "$OBSDIR/addr-crash2")" -resume \
+    -journal "$STATEDIR/journal.jsonl" -out "$OBSDIR/resume.json" \
     || { echo "crash smoke: recovery verification failed; log:" >&2; cat "$OBSDIR/crash2.log" >&2; exit 1; }
 cat "$OBSDIR/resume.json"
 kill -TERM "$SRV_PID"

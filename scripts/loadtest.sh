@@ -6,12 +6,12 @@
 #
 #   scripts/loadtest.sh [out.json]
 #
-# The default output path is BENCH_PR8.json in the repo root (the
+# The default output path is BENCH_PR10.json in the repo root (the
 # committed reference numbers for this harness).
 set -eu
 
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_PR8.json}"
+OUT="${1:-BENCH_PR10.json}"
 
 WORK="$(mktemp -d)"
 DAEMON_PID=""
@@ -44,10 +44,12 @@ echo "    daemon at $ADDR"
 
 echo "==> drive load (3 tenants x 6 jobs)"
 "$WORK/loadgen" -addr "$ADDR" -tenants 3 -jobs 6 -rows 400 -queries 5 -perms 100 \
-    -out "$OUT" -trace-out "$WORK/job.trace.json" -metrics-out "$WORK/job.metrics.txt"
+    -out "$OUT" -trace-out "$WORK/job.trace.json" -metrics-out "$WORK/job.metrics.txt" \
+    -jobtrace-out "$WORK/job.flighttrace.json" -flight-out "$WORK/flight.json"
 
 echo "==> obscheck server-emitted artifacts"
 "$WORK/obscheck" -q -trace "$WORK/job.trace.json" -metrics "$WORK/job.metrics.txt"
+"$WORK/obscheck" -q -trace "$WORK/job.flighttrace.json" -flight "$WORK/flight.json"
 
 echo "==> graceful shutdown"
 kill -TERM "$DAEMON_PID"
